@@ -1,0 +1,212 @@
+//! The fused kernel virtual address space (§6.4).
+//!
+//! "Stramash-Linux aligns kernel virtual addresses across different
+//! kernel instances, enabling full addressability of another kernel's
+//! memory. By adjusting the vmalloc ranges of x86 to align with the
+//! direct map range of the Arm instance, the Arm's virtual address space
+//! becomes fully addressable to the x86 kernel instance, and vice
+//! versa."
+//!
+//! The model: each kernel direct-maps all physical memory at its own
+//! base; the *other* kernel aliases that same window at the same virtual
+//! addresses (carved out of its vmalloc range). A kernel virtual address
+//! therefore means the same physical byte on both kernels — which is
+//! what lets accessor functions chase pointers in the peer's data
+//! structures without translation messages.
+
+use std::fmt;
+use stramash_mem::PhysAddr;
+use stramash_sim::DomainId;
+
+/// Base of the x86 kernel's direct map (Linux's `page_offset_base`).
+pub const X86_DIRECT_BASE: u64 = 0xffff_8880_0000_0000;
+/// Base of the Arm kernel's direct map (Linux arm64 linear map).
+pub const ARM_DIRECT_BASE: u64 = 0xffff_0000_0000_0000;
+/// Size of each direct-map window (covers the 8 GB platform easily).
+pub const DIRECT_WINDOW: u64 = 1 << 40;
+
+/// A kernel-space virtual address in the fused address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelVa(pub u64);
+
+impl fmt::Display for KernelVa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KVA:{:#x}", self.0)
+    }
+}
+
+/// Errors from fused-VAS construction or resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VasError {
+    /// The two direct-map windows collide, so vmalloc aliasing cannot be
+    /// aligned.
+    WindowsOverlap,
+    /// Randomized structure layout is enabled; direct remote access to
+    /// kernel data structures is unsound (§6.4: "we need to disable the
+    /// randomized layout to enable direct remote access").
+    RandomizedLayout,
+}
+
+impl fmt::Display for VasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VasError::WindowsOverlap => f.write_str("direct-map windows overlap"),
+            VasError::RandomizedLayout => {
+                f.write_str("randomized structure layout prevents remote access")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VasError {}
+
+/// The fused kernel virtual address space of the kernel pair.
+///
+/// # Examples
+///
+/// ```
+/// use stramash::FusedKernelVas;
+/// use stramash_mem::PhysAddr;
+/// use stramash_sim::DomainId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let vas = FusedKernelVas::new(false)?; // layout randomisation off (§6.4)
+/// // The KVA through which ANY kernel addresses a byte of the Arm
+/// // kernel's memory:
+/// let kva = vas.kva(DomainId::ARM, PhysAddr::new(0x8000_0000));
+/// let (owner, pa) = vas.resolve(kva).unwrap();
+/// assert_eq!(owner, DomainId::ARM);
+/// assert_eq!(pa.raw(), 0x8000_0000);
+/// assert!(vas.is_remote_window(DomainId::X86, kva));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedKernelVas {
+    bases: [u64; 2],
+}
+
+impl FusedKernelVas {
+    /// Builds the paper's configuration: x86 and Arm Linux direct-map
+    /// bases, layout randomization disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`VasError::RandomizedLayout`] if `randomized_layout` is true,
+    /// [`VasError::WindowsOverlap`] if the windows collide.
+    pub fn new(randomized_layout: bool) -> Result<Self, VasError> {
+        Self::with_bases(X86_DIRECT_BASE, ARM_DIRECT_BASE, randomized_layout)
+    }
+
+    /// Builds with explicit window bases (tests, other platforms).
+    ///
+    /// # Errors
+    ///
+    /// See [`FusedKernelVas::new`].
+    pub fn with_bases(x86: u64, arm: u64, randomized_layout: bool) -> Result<Self, VasError> {
+        if randomized_layout {
+            return Err(VasError::RandomizedLayout);
+        }
+        let lo = x86.min(arm);
+        let hi = x86.max(arm);
+        if lo + DIRECT_WINDOW > hi {
+            return Err(VasError::WindowsOverlap);
+        }
+        Ok(FusedKernelVas { bases: [x86, arm] })
+    }
+
+    /// The fused KVA through which *any* kernel addresses physical byte
+    /// `pa` via `owner`'s direct-map window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` exceeds the window.
+    #[must_use]
+    pub fn kva(&self, owner: DomainId, pa: PhysAddr) -> KernelVa {
+        assert!(pa.raw() < DIRECT_WINDOW, "physical address beyond the direct window");
+        KernelVa(self.bases[owner.index()] + pa.raw())
+    }
+
+    /// Resolves a fused KVA to `(window owner, physical address)`.
+    #[must_use]
+    pub fn resolve(&self, kva: KernelVa) -> Option<(DomainId, PhysAddr)> {
+        for d in DomainId::ALL {
+            let base = self.bases[d.index()];
+            if kva.0 >= base && kva.0 < base + DIRECT_WINDOW {
+                return Some((d, PhysAddr::new(kva.0 - base)));
+            }
+        }
+        None
+    }
+
+    /// Whether `kva` lies in the *other* kernel's window from
+    /// `domain`'s perspective (a "remote" kernel access).
+    #[must_use]
+    pub fn is_remote_window(&self, domain: DomainId, kva: KernelVa) -> bool {
+        matches!(self.resolve(kva), Some((owner, _)) if owner != domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_builds() {
+        let vas = FusedKernelVas::new(false).unwrap();
+        let pa = PhysAddr::new(0x1234_5000);
+        let via_x86 = vas.kva(DomainId::X86, pa);
+        let via_arm = vas.kva(DomainId::ARM, pa);
+        assert_ne!(via_x86, via_arm, "each owner has its own window");
+        assert_eq!(vas.resolve(via_x86), Some((DomainId::X86, pa)));
+        assert_eq!(vas.resolve(via_arm), Some((DomainId::ARM, pa)));
+    }
+
+    #[test]
+    fn same_kva_means_same_byte_on_both_kernels() {
+        // The fused property: a KVA resolves identically no matter which
+        // kernel dereferences it.
+        let vas = FusedKernelVas::new(false).unwrap();
+        let kva = vas.kva(DomainId::ARM, PhysAddr::new(0x8000_0000));
+        let (owner, pa) = vas.resolve(kva).unwrap();
+        assert_eq!(owner, DomainId::ARM);
+        assert_eq!(pa.raw(), 0x8000_0000);
+        // From x86's perspective this KVA is a remote-window access.
+        assert!(vas.is_remote_window(DomainId::X86, kva));
+        assert!(!vas.is_remote_window(DomainId::ARM, kva));
+    }
+
+    #[test]
+    fn randomized_layout_is_rejected() {
+        assert_eq!(FusedKernelVas::new(true).unwrap_err(), VasError::RandomizedLayout);
+    }
+
+    #[test]
+    fn overlapping_windows_rejected() {
+        assert_eq!(
+            FusedKernelVas::with_bases(0xffff_0000_0000_0000, 0xffff_0000_8000_0000, false)
+                .unwrap_err(),
+            VasError::WindowsOverlap
+        );
+    }
+
+    #[test]
+    fn unresolvable_kva() {
+        let vas = FusedKernelVas::new(false).unwrap();
+        assert_eq!(vas.resolve(KernelVa(0x1000)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the direct window")]
+    fn kva_bounds_checked() {
+        let vas = FusedKernelVas::new(false).unwrap();
+        let _ = vas.kva(DomainId::X86, PhysAddr::new(DIRECT_WINDOW));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!VasError::WindowsOverlap.to_string().is_empty());
+        assert!(!VasError::RandomizedLayout.to_string().is_empty());
+        assert_eq!(KernelVa(0x40).to_string(), "KVA:0x40");
+    }
+}

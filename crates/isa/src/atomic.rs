@@ -1,0 +1,126 @@
+//! Cross-ISA atomicity modelling (§6.5 "Atomicity", §7.1).
+//!
+//! Cross-ISA locks in shared memory are only sound when both sides use
+//! compatible read-modify-write primitives. The paper's prototype:
+//!
+//! * enables the AArch64 **Large System Extensions** (LSE), replacing
+//!   LL/SC (`LDXR`/`STXR`) with single-instruction `CAS`,
+//! * ensures all kernel spinlock-related instructions use CAS,
+//! * configures the QEMU TCG so that the x86 host's translation of Arm
+//!   atomics preserves their integrity (the Cortex-A76 guest supports
+//!   LSE, so LL/SC→CAS translation hazards are avoided).
+
+use stramash_sim::Cycles;
+
+use crate::format::IsaKind;
+
+/// The atomic read-modify-write primitive an ISA (configuration) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicKind {
+    /// Single-instruction compare-and-swap (x86 `lock cmpxchg`,
+    /// AArch64 LSE `CAS`).
+    Cas,
+    /// Load-linked / store-conditional pairs (pre-LSE AArch64).
+    LlSc,
+}
+
+/// Per-domain atomic configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AtomicModel {
+    /// The ISA.
+    pub isa: IsaKind,
+    /// Whether LSE is available and enabled (AArch64 only; always true
+    /// for x86, which has had CAS since the 486).
+    pub lse: bool,
+}
+
+impl AtomicModel {
+    /// The paper's configuration: LSE enabled everywhere (§6.5:
+    /// "Stramash-Linux's AArch64 kernel includes support for LSE").
+    #[must_use]
+    pub fn paper_default(isa: IsaKind) -> Self {
+        AtomicModel { isa, lse: true }
+    }
+
+    /// A legacy AArch64 configuration without LSE, used by the ablation
+    /// benches to show why the paper insists on CAS.
+    #[must_use]
+    pub fn without_lse(isa: IsaKind) -> Self {
+        AtomicModel { isa, lse: false }
+    }
+
+    /// Which primitive this configuration executes.
+    #[must_use]
+    pub fn kind(&self) -> AtomicKind {
+        match self.isa {
+            IsaKind::X86_64 => AtomicKind::Cas,
+            IsaKind::Aarch64 => {
+                if self.lse {
+                    AtomicKind::Cas
+                } else {
+                    AtomicKind::LlSc
+                }
+            }
+        }
+    }
+
+    /// Serialisation penalty of one atomic RMW beyond the plain cache
+    /// access, in cycles. LL/SC executed under binary translation pays
+    /// extra for the emulated exclusive monitor (§7.1 discusses the
+    /// host translating guest LL/SC into CAS).
+    #[must_use]
+    pub fn rmw_penalty(&self) -> Cycles {
+        match self.kind() {
+            AtomicKind::Cas => Cycles::new(20),
+            AtomicKind::LlSc => Cycles::new(36),
+        }
+    }
+}
+
+/// Whether two domains can safely share in-memory locks: both must use
+/// single-instruction CAS (§6.5: mixing LL/SC with a foreign CAS on the
+/// same word is not architecturally guaranteed to be atomic).
+#[must_use]
+pub fn cross_isa_atomics_sound(a: &AtomicModel, b: &AtomicModel) -> bool {
+    a.kind() == AtomicKind::Cas && b.kind() == AtomicKind::Cas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x86_always_cas() {
+        for lse in [true, false] {
+            let m = AtomicModel { isa: IsaKind::X86_64, lse };
+            assert_eq!(m.kind(), AtomicKind::Cas);
+        }
+    }
+
+    #[test]
+    fn aarch64_needs_lse_for_cas() {
+        assert_eq!(AtomicModel::paper_default(IsaKind::Aarch64).kind(), AtomicKind::Cas);
+        assert_eq!(AtomicModel::without_lse(IsaKind::Aarch64).kind(), AtomicKind::LlSc);
+    }
+
+    #[test]
+    fn paper_configuration_is_sound() {
+        let x = AtomicModel::paper_default(IsaKind::X86_64);
+        let a = AtomicModel::paper_default(IsaKind::Aarch64);
+        assert!(cross_isa_atomics_sound(&x, &a));
+    }
+
+    #[test]
+    fn legacy_arm_breaks_cross_isa_locking() {
+        let x = AtomicModel::paper_default(IsaKind::X86_64);
+        let a = AtomicModel::without_lse(IsaKind::Aarch64);
+        assert!(!cross_isa_atomics_sound(&x, &a));
+    }
+
+    #[test]
+    fn llsc_pays_more_than_cas() {
+        let cas = AtomicModel::paper_default(IsaKind::Aarch64).rmw_penalty();
+        let llsc = AtomicModel::without_lse(IsaKind::Aarch64).rmw_penalty();
+        assert!(llsc > cas);
+    }
+}

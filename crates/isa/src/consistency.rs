@@ -1,0 +1,117 @@
+//! Memory-consistency assumptions of the hardware model (§3).
+//!
+//! "Regarding memory consistency, we assume all processors abide by the
+//! strongest memory consistency model of all ISAs (Arm already supports
+//! running in TSO mode)." The §7.1 simulator realises this by running
+//! both QEMU instances on an x86 (TSO) host. This module encodes that
+//! assumption and the ArMOR-style mismatch check the paper cites for
+//! platforms that do *not* unify their models.
+
+use crate::format::IsaKind;
+use std::fmt;
+
+/// Memory-consistency models, ordered weakest → strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemoryOrder {
+    /// Weakly ordered (architectural AArch64).
+    Weak,
+    /// Total store order (x86; AArch64 in TSO mode).
+    Tso,
+    /// Sequential consistency (not used by either prototype ISA, listed
+    /// for completeness of the ordering).
+    Sc,
+}
+
+impl MemoryOrder {
+    /// The strongest of two models — the platform-wide model under the
+    /// §3 assumption.
+    #[must_use]
+    pub fn strongest(self, other: MemoryOrder) -> MemoryOrder {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for MemoryOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryOrder::Weak => f.write_str("weak"),
+            MemoryOrder::Tso => f.write_str("TSO"),
+            MemoryOrder::Sc => f.write_str("SC"),
+        }
+    }
+}
+
+/// Per-domain consistency configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConsistencyConfig {
+    /// The ISA.
+    pub isa: IsaKind,
+    /// Whether AArch64 runs in its optional TSO mode.
+    pub arm_tso_mode: bool,
+}
+
+impl ConsistencyConfig {
+    /// The paper's configuration (Arm in TSO mode).
+    #[must_use]
+    pub fn paper_default(isa: IsaKind) -> Self {
+        ConsistencyConfig { isa, arm_tso_mode: true }
+    }
+
+    /// The effective memory order of this domain.
+    #[must_use]
+    pub fn effective_order(&self) -> MemoryOrder {
+        match self.isa {
+            IsaKind::X86_64 => MemoryOrder::Tso,
+            IsaKind::Aarch64 => {
+                if self.arm_tso_mode {
+                    MemoryOrder::Tso
+                } else {
+                    MemoryOrder::Weak
+                }
+            }
+        }
+    }
+}
+
+/// Whether two domains may share memory without extra fencing: their
+/// effective orders must match (otherwise an ArMOR-style shim [Lustig
+/// et al., ISCA'15] must insert fences — flagged, not modelled).
+#[must_use]
+pub fn models_compatible(a: &ConsistencyConfig, b: &ConsistencyConfig) -> bool {
+    a.effective_order() == b.effective_order()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_weak_lt_tso_lt_sc() {
+        assert!(MemoryOrder::Weak < MemoryOrder::Tso);
+        assert!(MemoryOrder::Tso < MemoryOrder::Sc);
+        assert_eq!(MemoryOrder::Weak.strongest(MemoryOrder::Tso), MemoryOrder::Tso);
+    }
+
+    #[test]
+    fn paper_platform_is_uniformly_tso() {
+        let x = ConsistencyConfig::paper_default(IsaKind::X86_64);
+        let a = ConsistencyConfig::paper_default(IsaKind::Aarch64);
+        assert_eq!(x.effective_order(), MemoryOrder::Tso);
+        assert_eq!(a.effective_order(), MemoryOrder::Tso);
+        assert!(models_compatible(&x, &a));
+    }
+
+    #[test]
+    fn weak_arm_flags_mismatch() {
+        let x = ConsistencyConfig::paper_default(IsaKind::X86_64);
+        let a = ConsistencyConfig { isa: IsaKind::Aarch64, arm_tso_mode: false };
+        assert_eq!(a.effective_order(), MemoryOrder::Weak);
+        assert!(!models_compatible(&x, &a));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MemoryOrder::Tso.to_string(), "TSO");
+        assert_eq!(MemoryOrder::Weak.to_string(), "weak");
+    }
+}

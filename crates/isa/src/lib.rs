@@ -1,0 +1,40 @@
+//! ISA modelling for the Stramash reproduction.
+//!
+//! The fused-kernel design's hardest problem is that kernel data is not
+//! always ISA-portable: page tables, descriptor flags and atomic
+//! primitives differ between x86-64 and AArch64. This crate captures
+//! exactly the ISA properties the paper's mechanisms depend on:
+//!
+//! * [`mod@format`] — per-ISA page-table **format descriptors**: level
+//!   counts, index extraction, and the genuinely different flag layouts
+//!   of x86 PTEs and AArch64 descriptors (§6.4 "Software Remote Page
+//!   Table Walker": "Each level page mask is re-defined if it is
+//!   different between x86 and Arm").
+//! * [`pte`] — a portable flag set and the per-ISA encode/decode codec,
+//!   including the §6.4 cross-format conversion ("the origin kernel can
+//!   simply reconfigure the PTE to its own format").
+//! * [`atomic`] — the cross-ISA atomicity model of §6.5/§7.1: AArch64
+//!   LSE CAS vs LL/SC, and the soundness condition for cross-ISA locks.
+//! * [`driver`] — [`driver::RemoteCpuDriver`], the paper's "collection
+//!   of accessor functions targeting a specific ISA" (§5) that lets one
+//!   kernel interpret another ISA's structures in shared memory.
+//! * [`consistency`] — the §3 memory-consistency assumption (everyone
+//!   runs the strongest model; Arm in TSO mode).
+//! * [`regs`] — per-ISA register files and the Popcorn-toolchain state
+//!   transformation executed at migration equivalence points (§5).
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod consistency;
+pub mod driver;
+pub mod format;
+pub mod pte;
+pub mod regs;
+
+pub use atomic::{AtomicKind, AtomicModel};
+pub use consistency::MemoryOrder;
+pub use driver::RemoteCpuDriver;
+pub use format::{IsaKind, PageTableFormat};
+pub use pte::{PteFlags, RawPte};
+pub use regs::{ArmRegFile, MachineState, MigrationCostModel, RegFile, X86RegFile};

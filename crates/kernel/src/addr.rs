@@ -1,0 +1,111 @@
+//! Virtual addresses and page arithmetic.
+
+use std::fmt;
+
+/// Page size used by both prototype ISAs (4 KiB granule, §6.4).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual address in a process or kernel address space.
+///
+/// ```
+/// use stramash_kernel::addr::VirtAddr;
+/// let va = VirtAddr::new(0x4000_1234);
+/// assert_eq!(va.page_base().raw(), 0x4000_1000);
+/// assert_eq!(va.page_offset(), 0x234);
+/// assert_eq!(va.vpn(), 0x4000_1234 >> 12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This address plus `off` bytes.
+    #[must_use]
+    pub const fn offset(self, off: u64) -> VirtAddr {
+        VirtAddr(self.0 + off)
+    }
+
+    /// The base of the containing page.
+    #[must_use]
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Offset within the containing page.
+    #[must_use]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// The virtual page number.
+    #[must_use]
+    pub const fn vpn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Whether this address is page-aligned.
+    #[must_use]
+    pub const fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// Number of whole pages covering `len` bytes.
+#[must_use]
+pub const fn pages_for(len: u64) -> u64 {
+    len.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let va = VirtAddr::new(0x12_3456);
+        assert_eq!(va.page_base().raw(), 0x12_3000);
+        assert_eq!(va.page_offset(), 0x456);
+        assert_eq!(va.vpn(), 0x123);
+        assert!(!va.is_page_aligned());
+        assert!(va.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+        assert_eq!(pages_for(10 << 20), 2560);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtAddr::new(0x40).to_string(), "VA:0x40");
+    }
+}

@@ -1,0 +1,275 @@
+//! Booting the kernel pair (§6.1).
+//!
+//! "Stramash-Linux will discover all memory and devices, but initialize
+//! only a minimal set of those … At the time of writing, we limit the
+//! area usable by each kernel instance using BIOS tables/device trees.
+//! The OS reads the memory map tables provided by the firmware and
+//! adjusts its boundaries based on that. Thus, kernel instances' memory
+//! areas do not overlap."
+//!
+//! The boot layer partitions the Figure 4 layout: each kernel's frame
+//! allocator receives its private region (minus a kernel-image reserve),
+//! the first 128 MB of the shared pool becomes the message rings (§8.2),
+//! and the rest of the pool stays in the global free pool for the §6.3
+//! allocator to hand out.
+
+use crate::kernel::KernelInstance;
+use crate::msg::{MessagingLayer, Transport};
+use crate::namespace::fused_cpu_list;
+use stramash_mem::{PhysAddr, PhysLayout};
+use stramash_sim::ipi::IpiFabric;
+use stramash_sim::{DomainId, SimConfig};
+
+/// Boot-time partitioning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootConfig {
+    /// Bytes reserved at the start of each private region for the kernel
+    /// image, static data and early allocations.
+    pub kernel_reserve: u64,
+    /// Size of the message-ring area carved from the start of the pool
+    /// (§8.2 uses a 128 MB shared-memory message layer).
+    pub msg_ring_bytes: u64,
+    /// Messaging transport.
+    pub transport: Transport,
+}
+
+impl BootConfig {
+    /// The paper's configuration: 128 MB rings, SHM transport with IPIs.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        BootConfig {
+            kernel_reserve: 64 << 20,
+            msg_ring_bytes: 128 << 20,
+            transport: Transport::Shm { notify: stramash_sim::ipi::NotifyMode::Interrupt },
+        }
+    }
+
+    /// Same, but with the TCP transport (Popcorn-TCP baseline).
+    #[must_use]
+    pub fn tcp() -> Self {
+        BootConfig { transport: Transport::Tcp, ..Self::paper_default() }
+    }
+}
+
+/// Everything the boot sequence produces.
+#[derive(Debug)]
+pub struct BootedPlatform {
+    /// The two kernel instances (indexed by domain).
+    pub kernels: [KernelInstance; 2],
+    /// The messaging layer connecting them.
+    pub msg: MessagingLayer,
+    /// The IPI fabric.
+    pub ipi: IpiFabric,
+    /// First pool byte *after* the message rings — the global
+    /// allocator's arena.
+    pub pool_start: PhysAddr,
+    /// One past the last pool byte.
+    pub pool_end: PhysAddr,
+}
+
+/// Boots both kernels over `layout` and establishes the communication
+/// channel ("Once the boot is complete, kernel instances establish a
+/// communication channel to coordinate", §6.1).
+///
+/// # Panics
+///
+/// Panics if the layout regions overlap or are too small for the
+/// requested reserves — a mis-partitioned firmware table is a
+/// configuration bug, not a runtime condition.
+#[must_use]
+pub fn boot_pair(cfg: &SimConfig, layout: &PhysLayout, boot: &BootConfig) -> BootedPlatform {
+    assert!(layout.is_disjoint(), "firmware memory map must not overlap (§6.1)");
+    let mut kernels = [KernelInstance::new(DomainId::X86), KernelInstance::new(DomainId::ARM)];
+
+    for k in &mut kernels {
+        let region = layout.private_region(k.domain);
+        assert!(
+            region.len > boot.kernel_reserve,
+            "private region smaller than the kernel reserve"
+        );
+        k.frames
+            .add_region(region.start.offset(boot.kernel_reserve), region.len - boot.kernel_reserve)
+            .expect("boot regions are aligned and disjoint");
+    }
+
+    // Fuse the namespaces and CPU topology (§6.6).
+    let cpus = fused_cpu_list(52, 64);
+    kernels[0].namespaces.set_cpus(cpus);
+    let x86_ns = kernels[0].namespaces.clone();
+    kernels[1].namespaces.fuse_with(&x86_ns);
+
+    // Message rings at the start of the pool: local to x86 / remote to
+    // Arm under Separated, remote-shared under Shared, local under
+    // Fully Shared — exactly the §8.2 placements.
+    let pool = layout.pool_region(DomainId::X86);
+    let ring_len = boot.msg_ring_bytes / 2;
+    let ring_base = [pool.start, pool.start.offset(ring_len)];
+    let msg = MessagingLayer::new(boot.transport, ring_base, ring_len, cfg.tcp_rtt);
+    let ipi = IpiFabric::new(cfg.ipi_latency);
+
+    let pool_end = layout.pool_region(DomainId::ARM).end();
+    BootedPlatform {
+        kernels,
+        msg,
+        ipi,
+        pool_start: pool.start.offset(boot.msg_ring_bytes),
+        pool_end,
+    }
+}
+
+/// One stage of a kernel instance's boot sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootStage {
+    /// Stage name.
+    pub name: &'static str,
+    /// Cycles the stage takes on each domain.
+    pub cycles: [u64; 2],
+}
+
+/// The §6.1/§7 boot timing model: both QEMU instances boot **in
+/// parallel** (a Stramash-QEMU mechanism), then rendezvous to establish
+/// the communication channel. Under §5's *Minimal Resource
+/// Provisioning*, each kernel initialises only its private memory —
+/// discovery covers everything, initialisation does not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootTimeline {
+    stages: Vec<BootStage>,
+}
+
+impl BootTimeline {
+    /// Derives the timeline from the platform configuration.
+    #[must_use]
+    pub fn model(cfg: &SimConfig, layout: &PhysLayout, boot: &BootConfig) -> Self {
+        // Firmware/BIOS table parsing: fixed per kernel.
+        let firmware = BootStage { name: "firmware tables", cycles: [180_000, 150_000] };
+        // Discovery walks the full memory map (§5: "all resources are
+        // discovered ... at boot") — proportional to region count, not
+        // size.
+        let regions = layout.regions().len() as u64;
+        let discovery =
+            BootStage { name: "resource discovery", cycles: [regions * 40_000; 2] };
+        // Initialisation touches only the kernel's PRIVATE memory
+        // (struct-page setup ~ cycles per frame).
+        let init = DomainId::ALL.map(|d| {
+            // One cycle per frame of batched struct-page initialisation.
+            (layout.private_region(d).len - boot.kernel_reserve) / 4096
+        });
+        let init = BootStage { name: "minimal memory init", cycles: init };
+        // Channel establishment: ring setup + IPI handshake (§6.1
+        // "kernel instances establish a communication channel").
+        let ipi = cfg.ipi_latency.raw();
+        let channel = BootStage { name: "channel handshake", cycles: [ipi * 2 + 50_000; 2] };
+        BootTimeline { stages: vec![firmware, discovery, init, channel] }
+    }
+
+    /// The stages.
+    #[must_use]
+    pub fn stages(&self) -> &[BootStage] {
+        &self.stages
+    }
+
+    /// Boot-to-ready time with **parallel bootup** (both instances boot
+    /// concurrently; each stage gates on the slower instance).
+    #[must_use]
+    pub fn parallel_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| *s.cycles.iter().max().expect("two domains")).sum()
+    }
+
+    /// Boot-to-ready time if the instances booted serially (the naive
+    /// alternative the fused simulator avoids).
+    #[must_use]
+    pub fn serial_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles.iter().sum::<u64>()).sum()
+    }
+
+    /// What full (non-minimal) provisioning would cost: initialising
+    /// the whole machine's memory on every kernel instead of only the
+    /// private region — quantifies §5's *Minimal Resource Provisioning*.
+    #[must_use]
+    pub fn full_provisioning_cycles(&self, layout: &PhysLayout) -> u64 {
+        let all_frames: u64 = layout.regions().iter().map(|r| r.len / 4096).sum();
+        let extra = all_frames;
+        self.stages
+            .iter()
+            .map(|s| {
+                if s.name == "minimal memory init" {
+                    extra
+                } else {
+                    *s.cycles.iter().max().expect("two domains")
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_assigns_disjoint_private_memory() {
+        let cfg = SimConfig::big_pair();
+        let layout = PhysLayout::paper_default();
+        let p = boot_pair(&cfg, &layout, &BootConfig::paper_default());
+        let x = &p.kernels[0].frames;
+        let a = &p.kernels[1].frames;
+        // 1.5 GB private minus 64 MB reserve each.
+        let expect = ((3u64 << 29) - (64 << 20)) / 4096;
+        assert_eq!(x.total_frames(), expect);
+        assert_eq!(a.total_frames(), expect);
+        // Neither kernel owns the other's memory.
+        assert!(!x.owns(PhysAddr::new(2 << 30)));
+        assert!(!a.owns(PhysAddr::new(0x10_0000 + (64 << 20))));
+    }
+
+    #[test]
+    fn boot_fuses_namespaces() {
+        let cfg = SimConfig::big_pair();
+        let p = boot_pair(&cfg, &PhysLayout::paper_default(), &BootConfig::paper_default());
+        assert!(p.kernels[0].namespaces.is_fused_with(&p.kernels[1].namespaces));
+        assert_eq!(p.kernels[1].namespaces.cpus().len(), 116);
+    }
+
+    #[test]
+    fn pool_arena_excludes_rings() {
+        let cfg = SimConfig::big_pair();
+        let p = boot_pair(&cfg, &PhysLayout::paper_default(), &BootConfig::paper_default());
+        assert_eq!(p.pool_start.raw(), (4u64 << 30) + (128 << 20));
+        assert_eq!(p.pool_end.raw(), 8u64 << 30);
+    }
+
+    #[test]
+    fn parallel_bootup_beats_serial() {
+        let cfg = SimConfig::big_pair();
+        let layout = PhysLayout::paper_default();
+        let t = BootTimeline::model(&cfg, &layout, &BootConfig::paper_default());
+        assert_eq!(t.stages().len(), 4);
+        assert!(
+            t.parallel_cycles() < t.serial_cycles(),
+            "fused parallel bootup must beat serial bring-up"
+        );
+        // Roughly 2x: the two instances overlap almost completely.
+        let ratio = t.serial_cycles() as f64 / t.parallel_cycles() as f64;
+        assert!((1.5..2.1).contains(&ratio), "overlap ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn minimal_provisioning_pays_off_at_boot() {
+        // §5: initialising only the private memory beats initialising
+        // the whole 8 GB machine on every kernel.
+        let cfg = SimConfig::big_pair();
+        let layout = PhysLayout::paper_default();
+        let t = BootTimeline::model(&cfg, &layout, &BootConfig::paper_default());
+        assert!(
+            t.full_provisioning_cycles(&layout) > 2 * t.parallel_cycles(),
+            "full provisioning should cost far more than minimal"
+        );
+    }
+
+    #[test]
+    fn tcp_boot_config() {
+        let cfg = SimConfig::big_pair();
+        let p = boot_pair(&cfg, &PhysLayout::paper_default(), &BootConfig::tcp());
+        assert_eq!(p.msg.transport(), Transport::Tcp);
+    }
+}

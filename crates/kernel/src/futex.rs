@@ -1,0 +1,158 @@
+//! Futex (fast userspace mutex) support.
+//!
+//! §6.5: Popcorn-Linux "relies on the origin kernel to create and control
+//! all Futex instances", requiring a message round-trip per remote
+//! operation. Stramash-Linux instead "allows the remote kernel to
+//! directly access the Futex locking list" and only sends a cross-ISA
+//! IPI when a waiter on the other kernel must be woken.
+//!
+//! This module is the shared substrate: the per-kernel futex table with
+//! wait queues. How a *remote* operation reaches the table (message
+//! protocol vs direct shared-memory access) is decided by the OS layers.
+
+use crate::addr::VirtAddr;
+use std::collections::{HashMap, VecDeque};
+use stramash_sim::DomainId;
+
+/// Identifier of a (simulated) thread blocked on a futex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadId(pub u64);
+
+/// A waiter entry: which thread, and which domain it sleeps on (wakeups
+/// across domains need a cross-ISA IPI, §6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// The blocked thread.
+    pub thread: ThreadId,
+    /// The domain whose scheduler must be poked to wake it.
+    pub domain: DomainId,
+}
+
+/// The futex table of one kernel instance ("the Futex locking list").
+///
+/// # Examples
+///
+/// ```
+/// use stramash_kernel::addr::VirtAddr;
+/// use stramash_kernel::futex::{FutexTable, ThreadId, Waiter};
+/// use stramash_sim::DomainId;
+///
+/// let mut futexes = FutexTable::new();
+/// let uaddr = VirtAddr::new(0x6000);
+/// futexes.wait(uaddr, Waiter { thread: ThreadId(1), domain: DomainId::ARM });
+/// // The §6.5 wake path: a cross-domain waiter needs a cross-ISA IPI.
+/// let woken = futexes.wake_one(uaddr).unwrap();
+/// assert_eq!(woken.domain, DomainId::ARM);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FutexTable {
+    queues: HashMap<u64, VecDeque<Waiter>>,
+    /// Total wait operations ever enqueued (for experiment reporting).
+    waits: u64,
+    /// Total successful wakes.
+    wakes: u64,
+}
+
+impl FutexTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        FutexTable::default()
+    }
+
+    /// Enqueues `waiter` on the futex at user address `uaddr`.
+    pub fn wait(&mut self, uaddr: VirtAddr, waiter: Waiter) {
+        self.queues.entry(uaddr.raw()).or_default().push_back(waiter);
+        self.waits += 1;
+    }
+
+    /// Dequeues the longest-waiting thread on `uaddr`, if any.
+    pub fn wake_one(&mut self, uaddr: VirtAddr) -> Option<Waiter> {
+        let q = self.queues.get_mut(&uaddr.raw())?;
+        let w = q.pop_front();
+        if q.is_empty() {
+            self.queues.remove(&uaddr.raw());
+        }
+        if w.is_some() {
+            self.wakes += 1;
+        }
+        w
+    }
+
+    /// Number of threads currently blocked on `uaddr`.
+    #[must_use]
+    pub fn waiters(&self, uaddr: VirtAddr) -> usize {
+        self.queues.get(&uaddr.raw()).map_or(0, VecDeque::len)
+    }
+
+    /// Number of distinct futexes with blocked threads.
+    #[must_use]
+    pub fn active_futexes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Lifetime wait-operation count.
+    #[must_use]
+    pub fn total_waits(&self) -> u64 {
+        self.waits
+    }
+
+    /// Lifetime successful-wake count.
+    #[must_use]
+    pub fn total_wakes(&self) -> u64 {
+        self.wakes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UADDR: VirtAddr = VirtAddr::new(0x6000);
+
+    fn waiter(id: u64, domain: DomainId) -> Waiter {
+        Waiter { thread: ThreadId(id), domain }
+    }
+
+    #[test]
+    fn fifo_wake_order() {
+        let mut t = FutexTable::new();
+        t.wait(UADDR, waiter(1, DomainId::X86));
+        t.wait(UADDR, waiter(2, DomainId::ARM));
+        assert_eq!(t.waiters(UADDR), 2);
+        assert_eq!(t.wake_one(UADDR).unwrap().thread, ThreadId(1));
+        assert_eq!(t.wake_one(UADDR).unwrap().thread, ThreadId(2));
+        assert_eq!(t.wake_one(UADDR), None);
+        assert_eq!(t.waiters(UADDR), 0);
+    }
+
+    #[test]
+    fn independent_futexes() {
+        let mut t = FutexTable::new();
+        t.wait(UADDR, waiter(1, DomainId::X86));
+        t.wait(VirtAddr::new(0x7000), waiter(2, DomainId::ARM));
+        assert_eq!(t.active_futexes(), 2);
+        assert_eq!(t.wake_one(VirtAddr::new(0x7000)).unwrap().thread, ThreadId(2));
+        assert_eq!(t.active_futexes(), 1);
+    }
+
+    #[test]
+    fn counters() {
+        let mut t = FutexTable::new();
+        t.wait(UADDR, waiter(1, DomainId::X86));
+        t.wait(UADDR, waiter(2, DomainId::X86));
+        t.wake_one(UADDR);
+        assert_eq!(t.total_waits(), 2);
+        assert_eq!(t.total_wakes(), 1);
+    }
+
+    #[test]
+    fn waiter_domain_is_preserved_for_cross_isa_wake() {
+        // §6.5: "if the thread is currently waiting in the origin kernel,
+        // the remote kernel sends a cross-ISA IPI" — the wake path needs
+        // the waiter's domain to decide this.
+        let mut t = FutexTable::new();
+        t.wait(UADDR, waiter(9, DomainId::ARM));
+        assert_eq!(t.wake_one(UADDR).unwrap().domain, DomainId::ARM);
+    }
+}

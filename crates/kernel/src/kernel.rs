@@ -1,0 +1,117 @@
+//! Kernel instances.
+//!
+//! One [`KernelInstance`] per ISA domain, each with its own frame
+//! allocator (its boot-time private memory, §6.1), futex table,
+//! namespaces, and atomic/consistency configuration.
+
+use crate::frame::FrameAllocator;
+use crate::futex::FutexTable;
+use crate::namespace::NamespaceSet;
+use stramash_isa::atomic::AtomicModel;
+use stramash_isa::consistency::ConsistencyConfig;
+use stramash_isa::IsaKind;
+use stramash_sim::DomainId;
+
+/// Per-kernel fault/operation counters used by the experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Page faults handled locally by this kernel.
+    pub local_faults: u64,
+    /// Faults for which this kernel touched the *other* kernel's page
+    /// table directly (Stramash remote path).
+    pub remote_pt_inserts: u64,
+    /// Faults resolved by the origin kernel on our behalf via messages
+    /// (Popcorn always; Stramash only for missing upper tables, §9.2.3).
+    pub origin_handled_faults: u64,
+    /// Pages whose contents were replicated to this kernel (DSM).
+    pub replicated_pages: u64,
+    /// DSM invalidations received.
+    pub dsm_invalidations: u64,
+    /// Futex operations performed by threads on this kernel.
+    pub futex_ops: u64,
+    /// Thread migrations into this kernel.
+    pub migrations_in: u64,
+}
+
+/// One kernel instance of the pair.
+#[derive(Debug)]
+pub struct KernelInstance {
+    /// The domain this kernel runs on.
+    pub domain: DomainId,
+    /// The kernel's ISA.
+    pub isa: IsaKind,
+    /// Physical frame allocator over the kernel's owned regions.
+    pub frames: FrameAllocator,
+    /// This kernel's futex table ("Futex locking list", §6.5).
+    pub futexes: FutexTable,
+    /// Namespace view (fused after boot under Stramash, §6.6).
+    pub namespaces: NamespaceSet,
+    /// Atomics configuration (LSE on, per the paper).
+    pub atomics: AtomicModel,
+    /// Consistency configuration (TSO everywhere, §3).
+    pub consistency: ConsistencyConfig,
+    /// Experiment counters.
+    pub counters: KernelCounters,
+}
+
+impl KernelInstance {
+    /// Creates a kernel for `domain` with no memory yet (the boot layer
+    /// assigns regions).
+    #[must_use]
+    pub fn new(domain: DomainId) -> Self {
+        let isa = IsaKind::of_domain(domain);
+        KernelInstance {
+            domain,
+            isa,
+            frames: FrameAllocator::new(),
+            futexes: FutexTable::new(),
+            namespaces: NamespaceSet::private(domain.index() as u64 + 1),
+            atomics: AtomicModel::paper_default(isa),
+            consistency: ConsistencyConfig::paper_default(isa),
+            counters: KernelCounters::default(),
+        }
+    }
+
+    /// Resets the experiment counters (memory ownership is preserved).
+    pub fn reset_counters(&mut self) {
+        self.counters = KernelCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_isa::atomic::cross_isa_atomics_sound;
+    use stramash_isa::consistency::models_compatible;
+
+    #[test]
+    fn kernels_get_their_domains_isa() {
+        let x = KernelInstance::new(DomainId::X86);
+        let a = KernelInstance::new(DomainId::ARM);
+        assert_eq!(x.isa, IsaKind::X86_64);
+        assert_eq!(a.isa, IsaKind::Aarch64);
+    }
+
+    #[test]
+    fn paper_pair_is_lock_and_consistency_sound() {
+        let x = KernelInstance::new(DomainId::X86);
+        let a = KernelInstance::new(DomainId::ARM);
+        assert!(cross_isa_atomics_sound(&x.atomics, &a.atomics));
+        assert!(models_compatible(&x.consistency, &a.consistency));
+    }
+
+    #[test]
+    fn fresh_kernels_have_private_namespaces() {
+        let x = KernelInstance::new(DomainId::X86);
+        let a = KernelInstance::new(DomainId::ARM);
+        assert!(!x.namespaces.is_fused_with(&a.namespaces));
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut k = KernelInstance::new(DomainId::X86);
+        k.counters.local_faults = 5;
+        k.reset_counters();
+        assert_eq!(k.counters, KernelCounters::default());
+    }
+}

@@ -1,0 +1,181 @@
+//! Kernel namespaces and the fused-namespace configuration.
+//!
+//! §6.6: "For applications that migrate inter-ISA, Stramash-Linux enables
+//! the same mount, PID, net, UTS, user, and cgroup namespaces. These
+//! provide the same environment when an application migrates. Also, the
+//! same list of CPUs including topological information is available on
+//! every kernel instance."
+
+use std::collections::BTreeMap;
+use std::fmt;
+use stramash_sim::DomainId;
+
+/// The namespace kinds the paper fuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NamespaceKind {
+    /// Mount table.
+    Mount,
+    /// Process identifiers.
+    Pid,
+    /// Network stack.
+    Net,
+    /// Hostname / domain name.
+    Uts,
+    /// User/group mappings.
+    User,
+    /// Control groups.
+    Cgroup,
+}
+
+impl NamespaceKind {
+    /// All six fused kinds.
+    pub const ALL: [NamespaceKind; 6] = [
+        NamespaceKind::Mount,
+        NamespaceKind::Pid,
+        NamespaceKind::Net,
+        NamespaceKind::Uts,
+        NamespaceKind::User,
+        NamespaceKind::Cgroup,
+    ];
+}
+
+impl fmt::Display for NamespaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NamespaceKind::Mount => "mount",
+            NamespaceKind::Pid => "pid",
+            NamespaceKind::Net => "net",
+            NamespaceKind::Uts => "uts",
+            NamespaceKind::User => "user",
+            NamespaceKind::Cgroup => "cgroup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A namespace identity (equal ids = same environment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NamespaceId(pub u64);
+
+/// One CPU entry in the fused topology list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuInfo {
+    /// Global CPU index.
+    pub cpu: u32,
+    /// The domain (ISA group) the CPU belongs to.
+    pub domain: DomainId,
+    /// Socket/package id within the domain.
+    pub socket: u32,
+}
+
+/// The namespace view of one kernel instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceSet {
+    ids: BTreeMap<NamespaceKind, NamespaceId>,
+    cpus: Vec<CpuInfo>,
+}
+
+impl NamespaceSet {
+    /// A private namespace set (fresh ids derived from `seed` — what a
+    /// shared-nothing multiple-kernel boot produces).
+    #[must_use]
+    pub fn private(seed: u64) -> Self {
+        let ids = NamespaceKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, NamespaceId(seed * 100 + i as u64)))
+            .collect();
+        NamespaceSet { ids, cpus: Vec::new() }
+    }
+
+    /// The identity of one namespace kind.
+    #[must_use]
+    pub fn id(&self, kind: NamespaceKind) -> NamespaceId {
+        self.ids[&kind]
+    }
+
+    /// Replaces every id with the peer's — the §6.6 fuse operation.
+    pub fn fuse_with(&mut self, other: &NamespaceSet) {
+        self.ids = other.ids.clone();
+        self.cpus = other.cpus.clone();
+    }
+
+    /// Whether both sets present the same environment for every kind.
+    #[must_use]
+    pub fn is_fused_with(&self, other: &NamespaceSet) -> bool {
+        NamespaceKind::ALL.iter().all(|&k| self.id(k) == other.id(k)) && self.cpus == other.cpus
+    }
+
+    /// Installs the fused CPU list ("the same list of CPUs including
+    /// topological information", §6.6).
+    pub fn set_cpus(&mut self, cpus: Vec<CpuInfo>) {
+        self.cpus = cpus;
+    }
+
+    /// The visible CPU list.
+    #[must_use]
+    pub fn cpus(&self) -> &[CpuInfo] {
+        &self.cpus
+    }
+
+    /// CPUs belonging to one domain.
+    #[must_use]
+    pub fn cpus_of(&self, domain: DomainId) -> usize {
+        self.cpus.iter().filter(|c| c.domain == domain).count()
+    }
+}
+
+/// Builds the fused CPU topology both kernels expose.
+#[must_use]
+pub fn fused_cpu_list(x86_cores: u32, arm_cores: u32) -> Vec<CpuInfo> {
+    let mut cpus = Vec::with_capacity((x86_cores + arm_cores) as usize);
+    for c in 0..x86_cores {
+        cpus.push(CpuInfo { cpu: c, domain: DomainId::X86, socket: 0 });
+    }
+    for c in 0..arm_cores {
+        cpus.push(CpuInfo { cpu: x86_cores + c, domain: DomainId::ARM, socket: 1 });
+    }
+    cpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_sets_differ() {
+        let a = NamespaceSet::private(1);
+        let b = NamespaceSet::private(2);
+        assert!(!a.is_fused_with(&b));
+        assert_ne!(a.id(NamespaceKind::Pid), b.id(NamespaceKind::Pid));
+    }
+
+    #[test]
+    fn fuse_makes_environments_identical() {
+        let a = NamespaceSet::private(1);
+        let mut b = NamespaceSet::private(2);
+        b.fuse_with(&a);
+        assert!(b.is_fused_with(&a));
+        for k in NamespaceKind::ALL {
+            assert_eq!(a.id(k), b.id(k));
+        }
+    }
+
+    #[test]
+    fn fused_cpu_topology_visible_everywhere() {
+        let cpus = fused_cpu_list(52, 64);
+        let mut a = NamespaceSet::private(1);
+        a.set_cpus(cpus.clone());
+        let mut b = NamespaceSet::private(2);
+        b.fuse_with(&a);
+        assert_eq!(b.cpus().len(), 116);
+        assert_eq!(b.cpus_of(DomainId::X86), 52);
+        assert_eq!(b.cpus_of(DomainId::ARM), 64);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(NamespaceKind::Cgroup.to_string(), "cgroup");
+        assert_eq!(NamespaceKind::ALL.len(), 6);
+    }
+}

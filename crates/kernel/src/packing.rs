@@ -1,0 +1,320 @@
+//! Minimal/secure kernel-level data sharing via data packing (§5, §6).
+//!
+//! "Kernel instances should share only required data structures.
+//! Everything else should be in private memory or protected by hardware
+//! enforcement … we also propose to pack data structures' data in
+//! contiguous physical memory — so it is simple to categorize and share
+//! between kernels." §6 adds: "we did implement support for data packing
+//! in contiguous physical memory — including moving pages to reorganize
+//! data".
+//!
+//! [`PackedRegion`] is that mechanism: a kernel registers data
+//! structures with a sharing class, the packer segregates them into
+//! contiguous *shared* and *private* physical areas (moving pages if a
+//! structure was first allocated on the wrong side), and an enforcement
+//! check verifies the invariant a hardware MPU/IOMMU window would rely
+//! on: no private byte inside the shared window.
+
+use crate::addr::PAGE_SIZE;
+use std::fmt;
+use stramash_mem::{MemorySystem, PhysAddr};
+use stramash_sim::{Cycles, DomainId};
+
+/// Sharing classification of a kernel data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingClass {
+    /// Required by the fused mechanisms; must live in the shared window
+    /// (page tables, futex lists, VMA locks, message rings).
+    Shared,
+    /// Everything else; must stay outside the shared window.
+    Private,
+}
+
+/// A registered kernel data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedObject {
+    /// Opaque identifier supplied by the kernel.
+    pub tag: u64,
+    /// Current physical placement.
+    pub addr: PhysAddr,
+    /// Size in bytes.
+    pub len: u64,
+    /// Sharing class.
+    pub class: SharingClass,
+}
+
+/// Errors from the packer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackingError {
+    /// The destination window is full.
+    WindowFull(SharingClass),
+    /// An object spans outside its class's window after packing — the
+    /// enforcement invariant would be violated.
+    Misplaced {
+        /// The offending object's tag.
+        tag: u64,
+    },
+}
+
+impl fmt::Display for PackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackingError::WindowFull(class) => write!(f, "{class:?} packing window is full"),
+            PackingError::Misplaced { tag } => {
+                write!(f, "object {tag} is outside its class window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackingError {}
+
+/// One kernel's packer: two contiguous physical windows and the objects
+/// placed in them.
+#[derive(Debug)]
+pub struct PackedRegion {
+    owner: DomainId,
+    shared_base: PhysAddr,
+    shared_len: u64,
+    shared_cursor: u64,
+    private_base: PhysAddr,
+    private_len: u64,
+    private_cursor: u64,
+    objects: Vec<PackedObject>,
+    pages_moved: u64,
+}
+
+impl PackedRegion {
+    /// Creates a packer with the kernel's shared and private windows
+    /// (both page-aligned, carved by the boot layer).
+    #[must_use]
+    pub fn new(
+        owner: DomainId,
+        shared_base: PhysAddr,
+        shared_len: u64,
+        private_base: PhysAddr,
+        private_len: u64,
+    ) -> Self {
+        assert!(shared_base.is_aligned(PAGE_SIZE) && private_base.is_aligned(PAGE_SIZE));
+        PackedRegion {
+            owner,
+            shared_base,
+            shared_len,
+            shared_cursor: 0,
+            private_base,
+            private_len,
+            private_cursor: 0,
+            objects: Vec::new(),
+            pages_moved: 0,
+        }
+    }
+
+    /// The shared window `(base, len)` — what an MPU/IOMMU entry or a
+    /// CXL-IDE region would be programmed with.
+    #[must_use]
+    pub fn shared_window(&self) -> (PhysAddr, u64) {
+        (self.shared_base, self.shared_len)
+    }
+
+    /// Pages physically moved so far to reorganise data (§6).
+    #[must_use]
+    pub fn pages_moved(&self) -> u64 {
+        self.pages_moved
+    }
+
+    /// Registered objects.
+    #[must_use]
+    pub fn objects(&self) -> &[PackedObject] {
+        &self.objects
+    }
+
+    /// Places a new structure directly in its class's window.
+    ///
+    /// # Errors
+    ///
+    /// [`PackingError::WindowFull`].
+    pub fn place(
+        &mut self,
+        tag: u64,
+        len: u64,
+        class: SharingClass,
+    ) -> Result<PhysAddr, PackingError> {
+        let addr = self.reserve(len, class)?;
+        self.objects.push(PackedObject { tag, addr, len, class });
+        Ok(addr)
+    }
+
+    /// Adopts a structure that already lives at `addr` (e.g. allocated
+    /// before classification). If it sits on the wrong side, its pages
+    /// are **moved** into the right window through the memory system —
+    /// the timed copy is the §6 "moving pages to reorganize data" cost.
+    ///
+    /// # Errors
+    ///
+    /// [`PackingError::WindowFull`].
+    pub fn adopt(
+        &mut self,
+        mem: &mut MemorySystem,
+        tag: u64,
+        addr: PhysAddr,
+        len: u64,
+        class: SharingClass,
+    ) -> Result<(PhysAddr, Cycles), PackingError> {
+        if self.in_window(addr, len, class) {
+            self.objects.push(PackedObject { tag, addr, len, class });
+            return Ok((addr, Cycles::ZERO));
+        }
+        let dst = self.reserve(len, class)?;
+        let cycles = mem.copy_bytes(self.owner, addr, dst, len);
+        self.pages_moved += len.div_ceil(PAGE_SIZE);
+        self.objects.push(PackedObject { tag, addr: dst, len, class });
+        Ok((dst, cycles))
+    }
+
+    /// Verifies the hardware-enforcement invariant: every shared object
+    /// inside the shared window, every private object outside it.
+    ///
+    /// # Errors
+    ///
+    /// [`PackingError::Misplaced`] with the first offender.
+    pub fn verify_isolation(&self) -> Result<(), PackingError> {
+        for o in &self.objects {
+            let inside = self.in_window(o.addr, o.len, SharingClass::Shared);
+            let ok = match o.class {
+                SharingClass::Shared => inside,
+                SharingClass::Private => !self.overlaps_shared(o.addr, o.len),
+            };
+            if !ok {
+                return Err(PackingError::Misplaced { tag: o.tag });
+            }
+        }
+        Ok(())
+    }
+
+    fn reserve(&mut self, len: u64, class: SharingClass) -> Result<PhysAddr, PackingError> {
+        let aligned = len.div_ceil(64) * 64;
+        let (base, cap, cursor) = match class {
+            SharingClass::Shared => (self.shared_base, self.shared_len, &mut self.shared_cursor),
+            SharingClass::Private => {
+                (self.private_base, self.private_len, &mut self.private_cursor)
+            }
+        };
+        if *cursor + aligned > cap {
+            return Err(PackingError::WindowFull(class));
+        }
+        let addr = base.offset(*cursor);
+        *cursor += aligned;
+        Ok(addr)
+    }
+
+    fn in_window(&self, addr: PhysAddr, len: u64, class: SharingClass) -> bool {
+        let (base, cap) = match class {
+            SharingClass::Shared => (self.shared_base, self.shared_len),
+            SharingClass::Private => (self.private_base, self.private_len),
+        };
+        addr.raw() >= base.raw() && addr.raw() + len <= base.raw() + cap
+    }
+
+    fn overlaps_shared(&self, addr: PhysAddr, len: u64) -> bool {
+        addr.raw() < self.shared_base.raw() + self.shared_len
+            && self.shared_base.raw() < addr.raw() + len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_sim::SimConfig;
+
+    fn packer() -> PackedRegion {
+        PackedRegion::new(
+            DomainId::X86,
+            PhysAddr::new(0x40_0000),
+            1 << 20,
+            PhysAddr::new(0x80_0000),
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn place_segregates_by_class() {
+        let mut p = packer();
+        let shared = p.place(1, 4096, SharingClass::Shared).unwrap();
+        let private = p.place(2, 4096, SharingClass::Private).unwrap();
+        assert!(shared.raw() >= 0x40_0000 && shared.raw() < 0x50_0000);
+        assert!(private.raw() >= 0x80_0000);
+        p.verify_isolation().unwrap();
+        assert_eq!(p.objects().len(), 2);
+    }
+
+    #[test]
+    fn adopt_moves_misplaced_pages() {
+        let cfg = SimConfig::big_pair();
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut p = packer();
+        // A "futex list" allocated in random private memory, then
+        // classified as shared: it must be moved into the window, with
+        // its contents intact.
+        let stray = PhysAddr::new(0x90_0000);
+        mem.store_mut().write_u64(stray, 0xf00d);
+        let (new_addr, cycles) =
+            p.adopt(&mut mem, 7, stray, 8192, SharingClass::Shared).unwrap();
+        assert_ne!(new_addr, stray);
+        assert!(cycles.raw() > 0, "the move is a timed copy");
+        assert_eq!(p.pages_moved(), 2);
+        assert_eq!(mem.store().read_u64(new_addr), 0xf00d);
+        p.verify_isolation().unwrap();
+    }
+
+    #[test]
+    fn adopt_in_place_when_already_correct() {
+        let cfg = SimConfig::big_pair();
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut p = packer();
+        let inside = PhysAddr::new(0x40_0000 + 4096);
+        // Reserve past it so nothing else lands there.
+        p.place(1, 8192, SharingClass::Shared).unwrap();
+        let (addr, cycles) = p.adopt(&mut mem, 2, inside, 1024, SharingClass::Shared).unwrap();
+        assert_eq!(addr, inside);
+        assert_eq!(cycles, Cycles::ZERO);
+        assert_eq!(p.pages_moved(), 0);
+    }
+
+    #[test]
+    fn window_exhaustion() {
+        let mut p = PackedRegion::new(
+            DomainId::ARM,
+            PhysAddr::new(0x1000),
+            4096,
+            PhysAddr::new(0x10_000),
+            4096,
+        );
+        p.place(1, 4096, SharingClass::Shared).unwrap();
+        assert_eq!(
+            p.place(2, 64, SharingClass::Shared),
+            Err(PackingError::WindowFull(SharingClass::Shared))
+        );
+        // The private window is unaffected.
+        p.place(3, 64, SharingClass::Private).unwrap();
+    }
+
+    #[test]
+    fn isolation_violation_detected() {
+        let mut p = packer();
+        // Forge a private object inside the shared window (as a buggy
+        // kernel subsystem might).
+        p.objects.push(PackedObject {
+            tag: 99,
+            addr: PhysAddr::new(0x40_0000),
+            len: 64,
+            class: SharingClass::Private,
+        });
+        assert_eq!(p.verify_isolation(), Err(PackingError::Misplaced { tag: 99 }));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!PackingError::WindowFull(SharingClass::Shared).to_string().is_empty());
+        assert!(!PackingError::Misplaced { tag: 3 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Processes, software TLBs, and the per-process cross-kernel state.
+//!
+//! A migratable process (compiled with the Popcorn toolchain, §5) has
+//! one VMA list owned by its *origin* kernel and a page table per
+//! kernel instance — "both page tables refer to the same physical memory
+//! pages for the same application" under Stramash, or to replicated
+//! pages under Popcorn's DSM (§6.4).
+
+use crate::addr::{VirtAddr, PAGE_SIZE};
+use crate::pagetable::PageTable;
+use crate::vma::{Vma, VmaKind, VmaProt, VmaTree};
+use std::collections::HashMap;
+use std::fmt;
+use stramash_isa::PteFlags;
+use stramash_mem::PhysAddr;
+use stramash_sim::DomainId;
+
+/// Process identifier (fused PID namespace, §6.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A software model of the hardware TLB: translations cached here cost
+/// nothing extra; misses trigger a (timed) software walk. Flushed on
+/// migration and on any unmap/protect, mirroring real TLB shootdowns.
+#[derive(Debug, Clone, Default)]
+pub struct SoftTlb {
+    map: HashMap<u64, (PhysAddr, PteFlags)>,
+    lookups: u64,
+    misses: u64,
+}
+
+impl SoftTlb {
+    /// Creates an empty TLB.
+    #[must_use]
+    pub fn new() -> Self {
+        SoftTlb::default()
+    }
+
+    /// Looks up the translation of the page containing `va`.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<(PhysAddr, PteFlags)> {
+        self.lookups += 1;
+        let hit = self.map.get(&va.vpn()).copied();
+        if hit.is_none() {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Installs a translation (page-granular).
+    pub fn insert(&mut self, va: VirtAddr, page_pa: PhysAddr, flags: PteFlags) {
+        self.map.insert(va.vpn(), (page_pa.align_down(PAGE_SIZE), flags));
+    }
+
+    /// Drops one page's translation.
+    pub fn invalidate(&mut self, va: VirtAddr) {
+        self.map.remove(&va.vpn());
+    }
+
+    /// Drops everything (migration, exec).
+    pub fn flush(&mut self) {
+        self.map.clear();
+    }
+
+    /// Lifetime miss ratio (diagnostics).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+
+    /// Number of cached translations.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Base of the mmap area used by the bump allocator.
+pub const MMAP_BASE: u64 = 0x4000_0000;
+
+/// A (single-threaded, migratable) process.
+#[derive(Debug)]
+pub struct Process {
+    /// The process id.
+    pub pid: Pid,
+    /// The kernel the process started on ("origin", §6.4).
+    pub origin: DomainId,
+    /// The kernel currently executing it.
+    pub current: DomainId,
+    /// The authoritative VMA list (owned by the origin kernel; Stramash
+    /// lets the remote kernel walk it directly, §6.4).
+    pub vmas: VmaTree,
+    /// Per-domain page tables (same VA space, per-ISA formats).
+    pub page_tables: [Option<PageTable>; 2],
+    /// Per-domain software TLBs.
+    pub tlbs: [SoftTlb; 2],
+    /// Physical address of the shared VMA-lock word.
+    pub vma_lock: PhysAddr,
+    /// Physical address of the Stramash-PTL cross-ISA page-table lock.
+    pub page_table_lock: PhysAddr,
+    /// Bump cursor for `mmap`.
+    mmap_cursor: u64,
+}
+
+impl Process {
+    /// Creates a process on `origin` with the given page table and lock
+    /// words (allocated by the boot/OS layer in the origin's memory).
+    #[must_use]
+    pub fn new(
+        pid: Pid,
+        origin: DomainId,
+        origin_pt: PageTable,
+        vma_lock: PhysAddr,
+        page_table_lock: PhysAddr,
+    ) -> Self {
+        let mut page_tables = [None, None];
+        page_tables[origin.index()] = Some(origin_pt);
+        Process {
+            pid,
+            origin,
+            current: origin,
+            vmas: VmaTree::new(),
+            page_tables,
+            tlbs: [SoftTlb::new(), SoftTlb::new()],
+            vma_lock,
+            page_table_lock,
+            mmap_cursor: MMAP_BASE,
+        }
+    }
+
+    /// The page table of `domain`, if one exists yet.
+    #[must_use]
+    pub fn page_table(&self, domain: DomainId) -> Option<&PageTable> {
+        self.page_tables[domain.index()].as_ref()
+    }
+
+    /// The TLB of `domain`.
+    pub fn tlb_mut(&mut self, domain: DomainId) -> &mut SoftTlb {
+        &mut self.tlbs[domain.index()]
+    }
+
+    /// Reserves `len` bytes of anonymous VA space (page-rounded) and
+    /// records the VMA. Pages populate lazily on fault.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::vma::VmaError`] (cannot happen with the bump
+    /// cursor unless the cursor overflowed into an existing area).
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        prot: VmaProt,
+        kind: VmaKind,
+    ) -> Result<VirtAddr, crate::vma::VmaError> {
+        let start = VirtAddr::new(self.mmap_cursor);
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let end = start.offset(len);
+        self.vmas.insert(Vma { start, end, prot, kind })?;
+        // Leave a guard page between areas.
+        self.mmap_cursor = end.raw() + PAGE_SIZE;
+        Ok(start)
+    }
+
+    /// Flushes the current domain's TLB and switches domains (the
+    /// scheduler half of migration; OS layers add protocol costs).
+    pub fn switch_domain(&mut self, to: DomainId) {
+        self.tlbs[self.current.index()].flush();
+        self.current = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameAllocator;
+    use stramash_isa::IsaKind;
+    use stramash_mem::MemorySystem;
+    use stramash_sim::SimConfig;
+
+    fn proc() -> Process {
+        let mut mem = MemorySystem::new(SimConfig::big_pair()).unwrap();
+        let mut frames = FrameAllocator::new();
+        frames.add_region(PhysAddr::new(0x10_0000), 1 << 20).unwrap();
+        let pt = PageTable::new(&mut mem, &mut frames, IsaKind::X86_64).unwrap();
+        Process::new(Pid(1), DomainId::X86, pt, PhysAddr::new(0x1000), PhysAddr::new(0x1008))
+    }
+
+    #[test]
+    fn new_process_has_origin_pt_only() {
+        let p = proc();
+        assert!(p.page_table(DomainId::X86).is_some());
+        assert!(p.page_table(DomainId::ARM).is_none());
+        assert_eq!(p.current, DomainId::X86);
+        assert_eq!(p.origin, DomainId::X86);
+    }
+
+    #[test]
+    fn mmap_bumps_with_guard_pages() {
+        let mut p = proc();
+        let a = p.mmap(10_000, VmaProt::rw(), VmaKind::Anon).unwrap();
+        let b = p.mmap(4096, VmaProt::rw(), VmaKind::Anon).unwrap();
+        assert_eq!(a.raw(), MMAP_BASE);
+        // 10 000 B rounds to 3 pages + 1 guard page.
+        assert_eq!(b.raw(), MMAP_BASE + 4 * PAGE_SIZE);
+        assert_eq!(p.vmas.len(), 2);
+        assert!(p.vmas.find(a.offset(9_999)).is_some());
+        assert!(p.vmas.find(a.offset(3 * PAGE_SIZE)).is_none(), "guard page unmapped");
+    }
+
+    #[test]
+    fn tlb_hit_miss_and_flush() {
+        let mut tlb = SoftTlb::new();
+        let va = VirtAddr::new(0x4000_0123);
+        assert!(tlb.lookup(va).is_none());
+        tlb.insert(va, PhysAddr::new(0x55_4000), PteFlags::user_data());
+        let (pa, fl) = tlb.lookup(va).unwrap();
+        assert_eq!(pa.raw(), 0x55_4000);
+        assert!(fl.writable);
+        // Same page, different offset: still a hit.
+        assert!(tlb.lookup(VirtAddr::new(0x4000_0fff)).is_some());
+        assert!(tlb.lookup(VirtAddr::new(0x4000_1000)).is_none());
+        assert_eq!(tlb.entries(), 1);
+        tlb.flush();
+        assert!(tlb.lookup(va).is_none());
+        assert!(tlb.miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn tlb_invalidate_single_page() {
+        let mut tlb = SoftTlb::new();
+        tlb.insert(VirtAddr::new(0x1000), PhysAddr::new(0x9000), PteFlags::user_data());
+        tlb.insert(VirtAddr::new(0x2000), PhysAddr::new(0xA000), PteFlags::user_data());
+        tlb.invalidate(VirtAddr::new(0x1000));
+        assert!(tlb.lookup(VirtAddr::new(0x1000)).is_none());
+        assert!(tlb.lookup(VirtAddr::new(0x2000)).is_some());
+    }
+
+    #[test]
+    fn switch_domain_flushes_tlb() {
+        let mut p = proc();
+        p.tlb_mut(DomainId::X86).insert(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x9000),
+            PteFlags::user_data(),
+        );
+        p.switch_domain(DomainId::ARM);
+        assert_eq!(p.current, DomainId::ARM);
+        assert_eq!(p.tlbs[DomainId::X86.index()].entries(), 0);
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(7).to_string(), "pid:7");
+    }
+}

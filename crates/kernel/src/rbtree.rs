@@ -1,0 +1,684 @@
+//! A red-black tree, the structure the paper's kernels keep their VMA
+//! lists in (§6.4: "the VMA lists are still maintained using the
+//! RB-tree structure not a Maple-tree").
+//!
+//! Arena-backed (indices instead of pointers — no `unsafe`), with the
+//! classic CLRS insert/delete fixups. [`crate::vma::VmaTree`] builds on
+//! the ordered-map interface; `floor`/`ceil` provide the fault path's
+//! "VMA containing this address" query.
+
+use std::cmp::Ordering;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    color: Color,
+    parent: Option<usize>,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// An ordered map backed by a red-black tree.
+///
+/// # Examples
+///
+/// ```
+/// use stramash_kernel::rbtree::RbTree;
+///
+/// let mut tree = RbTree::new();
+/// tree.insert(30u64, "c");
+/// tree.insert(10, "a");
+/// tree.insert(20, "b");
+/// assert_eq!(tree.get(&20), Some(&"b"));
+/// // The VMA lookup pattern: the greatest key ≤ the probe.
+/// assert_eq!(tree.floor(&25), Some((&20, &"b")));
+/// assert_eq!(tree.floor(&5), None);
+/// assert_eq!(tree.remove(&10), Some("a"));
+/// assert_eq!(tree.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: Option<usize>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<K, V> Default for RbTree<K, V> {
+    fn default() -> Self {
+        RbTree { nodes: Vec::new(), root: None, free: Vec::new(), len: 0 }
+    }
+}
+
+impl<K: Ord, V> RbTree<K, V> {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        RbTree { nodes: Vec::new(), root: None, free: Vec::new(), len: 0 }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn color(&self, n: Option<usize>) -> Color {
+        // Nil nodes are black.
+        n.map_or(Color::Black, |i| self.nodes[i].color)
+    }
+
+    fn find(&self, key: &K) -> Option<usize> {
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            match key.cmp(&self.nodes[i].key) {
+                Ordering::Less => cur = self.nodes[i].left,
+                Ordering::Greater => cur = self.nodes[i].right,
+                Ordering::Equal => return Some(i),
+            }
+        }
+        None
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key).map(|i| &self.nodes[i].value)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find(key).map(|i| &mut self.nodes[i].value)
+    }
+
+    /// Whether the key is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// The entry with the greatest key `<= key` (the VMA fault-path
+    /// query).
+    #[must_use]
+    pub fn floor(&self, key: &K) -> Option<(&K, &V)> {
+        let mut cur = self.root;
+        let mut best = None;
+        while let Some(i) = cur {
+            match self.nodes[i].key.cmp(key) {
+                Ordering::Less | Ordering::Equal => {
+                    best = Some(i);
+                    cur = self.nodes[i].right;
+                }
+                Ordering::Greater => cur = self.nodes[i].left,
+            }
+        }
+        best.map(|i| (&self.nodes[i].key, &self.nodes[i].value))
+    }
+
+    /// The entry with the smallest key `>= key`.
+    #[must_use]
+    pub fn ceil(&self, key: &K) -> Option<(&K, &V)> {
+        let mut cur = self.root;
+        let mut best = None;
+        while let Some(i) = cur {
+            match self.nodes[i].key.cmp(key) {
+                Ordering::Greater | Ordering::Equal => {
+                    best = Some(i);
+                    cur = self.nodes[i].left;
+                }
+                Ordering::Less => cur = self.nodes[i].right,
+            }
+        }
+        best.map(|i| (&self.nodes[i].key, &self.nodes[i].value))
+    }
+
+    /// In-order iteration.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            stack.push(i);
+            cur = self.nodes[i].left;
+        }
+        Iter { tree: self, stack }
+    }
+
+    fn alloc_node(&mut self, node: Node<K, V>) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn rotate_left(&mut self, x: usize) {
+        let y = self.nodes[x].right.expect("rotate_left needs a right child");
+        let y_left = self.nodes[y].left;
+        self.nodes[x].right = y_left;
+        if let Some(yl) = y_left {
+            self.nodes[yl].parent = Some(x);
+        }
+        let x_parent = self.nodes[x].parent;
+        self.nodes[y].parent = x_parent;
+        match x_parent {
+            None => self.root = Some(y),
+            Some(p) => {
+                if self.nodes[p].left == Some(x) {
+                    self.nodes[p].left = Some(y);
+                } else {
+                    self.nodes[p].right = Some(y);
+                }
+            }
+        }
+        self.nodes[y].left = Some(x);
+        self.nodes[x].parent = Some(y);
+    }
+
+    fn rotate_right(&mut self, x: usize) {
+        let y = self.nodes[x].left.expect("rotate_right needs a left child");
+        let y_right = self.nodes[y].right;
+        self.nodes[x].left = y_right;
+        if let Some(yr) = y_right {
+            self.nodes[yr].parent = Some(x);
+        }
+        let x_parent = self.nodes[x].parent;
+        self.nodes[y].parent = x_parent;
+        match x_parent {
+            None => self.root = Some(y),
+            Some(p) => {
+                if self.nodes[p].left == Some(x) {
+                    self.nodes[p].left = Some(y);
+                } else {
+                    self.nodes[p].right = Some(y);
+                }
+            }
+        }
+        self.nodes[y].right = Some(x);
+        self.nodes[x].parent = Some(y);
+    }
+
+    /// Inserts a key-value pair; returns the previous value for the key,
+    /// if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        // BST descent.
+        let mut parent = None;
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            parent = Some(i);
+            match key.cmp(&self.nodes[i].key) {
+                Ordering::Less => cur = self.nodes[i].left,
+                Ordering::Greater => cur = self.nodes[i].right,
+                Ordering::Equal => {
+                    return Some(std::mem::replace(&mut self.nodes[i].value, value));
+                }
+            }
+        }
+        let n = self.alloc_node(Node {
+            key,
+            value,
+            color: Color::Red,
+            parent,
+            left: None,
+            right: None,
+        });
+        match parent {
+            None => self.root = Some(n),
+            Some(p) => {
+                if self.nodes[n].key < self.nodes[p].key {
+                    self.nodes[p].left = Some(n);
+                } else {
+                    self.nodes[p].right = Some(n);
+                }
+            }
+        }
+        self.len += 1;
+        self.insert_fixup(n);
+        None
+    }
+
+    fn insert_fixup(&mut self, mut z: usize) {
+        while let Some(p) = self.nodes[z].parent {
+            if self.nodes[p].color == Color::Black {
+                break;
+            }
+            let g = self.nodes[p].parent.expect("red node has a parent");
+            if Some(p) == self.nodes[g].left {
+                let uncle = self.nodes[g].right;
+                if self.color(uncle) == Color::Red {
+                    let u = uncle.expect("red uncle exists");
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[u].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    z = g;
+                } else {
+                    if Some(z) == self.nodes[p].right {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p = self.nodes[z].parent.expect("restructured parent");
+                    let g = self.nodes[p].parent.expect("restructured grandparent");
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    self.rotate_right(g);
+                }
+            } else {
+                let uncle = self.nodes[g].left;
+                if self.color(uncle) == Color::Red {
+                    let u = uncle.expect("red uncle exists");
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[u].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    z = g;
+                } else {
+                    if Some(z) == self.nodes[p].left {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p = self.nodes[z].parent.expect("restructured parent");
+                    let g = self.nodes[p].parent.expect("restructured grandparent");
+                    self.nodes[p].color = Color::Black;
+                    self.nodes[g].color = Color::Red;
+                    self.rotate_left(g);
+                }
+            }
+        }
+        let r = self.root.expect("non-empty after insert");
+        self.nodes[r].color = Color::Black;
+    }
+
+    fn minimum(&self, mut i: usize) -> usize {
+        while let Some(l) = self.nodes[i].left {
+            i = l;
+        }
+        i
+    }
+
+    /// Replaces the subtree rooted at `u` with the one rooted at `v`.
+    fn transplant(&mut self, u: usize, v: Option<usize>) {
+        let up = self.nodes[u].parent;
+        match up {
+            None => self.root = v,
+            Some(p) => {
+                if self.nodes[p].left == Some(u) {
+                    self.nodes[p].left = v;
+                } else {
+                    self.nodes[p].right = v;
+                }
+            }
+        }
+        if let Some(v) = v {
+            self.nodes[v].parent = up;
+        }
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let z = self.find(key)?;
+        self.len -= 1;
+
+        // CLRS delete. `fix_at` is the child that replaced the spliced
+        // node (possibly nil), tracked as (parent, child) so nil works.
+        let mut removed_color = self.nodes[z].color;
+        let (fix_child, fix_parent): (Option<usize>, Option<usize>);
+
+        if self.nodes[z].left.is_none() {
+            fix_child = self.nodes[z].right;
+            fix_parent = self.nodes[z].parent;
+            self.transplant(z, self.nodes[z].right);
+        } else if self.nodes[z].right.is_none() {
+            fix_child = self.nodes[z].left;
+            fix_parent = self.nodes[z].parent;
+            self.transplant(z, self.nodes[z].left);
+        } else {
+            // Two children: splice the successor y into z's place.
+            let y = self.minimum(self.nodes[z].right.expect("checked"));
+            removed_color = self.nodes[y].color;
+            fix_child = self.nodes[y].right;
+            if self.nodes[y].parent == Some(z) {
+                fix_parent = Some(y);
+            } else {
+                fix_parent = self.nodes[y].parent;
+                self.transplant(y, self.nodes[y].right);
+                let zr = self.nodes[z].right;
+                self.nodes[y].right = zr;
+                if let Some(zr) = zr {
+                    self.nodes[zr].parent = Some(y);
+                }
+            }
+            self.transplant(z, Some(y));
+            let zl = self.nodes[z].left;
+            self.nodes[y].left = zl;
+            if let Some(zl) = zl {
+                self.nodes[zl].parent = Some(y);
+            }
+            self.nodes[y].color = self.nodes[z].color;
+        }
+
+        if removed_color == Color::Black {
+            self.delete_fixup(fix_child, fix_parent);
+        }
+
+        // The node is now unreachable from the tree; reclaim its arena
+        // slot and move the value out.
+        self.free.push(z);
+        let value = self.take_value(z);
+        Some(value)
+    }
+
+    /// Moves the value out of a dead arena slot (already unreachable
+    /// from the tree): the slot is swapped with the arena's last node,
+    /// whose links are patched, and the dead node is popped.
+    fn take_value(&mut self, i: usize) -> V {
+        if i + 1 == self.nodes.len() {
+            self.free.retain(|&f| f != i);
+            return self.nodes.pop().expect("arena non-empty").value;
+        }
+        // Swap with the last node and patch that node's links.
+        let last = self.nodes.len() - 1;
+        self.nodes.swap(i, last);
+        // Fix references to `last`, which now lives at `i`.
+        let (parent, left, right) = {
+            let n = &self.nodes[i];
+            (n.parent, n.left, n.right)
+        };
+        match parent {
+            None => {
+                if self.root == Some(last) {
+                    self.root = Some(i);
+                }
+            }
+            Some(p) => {
+                if self.nodes[p].left == Some(last) {
+                    self.nodes[p].left = Some(i);
+                } else if self.nodes[p].right == Some(last) {
+                    self.nodes[p].right = Some(i);
+                }
+            }
+        }
+        if let Some(l) = left {
+            self.nodes[l].parent = Some(i);
+        }
+        if let Some(r) = right {
+            self.nodes[r].parent = Some(i);
+        }
+        self.free.retain(|&f| f != i);
+        self.nodes.pop().expect("arena non-empty").value
+    }
+
+    fn delete_fixup(&mut self, mut x: Option<usize>, mut parent: Option<usize>) {
+        while x != self.root && self.color(x) == Color::Black {
+            let Some(p) = parent else { break };
+            if x == self.nodes[p].left {
+                let mut w = self.nodes[p].right.expect("sibling exists in valid RB tree");
+                if self.nodes[w].color == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[p].color = Color::Red;
+                    self.rotate_left(p);
+                    w = self.nodes[p].right.expect("sibling after rotation");
+                }
+                if self.color(self.nodes[w].left) == Color::Black
+                    && self.color(self.nodes[w].right) == Color::Black
+                {
+                    self.nodes[w].color = Color::Red;
+                    x = Some(p);
+                    parent = self.nodes[p].parent;
+                } else {
+                    if self.color(self.nodes[w].right) == Color::Black {
+                        if let Some(wl) = self.nodes[w].left {
+                            self.nodes[wl].color = Color::Black;
+                        }
+                        self.nodes[w].color = Color::Red;
+                        self.rotate_right(w);
+                        w = self.nodes[p].right.expect("sibling after rotation");
+                    }
+                    self.nodes[w].color = self.nodes[p].color;
+                    self.nodes[p].color = Color::Black;
+                    if let Some(wr) = self.nodes[w].right {
+                        self.nodes[wr].color = Color::Black;
+                    }
+                    self.rotate_left(p);
+                    x = self.root;
+                    parent = None;
+                }
+            } else {
+                let mut w = self.nodes[p].left.expect("sibling exists in valid RB tree");
+                if self.nodes[w].color == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[p].color = Color::Red;
+                    self.rotate_right(p);
+                    w = self.nodes[p].left.expect("sibling after rotation");
+                }
+                if self.color(self.nodes[w].right) == Color::Black
+                    && self.color(self.nodes[w].left) == Color::Black
+                {
+                    self.nodes[w].color = Color::Red;
+                    x = Some(p);
+                    parent = self.nodes[p].parent;
+                } else {
+                    if self.color(self.nodes[w].left) == Color::Black {
+                        if let Some(wr) = self.nodes[w].right {
+                            self.nodes[wr].color = Color::Black;
+                        }
+                        self.nodes[w].color = Color::Red;
+                        self.rotate_left(w);
+                        w = self.nodes[p].left.expect("sibling after rotation");
+                    }
+                    self.nodes[w].color = self.nodes[p].color;
+                    self.nodes[p].color = Color::Black;
+                    if let Some(wl) = self.nodes[w].left {
+                        self.nodes[wl].color = Color::Black;
+                    }
+                    self.rotate_right(p);
+                    x = self.root;
+                    parent = None;
+                }
+            }
+        }
+        if let Some(x) = x {
+            self.nodes[x].color = Color::Black;
+        }
+    }
+
+    /// Checks every red-black invariant (tests and debug assertions):
+    /// root is black, no red node has a red child, every root-to-nil
+    /// path has the same black height, and keys are in BST order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn assert_invariants(&self) {
+        if let Some(r) = self.root {
+            assert_eq!(self.nodes[r].color, Color::Black, "root must be black");
+            assert_eq!(self.nodes[r].parent, None, "root has no parent");
+            self.check_subtree(r);
+        }
+        assert_eq!(self.iter().count(), self.len, "len must match iteration");
+    }
+
+    /// Returns the black height of the subtree.
+    fn check_subtree(&self, i: usize) -> usize {
+        let n = &self.nodes[i];
+        if n.color == Color::Red {
+            assert_eq!(self.color(n.left), Color::Black, "red node with red left child");
+            assert_eq!(self.color(n.right), Color::Black, "red node with red right child");
+        }
+        let lh = match n.left {
+            Some(l) => {
+                assert!(self.nodes[l].key < n.key, "BST order violated (left)");
+                assert_eq!(self.nodes[l].parent, Some(i), "broken parent link (left)");
+                self.check_subtree(l)
+            }
+            None => 1,
+        };
+        let rh = match n.right {
+            Some(r) => {
+                assert!(self.nodes[r].key > n.key, "BST order violated (right)");
+                assert_eq!(self.nodes[r].parent, Some(i), "broken parent link (right)");
+                self.check_subtree(r)
+            }
+            None => 1,
+        };
+        assert_eq!(lh, rh, "black heights differ");
+        lh + usize::from(n.color == Color::Black)
+    }
+}
+
+/// In-order iterator over an [`RbTree`].
+#[derive(Debug)]
+pub struct Iter<'a, K, V> {
+    tree: &'a RbTree<K, V>,
+    stack: Vec<usize>,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let i = self.stack.pop()?;
+        let mut cur = self.tree.nodes[i].right;
+        while let Some(c) = cur {
+            self.stack.push(c);
+            cur = self.tree.nodes[c].left;
+        }
+        Some((&self.tree.nodes[i].key, &self.tree.nodes[i].value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_sim::rng::SimRng;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = RbTree::new();
+        assert!(t.is_empty());
+        for k in [5u64, 3, 8, 1, 4, 7, 9, 2, 6] {
+            assert_eq!(t.insert(k, k * 10), None);
+            t.assert_invariants();
+        }
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(&4), Some(&40));
+        assert_eq!(t.insert(4, 44), Some(40), "re-insert returns the old value");
+        assert_eq!(t.len(), 9);
+        for k in [1u64, 9, 5, 3, 7] {
+            assert!(t.remove(&k).is_some());
+            t.assert_invariants();
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.remove(&1), None);
+    }
+
+    #[test]
+    fn in_order_iteration_is_sorted() {
+        let mut t = RbTree::new();
+        for k in [9u64, 2, 7, 4, 1, 8, 3, 6, 5] {
+            t.insert(k, ());
+        }
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        let mut t = RbTree::new();
+        for k in [10u64, 20, 30] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.floor(&25).map(|(k, _)| *k), Some(20));
+        assert_eq!(t.floor(&20).map(|(k, _)| *k), Some(20));
+        assert_eq!(t.floor(&9), None);
+        assert_eq!(t.ceil(&25).map(|(k, _)| *k), Some(30));
+        assert_eq!(t.ceil(&30).map(|(k, _)| *k), Some(30));
+        assert_eq!(t.ceil(&31), None);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = RbTree::new();
+        t.insert(1u64, 10);
+        *t.get_mut(&1).unwrap() += 5;
+        assert_eq!(t.get(&1), Some(&15));
+        assert!(t.get_mut(&2).is_none());
+    }
+
+    #[test]
+    fn randomized_against_btreemap_model() {
+        // 20k random ops cross-checked against std's BTreeMap, with the
+        // RB invariants verified periodically.
+        let mut rng = SimRng::new(0xB7EE);
+        let mut tree: RbTree<u64, u64> = RbTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for step in 0..20_000u32 {
+            let key = rng.gen_range(512);
+            match rng.gen_range(10) {
+                0..=4 => {
+                    let v = rng.next_u64();
+                    assert_eq!(tree.insert(key, v), model.insert(key, v), "step {step}");
+                }
+                5..=7 => {
+                    assert_eq!(tree.remove(&key), model.remove(&key), "step {step}");
+                }
+                8 => {
+                    assert_eq!(tree.get(&key), model.get(&key), "step {step}");
+                    let floor = tree.floor(&key).map(|(k, v)| (*k, *v));
+                    let model_floor = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                    assert_eq!(floor, model_floor, "floor mismatch at step {step}");
+                }
+                _ => {
+                    let ceil = tree.ceil(&key).map(|(k, v)| (*k, *v));
+                    let model_ceil = model.range(key..).next().map(|(k, v)| (*k, *v));
+                    assert_eq!(ceil, model_ceil, "ceil mismatch at step {step}");
+                }
+            }
+            assert_eq!(tree.len(), model.len());
+            if step % 512 == 0 {
+                tree.assert_invariants();
+            }
+        }
+        tree.assert_invariants();
+        let tree_items: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let model_items: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(tree_items, model_items);
+    }
+
+    #[test]
+    fn sequential_and_reverse_insertions_stay_balanced() {
+        // Ascending and descending insertions are the classic BST
+        // degeneration cases; the RB invariants bound the height.
+        for ascending in [true, false] {
+            let mut t = RbTree::new();
+            for i in 0..1024u64 {
+                let k = if ascending { i } else { 1023 - i };
+                t.insert(k, ());
+            }
+            t.assert_invariants();
+            assert_eq!(t.len(), 1024);
+            // Drain every other key, then the rest.
+            for i in (0..1024u64).step_by(2) {
+                assert!(t.remove(&i).is_some());
+            }
+            t.assert_invariants();
+            for i in (1..1024u64).step_by(2) {
+                assert!(t.remove(&i).is_some());
+            }
+            assert!(t.is_empty());
+            t.assert_invariants();
+        }
+    }
+}

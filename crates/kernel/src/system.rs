@@ -1,0 +1,832 @@
+//! The OS-system abstraction shared by every kernel design.
+//!
+//! [`BaseSystem`] owns the simulated machine (memory system, timebase,
+//! IPI fabric, messaging layer, the two kernel instances, and the
+//! process table). The [`OsSystem`] trait adds the design-specific
+//! policies on top — page-fault handling, migration, and futexes — and
+//! provides the common execution primitives (translate / load / store /
+//! retire instructions) that the workloads run against.
+//!
+//! Three implementations exist in the workspace:
+//!
+//! * [`VanillaSystem`] (here) — a single-kernel baseline; the paper's
+//!   "Vanilla" normalisation case (application runs locally, §9.2.1),
+//! * `popcorn_os::PopcornSystem` — the multiple-kernel baseline,
+//! * `stramash::StramashSystem` — the fused-kernel OS.
+
+use crate::addr::{VirtAddr, PAGE_SIZE};
+use crate::boot::{boot_pair, BootConfig, BootedPlatform};
+use crate::device::{DeviceError, DeviceRegistry};
+use crate::frame::FrameError;
+use crate::kernel::KernelInstance;
+use crate::msg::MessagingLayer;
+use crate::pagetable::{MapError, PageTable};
+use crate::process::{Pid, Process};
+use crate::vma::{VmaError, VmaKind, VmaProt};
+use std::collections::HashMap;
+use std::fmt;
+use stramash_isa::PteFlags;
+use stramash_mem::{MemorySystem, PhysAddr, PhysLayout};
+use stramash_sim::config::ConfigError;
+use stramash_sim::ipi::IpiFabric;
+use stramash_sim::{Cycles, DomainId, SimConfig, Timebase};
+
+/// Trap entry/exit plus generic fault-path bookkeeping, charged for
+/// every page fault regardless of how it is resolved.
+pub const FAULT_TRAP_COST: Cycles = Cycles::new(600);
+
+/// Scheduler/context-switch cost of resuming a migrated thread.
+pub const MIGRATION_SCHED_COST: Cycles = Cycles::new(1_500);
+
+/// Errors surfaced by OS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// Unknown pid.
+    NoSuchProcess(Pid),
+    /// Access outside any VMA.
+    Segfault {
+        /// Faulting process.
+        pid: Pid,
+        /// Faulting address.
+        va: VirtAddr,
+    },
+    /// Write to a read-only VMA.
+    PermissionDenied {
+        /// Faulting process.
+        pid: Pid,
+        /// Faulting address.
+        va: VirtAddr,
+    },
+    /// Out of physical frames.
+    Frame(FrameError),
+    /// Page-table mutation failed.
+    Map(MapError),
+    /// VMA bookkeeping failed.
+    Vma(VmaError),
+    /// This system does not support cross-ISA migration.
+    MigrationUnsupported,
+    /// Platform configuration was invalid.
+    Config(ConfigError),
+    /// MMIO device access failed.
+    Device(DeviceError),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            OsError::Segfault { pid, va } => write!(f, "segmentation fault: {pid} at {va}"),
+            OsError::PermissionDenied { pid, va } => {
+                write!(f, "permission denied: {pid} writing {va}")
+            }
+            OsError::Frame(e) => write!(f, "frame allocation failed: {e}"),
+            OsError::Map(e) => write!(f, "page-table update failed: {e}"),
+            OsError::Vma(e) => write!(f, "vma update failed: {e}"),
+            OsError::MigrationUnsupported => f.write_str("this OS cannot migrate across ISAs"),
+            OsError::Config(e) => write!(f, "bad configuration: {e}"),
+            OsError::Device(e) => write!(f, "device access failed: {e}"),
+        }
+    }
+}
+
+impl From<DeviceError> for OsError {
+    fn from(e: DeviceError) -> Self {
+        OsError::Device(e)
+    }
+}
+
+impl std::error::Error for OsError {}
+
+impl From<FrameError> for OsError {
+    fn from(e: FrameError) -> Self {
+        OsError::Frame(e)
+    }
+}
+
+impl From<MapError> for OsError {
+    fn from(e: MapError) -> Self {
+        OsError::Map(e)
+    }
+}
+
+impl From<VmaError> for OsError {
+    fn from(e: VmaError) -> Self {
+        OsError::Vma(e)
+    }
+}
+
+impl From<ConfigError> for OsError {
+    fn from(e: ConfigError) -> Self {
+        OsError::Config(e)
+    }
+}
+
+/// The simulated machine plus OS-neutral kernel state.
+#[derive(Debug)]
+pub struct BaseSystem {
+    /// The coherent memory system (caches, DRAM, snoops).
+    pub mem: MemorySystem,
+    /// Per-domain icount clocks.
+    pub timebase: Timebase,
+    /// IPI delivery.
+    pub ipi: IpiFabric,
+    /// Inter-kernel messaging.
+    pub msg: MessagingLayer,
+    /// The §7.3 perf+icount session: OS layers record a marker at every
+    /// migration so per-phase, per-domain execution can be reported.
+    pub perf: stramash_sim::PerfSession,
+    /// The two kernel instances.
+    pub kernels: [KernelInstance; 2],
+    /// Shared MMIO devices (§7.4): all accessible from both instances,
+    /// with redirection for the non-owner.
+    pub devices: DeviceRegistry,
+    /// Start of the global pool arena (after the message rings).
+    pub pool_start: PhysAddr,
+    /// End of the global pool arena.
+    pub pool_end: PhysAddr,
+    processes: HashMap<u32, Process>,
+    next_pid: u32,
+    /// Per-domain code region base for instruction-fetch modelling.
+    code_base: [PhysAddr; 2],
+    /// Modelled code working-set bytes.
+    code_bytes: u64,
+    /// One modelled I-fetch per this many retired instructions.
+    ifetch_interval: u64,
+    ip: u64,
+}
+
+impl BaseSystem {
+    /// Boots the platform for `cfg` over the Figure 4 layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::Config`] if the configuration is inconsistent.
+    pub fn new(cfg: SimConfig, boot: &BootConfig) -> Result<Self, OsError> {
+        let layout = PhysLayout::paper_default();
+        let mem = MemorySystem::with_layout(cfg.clone(), layout.clone())?;
+        let BootedPlatform { kernels, msg, ipi, pool_start, pool_end } =
+            boot_pair(&cfg, &layout, boot);
+        let code_base = [
+            layout.private_region(DomainId::X86).start.offset(1 << 20),
+            layout.private_region(DomainId::ARM).start.offset(1 << 20),
+        ];
+        let mut perf = stramash_sim::PerfSession::new();
+        let timebase = Timebase::new();
+        perf.sample("start", &timebase);
+        Ok(BaseSystem {
+            mem,
+            timebase,
+            ipi,
+            msg,
+            perf,
+            kernels,
+            devices: DeviceRegistry::paper_platform(),
+            pool_start,
+            pool_end,
+            processes: HashMap::new(),
+            next_pid: 1,
+            code_base,
+            code_bytes: 32 << 10,
+            ifetch_interval: 64,
+            ip: 0,
+        })
+    }
+
+    /// Spawns a process on `origin` with an empty address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-allocation failures.
+    pub fn spawn(&mut self, origin: DomainId) -> Result<Pid, OsError> {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let kernel = &mut self.kernels[origin.index()];
+        let pt = PageTable::new(&mut self.mem, &mut kernel.frames, kernel.isa)?;
+        // One frame of lock words: VMA lock and the Stramash-PTL live on
+        // separate cache lines so cross-ISA CAS traffic does not
+        // false-share.
+        let lock_frame = kernel.frames.alloc()?;
+        self.mem.store_mut().fill(lock_frame, PAGE_SIZE, 0);
+        let proc =
+            Process::new(pid, origin, pt, lock_frame, lock_frame.offset(64));
+        self.processes.insert(pid.0, proc);
+        Ok(pid)
+    }
+
+    /// Looks up a process.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] when absent.
+    pub fn process(&self, pid: Pid) -> Result<&Process, OsError> {
+        self.processes.get(&pid.0).ok_or(OsError::NoSuchProcess(pid))
+    }
+
+    /// Mutable process lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] when absent.
+    pub fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, OsError> {
+        self.processes.get_mut(&pid.0).ok_or(OsError::NoSuchProcess(pid))
+    }
+
+    /// Charges `cycles` of kernel/memory overhead to `domain`'s clock.
+    pub fn charge(&mut self, domain: DomainId, cycles: Cycles) {
+        self.timebase.clock_mut(domain).add_memory(cycles);
+    }
+
+    /// Retires `insns` instructions on `domain`, modelling periodic
+    /// instruction fetches over a small code working set.
+    pub fn retire(&mut self, domain: DomainId, insns: u64) {
+        self.timebase.clock_mut(domain).retire(insns);
+        self.mem.stats_mut(domain).instructions += insns;
+        let fetches = insns / self.ifetch_interval;
+        let mut cycles = Cycles::ZERO;
+        for _ in 0..fetches {
+            let addr = self.code_base[domain.index()].offset(self.ip % self.code_bytes);
+            self.ip += 64;
+            cycles += self
+                .mem
+                .access(
+                    domain,
+                    addr,
+                    stramash_mem::Access::Read,
+                    stramash_mem::AccessKind::Instruction,
+                )
+                .cycles;
+        }
+        self.charge(domain, cycles);
+    }
+
+    /// Reads an MMIO device register as `domain`, charging the access
+    /// (with §7.4's redirection cost for non-owners) to its clock.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Device`] for unmapped addresses.
+    pub fn mmio_read(&mut self, domain: DomainId, addr: PhysAddr) -> Result<u64, OsError> {
+        let (value, cycles) = self.devices.mmio_read(domain, addr)?;
+        self.charge(domain, cycles);
+        Ok(value)
+    }
+
+    /// Writes an MMIO device register as `domain`.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Device`] for unmapped addresses.
+    pub fn mmio_write(&mut self, domain: DomainId, addr: PhysAddr, value: u64) -> Result<(), OsError> {
+        let cycles = self.devices.mmio_write(domain, addr, value)?;
+        self.charge(domain, cycles);
+        Ok(())
+    }
+
+    /// Records a perf marker for a migration between domains.
+    pub fn record_migration(&mut self, from: DomainId, to: DomainId) {
+        let label = format!("migrate {from}->{to}");
+        self.perf.sample(label, &self.timebase);
+    }
+
+    /// Copies each domain's accumulated runtime into its statistics
+    /// block (call before printing reports).
+    pub fn sync_runtime_stats(&mut self) {
+        for d in DomainId::ALL {
+            let cycles = self.timebase.clock(d).cycles();
+            self.mem.stats_mut(d).runtime = cycles;
+        }
+    }
+
+    /// Total runtime over both domains (the paper's final-runtime
+    /// formula, Artifact Appendix A.5).
+    #[must_use]
+    pub fn total_runtime(&self) -> Cycles {
+        self.timebase.total_runtime()
+    }
+}
+
+/// Runs a full protocol round-trip over the messaging layer: `from`
+/// sends `req`, the peer receives it, spends `handler_cost` servicing
+/// it, and answers `resp`. Each side's cycles land on its own clock;
+/// the total added is returned.
+pub fn protocol_round_trip(
+    base: &mut BaseSystem,
+    from: DomainId,
+    req: crate::msg::Message,
+    resp: crate::msg::Message,
+    handler_cost: Cycles,
+) -> Cycles {
+    let to = from.other();
+    let mut c_from = base.msg.send(&mut base.mem, &mut base.ipi, from, req);
+    let mut c_to = base.msg.receive(&mut base.mem, to, req);
+    c_to += handler_cost;
+    c_to += base.msg.send(&mut base.mem, &mut base.ipi, to, resp);
+    c_from += base.msg.receive(&mut base.mem, from, resp);
+    base.charge(from, c_from);
+    base.charge(to, c_to);
+    c_from + c_to
+}
+
+/// The OS-design abstraction: policy hooks plus provided execution
+/// primitives.
+pub trait OsSystem {
+    /// Shared machine state.
+    fn base(&self) -> &BaseSystem;
+
+    /// Mutable shared machine state.
+    fn base_mut(&mut self) -> &mut BaseSystem;
+
+    /// Human-readable design name ("vanilla", "popcorn", "stramash").
+    fn name(&self) -> &'static str;
+
+    /// Resolves a page fault at `va` (design-specific). Charges its own
+    /// costs to the appropriate clocks and returns the total added.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Segfault`]/[`OsError::PermissionDenied`] for invalid
+    /// accesses, allocation errors otherwise.
+    fn handle_fault(&mut self, pid: Pid, va: VirtAddr, write: bool) -> Result<Cycles, OsError>;
+
+    /// Migrates the process's thread to `to` (design-specific).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::MigrationUnsupported`] for single-kernel designs.
+    fn migrate(&mut self, pid: Pid, to: DomainId) -> Result<Cycles, OsError>;
+
+    /// Futex lock executed by a thread of `pid` running on `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors for an unmapped futex word.
+    fn futex_lock(&mut self, pid: Pid, domain: DomainId, uaddr: VirtAddr)
+        -> Result<Cycles, OsError>;
+
+    /// Futex unlock executed by a thread of `pid` running on `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors for an unmapped futex word.
+    fn futex_unlock(
+        &mut self,
+        pid: Pid,
+        domain: DomainId,
+        uaddr: VirtAddr,
+    ) -> Result<Cycles, OsError>;
+
+    /// Unmaps the VMA starting at `start`, releasing its pages under the
+    /// design's ownership discipline. Returns frames freed per kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Segfault`] if no VMA starts at `start`.
+    fn munmap(&mut self, pid: Pid, start: VirtAddr) -> Result<[u64; 2], OsError>;
+
+    // ---- provided methods ---------------------------------------------
+
+    /// The domain currently executing `pid`.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`].
+    fn current_domain(&self, pid: Pid) -> Result<DomainId, OsError> {
+        Ok(self.base().process(pid)?.current)
+    }
+
+    /// Reserves anonymous VA space.
+    ///
+    /// # Errors
+    ///
+    /// VMA bookkeeping errors.
+    fn mmap(&mut self, pid: Pid, len: u64, prot: VmaProt) -> Result<VirtAddr, OsError> {
+        let proc = self.base_mut().process_mut(pid)?;
+        Ok(proc.mmap(len, prot, VmaKind::Anon)?)
+    }
+
+    /// Translates `va` for an access, faulting once if needed. Returns
+    /// the physical address and the translation cycles charged.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Segfault`] if the fault handler cannot map the page.
+    fn translate(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        write: bool,
+    ) -> Result<(PhysAddr, Cycles), OsError> {
+        let (domain, tlb_hit) = {
+            let proc = self.base_mut().process_mut(pid)?;
+            let domain = proc.current;
+            let hit = proc.tlb_mut(domain).lookup(va).filter(|(_, f)| !write || f.writable);
+            (domain, hit)
+        };
+        if let Some((page_pa, _)) = tlb_hit {
+            return Ok((page_pa.offset(va.page_offset()), Cycles::ZERO));
+        }
+        let mut total = Cycles::ZERO;
+        for attempt in 0..2 {
+            let pt = {
+                let proc = self.base().process(pid)?;
+                proc.page_table(domain).copied()
+            };
+            if let Some(pt) = pt {
+                let base = self.base_mut();
+                let (res, cycles) = pt.walk(&mut base.mem, domain, va);
+                base.charge(domain, cycles);
+                total += cycles;
+                if let Some((pa, flags)) = res {
+                    if !write || flags.writable {
+                        let proc = base.process_mut(pid)?;
+                        proc.tlb_mut(domain).insert(va, pa.align_down(PAGE_SIZE), flags);
+                        return Ok((pa, total));
+                    }
+                }
+            }
+            if attempt == 0 {
+                total += self.handle_fault(pid, va, write)?;
+            }
+        }
+        Err(OsError::Segfault { pid, va })
+    }
+
+    /// Reads `buf.len()` bytes from the process's address space,
+    /// charging translation and memory-system costs to its domain.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    fn read_mem(&mut self, pid: Pid, va: VirtAddr, buf: &mut [u8]) -> Result<Cycles, OsError> {
+        let mut total = Cycles::ZERO;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va.offset(done as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let n = in_page.min(buf.len() - done);
+            let (pa, tc) = self.translate(pid, cur, false)?;
+            total += tc;
+            let base = self.base_mut();
+            let domain = base.process(pid)?.current;
+            let c = base.mem.read_bytes(domain, pa, &mut buf[done..done + n]);
+            base.charge(domain, c);
+            total += c;
+            done += n;
+        }
+        Ok(total)
+    }
+
+    /// Writes bytes into the process's address space.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    fn write_mem(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Cycles, OsError> {
+        let mut total = Cycles::ZERO;
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = va.offset(done as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let n = in_page.min(data.len() - done);
+            let (pa, tc) = self.translate(pid, cur, true)?;
+            total += tc;
+            let base = self.base_mut();
+            let domain = base.process(pid)?.current;
+            let c = base.mem.write_bytes(domain, pa, &data[done..done + n]);
+            base.charge(domain, c);
+            total += c;
+            done += n;
+        }
+        Ok(total)
+    }
+
+    /// Loads a `u64` (assumed not to straddle a page).
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    fn load_u64(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, OsError> {
+        let (pa, _) = self.translate(pid, va, false)?;
+        let base = self.base_mut();
+        let domain = base.process(pid)?.current;
+        let (v, c) = base.mem.read_u64(domain, pa);
+        base.charge(domain, c);
+        Ok(v)
+    }
+
+    /// Stores a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    fn store_u64(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), OsError> {
+        let (pa, _) = self.translate(pid, va, true)?;
+        let base = self.base_mut();
+        let domain = base.process(pid)?.current;
+        let c = base.mem.write_u64(domain, pa, value);
+        base.charge(domain, c);
+        Ok(())
+    }
+
+    /// Loads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    fn load_f64(&mut self, pid: Pid, va: VirtAddr) -> Result<f64, OsError> {
+        Ok(f64::from_bits(self.load_u64(pid, va)?))
+    }
+
+    /// Stores an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    fn store_f64(&mut self, pid: Pid, va: VirtAddr, value: f64) -> Result<(), OsError> {
+        self.store_u64(pid, va, value.to_bits())
+    }
+
+    /// Retires `insns` compute instructions on the process's current
+    /// domain.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`].
+    fn exec(&mut self, pid: Pid, insns: u64) -> Result<(), OsError> {
+        let domain = self.current_domain(pid)?;
+        self.base_mut().retire(domain, insns);
+        Ok(())
+    }
+
+    /// Total runtime so far (both domains).
+    fn runtime(&self) -> Cycles {
+        self.base().total_runtime()
+    }
+}
+
+/// Single-kernel baseline: the application runs where it started and
+/// never migrates (the "Vanilla" case of §9.2.1).
+#[derive(Debug)]
+pub struct VanillaSystem {
+    base: BaseSystem,
+}
+
+impl VanillaSystem {
+    /// Boots a vanilla system.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors.
+    pub fn new(cfg: SimConfig) -> Result<Self, OsError> {
+        Ok(VanillaSystem { base: BaseSystem::new(cfg, &BootConfig::paper_default())? })
+    }
+
+    /// Spawns a process on `origin`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn spawn(&mut self, origin: DomainId) -> Result<Pid, OsError> {
+        self.base.spawn(origin)
+    }
+}
+
+impl OsSystem for VanillaSystem {
+    fn base(&self) -> &BaseSystem {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut BaseSystem {
+        &mut self.base
+    }
+
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn handle_fault(&mut self, pid: Pid, va: VirtAddr, write: bool) -> Result<Cycles, OsError> {
+        let (domain, prot) = {
+            let proc = self.base.process(pid)?;
+            let vma = proc.vmas.find(va).ok_or(OsError::Segfault { pid, va })?;
+            (proc.current, vma.prot)
+        };
+        if write && !prot.write {
+            return Err(OsError::PermissionDenied { pid, va });
+        }
+        let frame = self.base.kernels[domain.index()].frames.alloc()?;
+        self.base.mem.store_mut().fill(frame, PAGE_SIZE, 0);
+        let pt = self.base.process(pid)?.page_table(domain).copied().expect("origin always has a PT");
+        let mut flags = PteFlags::user_data();
+        flags.writable = prot.write;
+        let cycles = pt.map(
+            &mut self.base.mem,
+            &mut self.base.kernels[domain.index()].frames,
+            domain,
+            va.page_base(),
+            frame,
+            flags,
+            true,
+        )? + FAULT_TRAP_COST;
+        self.base.kernels[domain.index()].counters.local_faults += 1;
+        self.base.charge(domain, cycles);
+        Ok(cycles)
+    }
+
+    fn migrate(&mut self, _pid: Pid, _to: DomainId) -> Result<Cycles, OsError> {
+        Err(OsError::MigrationUnsupported)
+    }
+
+    fn futex_lock(
+        &mut self,
+        pid: Pid,
+        domain: DomainId,
+        uaddr: VirtAddr,
+    ) -> Result<Cycles, OsError> {
+        // Local-only fast path: CAS on the futex word.
+        let (pa, _) = self.translate(pid, uaddr, true)?;
+        let penalty = self.base.kernels[domain.index()].atomics.rmw_penalty();
+        let (_, c) = self.base.mem.cas_u64(domain, pa, 0, 1, penalty);
+        self.base.kernels[domain.index()].counters.futex_ops += 1;
+        self.base.charge(domain, c);
+        Ok(c)
+    }
+
+    fn futex_unlock(
+        &mut self,
+        pid: Pid,
+        domain: DomainId,
+        uaddr: VirtAddr,
+    ) -> Result<Cycles, OsError> {
+        let (pa, _) = self.translate(pid, uaddr, true)?;
+        let c = self.base.mem.write_u64(domain, pa, 0);
+        self.base.kernels[domain.index()].counters.futex_ops += 1;
+        self.base.charge(domain, c);
+        Ok(c)
+    }
+
+    fn munmap(&mut self, pid: Pid, start: VirtAddr) -> Result<[u64; 2], OsError> {
+        let (domain, vma) = {
+            let proc = self.base.process_mut(pid)?;
+            let vma = proc.vmas.remove(start).ok_or(OsError::Segfault { pid, va: start })?;
+            (proc.current, vma)
+        };
+        let pt = self.base.process(pid)?.page_table(domain).copied().expect("origin PT");
+        let mut freed = [0u64; 2];
+        for p in 0..vma.pages() {
+            let va = start.offset(p * PAGE_SIZE);
+            let (old, c) = pt.unmap(&mut self.base.mem, domain, va, true);
+            self.base.charge(domain, c);
+            if let Some(frame) = old {
+                self.base.kernels[domain.index()].frames.free(frame)?;
+                freed[domain.index()] += 1;
+            }
+            self.base.process_mut(pid)?.tlb_mut(domain).invalidate(va);
+        }
+        Ok(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_sim::HardwareModel;
+
+    fn vanilla() -> (VanillaSystem, Pid) {
+        let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
+        let mut sys = VanillaSystem::new(cfg).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        (sys, pid)
+    }
+
+    #[test]
+    fn spawn_and_mmap() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 64 << 10, VmaProt::rw()).unwrap();
+        assert_eq!(va.raw(), crate::process::MMAP_BASE);
+        assert_eq!(sys.current_domain(pid).unwrap(), DomainId::X86);
+        assert_eq!(sys.name(), "vanilla");
+    }
+
+    #[test]
+    fn demand_paging_on_first_touch() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 16 << 10, VmaProt::rw()).unwrap();
+        sys.store_u64(pid, va, 0xfeed).unwrap();
+        assert_eq!(sys.load_u64(pid, va).unwrap(), 0xfeed);
+        assert_eq!(sys.base().kernels[0].counters.local_faults, 1);
+        // Second page faults separately.
+        sys.store_u64(pid, va.offset(PAGE_SIZE), 1).unwrap();
+        assert_eq!(sys.base().kernels[0].counters.local_faults, 2);
+        assert!(sys.runtime().raw() > 0);
+    }
+
+    #[test]
+    fn unmapped_access_segfaults() {
+        let (mut sys, pid) = vanilla();
+        let err = sys.load_u64(pid, VirtAddr::new(0xdead_0000)).unwrap_err();
+        assert!(matches!(err, OsError::Segfault { .. }));
+    }
+
+    #[test]
+    fn write_to_read_only_vma_denied() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 4096, VmaProt::ro()).unwrap();
+        assert_eq!(sys.load_u64(pid, va).unwrap(), 0, "read of RO page is fine");
+        let err = sys.store_u64(pid, va, 1).unwrap_err();
+        assert!(matches!(err, OsError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn vanilla_cannot_migrate() {
+        let (mut sys, pid) = vanilla();
+        assert_eq!(sys.migrate(pid, DomainId::ARM).unwrap_err(), OsError::MigrationUnsupported);
+    }
+
+    #[test]
+    fn bulk_read_write_roundtrip() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 64 << 10, VmaProt::rw()).unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        sys.write_mem(pid, va.offset(100), &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        sys.read_mem(pid, va.offset(100), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 4096, VmaProt::rw()).unwrap();
+        sys.store_f64(pid, va, 3.25).unwrap();
+        assert_eq!(sys.load_f64(pid, va).unwrap(), 3.25);
+    }
+
+    #[test]
+    fn exec_advances_clock_and_models_ifetch() {
+        let (mut sys, pid) = vanilla();
+        sys.exec(pid, 10_000).unwrap();
+        let clock = sys.base().timebase.clock(DomainId::X86);
+        assert_eq!(clock.icount(), 10_000);
+        assert!(clock.memory_cycles().raw() > 0, "ifetches cost memory cycles");
+        let s = sys.base().mem.stats(DomainId::X86);
+        assert_eq!(s.instructions, 10_000);
+        assert!(s.l1i.accesses > 0);
+    }
+
+    #[test]
+    fn translation_caches_in_tlb() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 4096, VmaProt::rw()).unwrap();
+        sys.store_u64(pid, va, 1).unwrap();
+        let before = sys.base().mem.stats(DomainId::X86).mem_accesses;
+        // Repeated access to the same page: no more walks.
+        for i in 1..10 {
+            sys.store_u64(pid, va.offset(8 * i), i).unwrap();
+        }
+        let walked = sys.base().mem.stats(DomainId::X86).mem_accesses - before;
+        assert_eq!(walked, 9, "only the data accesses, no PT walks");
+    }
+
+    #[test]
+    fn futex_lock_unlock_local() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 4096, VmaProt::rw()).unwrap();
+        sys.futex_lock(pid, DomainId::X86, va).unwrap();
+        assert_eq!(sys.load_u64(pid, va).unwrap(), 1, "lock word set");
+        sys.futex_unlock(pid, DomainId::X86, va).unwrap();
+        assert_eq!(sys.load_u64(pid, va).unwrap(), 0);
+        assert_eq!(sys.base().kernels[0].counters.futex_ops, 2);
+    }
+
+    #[test]
+    fn sync_runtime_stats_populates_report() {
+        let (mut sys, pid) = vanilla();
+        sys.exec(pid, 1000).unwrap();
+        sys.base_mut().sync_runtime_stats();
+        assert!(sys.base().mem.stats(DomainId::X86).runtime.raw() >= 1000);
+    }
+
+    #[test]
+    fn mmio_access_through_base_system() {
+        let (mut sys, _) = vanilla();
+        // The NIC lives at the start of the 3–4 GB hole (x86-owned).
+        let nic = PhysAddr::new(3 << 30);
+        sys.base_mut().mmio_write(DomainId::X86, nic, 0xD00D).unwrap();
+        let t0 = sys.base().timebase.clock(DomainId::ARM).cycles();
+        let v = sys.base_mut().mmio_read(DomainId::ARM, nic).unwrap();
+        assert_eq!(v, 0xD00D);
+        let cost = sys.base().timebase.clock(DomainId::ARM).cycles() - t0;
+        assert!(cost.raw() > 500, "redirected MMIO pays forwarding: {cost}");
+        assert!(matches!(
+            sys.base_mut().mmio_read(DomainId::X86, PhysAddr::new(0x10)),
+            Err(OsError::Device(_))
+        ));
+    }
+
+    #[test]
+    fn os_error_display() {
+        let e = OsError::Segfault { pid: Pid(1), va: VirtAddr::new(0x10) };
+        assert!(e.to_string().contains("segmentation fault"));
+        assert!(!OsError::MigrationUnsupported.to_string().is_empty());
+    }
+}

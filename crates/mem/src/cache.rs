@@ -1,0 +1,343 @@
+//! Set-associative caches and the per-domain three-level hierarchy.
+//!
+//! This reimplements the extended QEMU cache plugin of §7.3: split L1
+//! instruction/data caches, a unified L2 and a unified, *inclusive* L3,
+//! all with LRU replacement. MESI coherence state is tracked at the L3
+//! (the coherence point between domains, as in the plugin's CXL model);
+//! the upper levels track presence only and are back-invalidated when the
+//! inclusive L3 evicts a line.
+
+use stramash_sim::config::CacheGeometry;
+
+/// MESI coherence states (§7.3 models MESI transitions with CXL snoops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    /// Dirty, exclusive copy.
+    Modified,
+    /// Clean, exclusive copy.
+    Exclusive,
+    /// Clean copy that may exist in other caches.
+    Shared,
+}
+
+/// One cache way.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Line address (`addr / line_bytes`); `u64::MAX` means empty.
+    line: u64,
+    /// LRU timestamp (bigger = more recent).
+    stamp: u64,
+    /// Coherence state (only meaningful at the L3).
+    state: Mesi,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+/// A single set-associative, LRU cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geo: CacheGeometry,
+    sets: Vec<Way>,
+    set_count: u64,
+    tick: u64,
+}
+
+/// Result of inserting a line into a level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line address.
+    pub line: u64,
+    /// Its state at eviction (a `Modified` eviction implies a writeback).
+    pub state: Mesi,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(geo: CacheGeometry) -> Self {
+        let set_count = geo.sets();
+        let ways = geo.ways as usize;
+        Cache {
+            geo,
+            sets: vec![Way { line: EMPTY, stamp: 0, state: Mesi::Shared }; set_count as usize * ways],
+            set_count,
+            tick: 0,
+        }
+    }
+
+    /// The geometry of this level.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geo
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.set_count) as usize;
+        let ways = self.geo.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Probes for a line; on hit, refreshes LRU and returns its state.
+    pub fn probe(&mut self, line: u64) -> Option<Mesi> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        let way = self.sets[range].iter_mut().find(|w| w.line == line)?;
+        way.stamp = tick;
+        Some(way.state)
+    }
+
+    /// Whether the line is present, without disturbing LRU.
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_range(line)].iter().any(|w| w.line == line)
+    }
+
+    /// Reads a line's state without disturbing LRU.
+    #[must_use]
+    pub fn state_of(&self, line: u64) -> Option<Mesi> {
+        self.sets[self.set_range(line)].iter().find(|w| w.line == line).map(|w| w.state)
+    }
+
+    /// Sets the state of a resident line; returns `false` if absent.
+    pub fn set_state(&mut self, line: u64, state: Mesi) -> bool {
+        let range = self.set_range(line);
+        if let Some(w) = self.sets[range].iter_mut().find(|w| w.line == line) {
+            w.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line (replacing LRU if the set is full), returning any
+    /// eviction. If the line is already resident its state is updated.
+    pub fn insert(&mut self, line: u64, state: Mesi) -> Option<Eviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        let ways = &mut self.sets[range];
+        if let Some(w) = ways.iter_mut().find(|w| w.line == line) {
+            w.state = state;
+            w.stamp = tick;
+            return None;
+        }
+        if let Some(w) = ways.iter_mut().find(|w| w.line == EMPTY) {
+            *w = Way { line, stamp: tick, state };
+            return None;
+        }
+        let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("ways > 0");
+        let evicted = Eviction { line: victim.line, state: victim.state };
+        *victim = Way { line, stamp: tick, state };
+        Some(evicted)
+    }
+
+    /// Removes a line; returns its state if it was present.
+    pub fn invalidate(&mut self, line: u64) -> Option<Mesi> {
+        let range = self.set_range(line);
+        let way = self.sets[range].iter_mut().find(|w| w.line == line)?;
+        let state = way.state;
+        way.line = EMPTY;
+        way.stamp = 0;
+        Some(state)
+    }
+
+    /// Drops every line (e.g. between experiment phases).
+    pub fn flush(&mut self) {
+        for w in &mut self.sets {
+            w.line = EMPTY;
+            w.stamp = 0;
+        }
+        self.tick = 0;
+    }
+
+    /// Number of resident lines (for tests and occupancy metrics).
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.sets.iter().filter(|w| w.line != EMPTY).count()
+    }
+}
+
+/// The per-domain hierarchy: split L1, unified L2, inclusive L3.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    /// L1 instruction cache (presence only).
+    pub l1i: Cache,
+    /// L1 data cache (presence only).
+    pub l1d: Cache,
+    /// Unified L2 (presence only).
+    pub l2: Cache,
+    /// Unified, inclusive L3 — the coherence point holding MESI state.
+    pub l3: Cache,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from a domain's cache configuration.
+    #[must_use]
+    pub fn new(cfg: &stramash_sim::CacheConfig) -> Self {
+        CacheHierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+        }
+    }
+
+    /// Whether any level holds the line (the L3 suffices: inclusive).
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        self.l3.contains(line)
+    }
+
+    /// The coherence state of a resident line.
+    #[must_use]
+    pub fn state_of(&self, line: u64) -> Option<Mesi> {
+        self.l3.state_of(line)
+    }
+
+    /// Invalidates a line in every level; returns the L3 state it had.
+    pub fn invalidate(&mut self, line: u64) -> Option<Mesi> {
+        self.l1i.invalidate(line);
+        self.l1d.invalidate(line);
+        self.l2.invalidate(line);
+        self.l3.invalidate(line)
+    }
+
+    /// Whether a line is present in a level above the L3 (used to price
+    /// back-invalidations on inclusive evictions).
+    #[must_use]
+    pub fn in_upper_levels(&self, line: u64) -> bool {
+        self.l1i.contains(line) || self.l1d.contains(line) || self.l2.contains(line)
+    }
+
+    /// Drops the line from the upper levels only (back-invalidation).
+    pub fn back_invalidate_upper(&mut self, line: u64) {
+        self.l1i.invalidate(line);
+        self.l1d.invalidate(line);
+        self.l2.invalidate(line);
+    }
+
+    /// Flushes every level.
+    pub fn flush(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+        self.l3.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_sim::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B lines = 256 B.
+        Cache::new(CacheGeometry::new(256, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.probe(10), None);
+        assert_eq!(c.insert(10, Mesi::Exclusive), None);
+        assert_eq!(c.probe(10), Some(Mesi::Exclusive));
+        assert!(c.contains(10));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (2 sets → even lines share set 0).
+        c.insert(0, Mesi::Shared);
+        c.insert(2, Mesi::Shared);
+        c.probe(0); // refresh 0, so 2 is LRU
+        let ev = c.insert(4, Mesi::Shared).expect("set full, must evict");
+        assert_eq!(ev.line, 2);
+        assert!(c.contains(0));
+        assert!(c.contains(4));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn insert_existing_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(8, Mesi::Shared);
+        assert_eq!(c.insert(8, Mesi::Modified), None);
+        assert_eq!(c.state_of(8), Some(Mesi::Modified));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_modified_state() {
+        let mut c = tiny();
+        c.insert(0, Mesi::Modified);
+        c.insert(2, Mesi::Shared);
+        c.probe(2);
+        // Refresh 2; 0 is LRU and dirty.
+        let ev = c.insert(4, Mesi::Shared).unwrap();
+        assert_eq!(ev, Eviction { line: 0, state: Mesi::Modified });
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(6, Mesi::Exclusive);
+        assert_eq!(c.invalidate(6), Some(Mesi::Exclusive));
+        assert_eq!(c.invalidate(6), None);
+        assert!(!c.contains(6));
+    }
+
+    #[test]
+    fn set_state_on_missing_line_is_false() {
+        let mut c = tiny();
+        assert!(!c.set_state(1, Mesi::Shared));
+        c.insert(1, Mesi::Exclusive);
+        assert!(c.set_state(1, Mesi::Shared));
+        assert_eq!(c.state_of(1), Some(Mesi::Shared));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.insert(0, Mesi::Shared);
+        c.insert(1, Mesi::Shared);
+        c.flush();
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        // Lines 0,2 → set 0; lines 1,3 → set 1.
+        c.insert(0, Mesi::Shared);
+        c.insert(2, Mesi::Shared);
+        c.insert(1, Mesi::Shared);
+        c.insert(3, Mesi::Shared);
+        assert_eq!(c.resident(), 4);
+    }
+
+    #[test]
+    fn hierarchy_inclusive_queries() {
+        let mut h = CacheHierarchy::new(&CacheConfig::paper_default());
+        h.l3.insert(100, Mesi::Exclusive);
+        h.l2.insert(100, Mesi::Exclusive);
+        h.l1d.insert(100, Mesi::Exclusive);
+        assert!(h.contains(100));
+        assert!(h.in_upper_levels(100));
+        h.back_invalidate_upper(100);
+        assert!(!h.in_upper_levels(100));
+        assert!(h.contains(100), "back-invalidation keeps the L3 copy");
+        assert_eq!(h.invalidate(100), Some(Mesi::Exclusive));
+        assert!(!h.contains(100));
+    }
+
+    #[test]
+    fn hierarchy_flush() {
+        let mut h = CacheHierarchy::new(&CacheConfig::paper_default());
+        h.l3.insert(5, Mesi::Shared);
+        h.flush();
+        assert!(!h.contains(5));
+    }
+}

@@ -1,0 +1,177 @@
+//! Classification of physical addresses under the three Figure 3
+//! hardware models.
+//!
+//! §8.1 defines how each model maps the Figure 4 layout:
+//!
+//! * **Separated** — every region behaves as plain NUMA: local to its
+//!   host domain, remote to the other (coherence via the LLC/CXL).
+//! * **Shared** — the 4–8 GB pool is *remote shared* for both domains
+//!   (a CXL 3.0 memory pool); private regions keep NUMA behaviour.
+//! * **Fully Shared** — a single shared memory: every access is local.
+
+use crate::phys::{PhysAddr, PhysLayout, RegionKind};
+use stramash_sim::{Cycles, DomainId, HardwareModel, LatencyTable};
+
+/// How an access from a given domain classifies, which decides both the
+/// DRAM latency charged and the statistics bucket incremented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemClass {
+    /// The domain's own memory controller.
+    Local,
+    /// The other domain's memory, reached over the coherent interconnect.
+    Remote,
+    /// The shared memory pool (remote for everyone in the Shared model).
+    RemoteShared,
+}
+
+/// Resolves accesses against a layout and hardware model.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    layout: PhysLayout,
+    model: HardwareModel,
+}
+
+impl AddressMap {
+    /// Creates an address map.
+    #[must_use]
+    pub fn new(layout: PhysLayout, model: HardwareModel) -> Self {
+        AddressMap { layout, model }
+    }
+
+    /// The underlying layout.
+    #[must_use]
+    pub fn layout(&self) -> &PhysLayout {
+        &self.layout
+    }
+
+    /// The hardware model in force.
+    #[must_use]
+    pub fn model(&self) -> HardwareModel {
+        self.model
+    }
+
+    /// Classifies an access to `addr` issued by `from`.
+    ///
+    /// Addresses in the 3–4 GB hole (MMIO/firmware) classify as `Local`:
+    /// device access cost is modelled by the device layer, not DRAM.
+    #[must_use]
+    pub fn classify(&self, from: DomainId, addr: PhysAddr) -> MemClass {
+        if self.model == HardwareModel::FullyShared {
+            return MemClass::Local;
+        }
+        let Some(region) = self.layout.region_of(addr) else {
+            return MemClass::Local;
+        };
+        match region.kind {
+            RegionKind::DomainLocal(owner) => {
+                if owner == from {
+                    MemClass::Local
+                } else {
+                    MemClass::Remote
+                }
+            }
+            RegionKind::Pool { host } => match self.model {
+                // Separated: the pool halves are plain NUMA memory of
+                // their host (§8.1 gives each instance its half as
+                // ordinary local memory: x86 4–6 GB, Arm 6–8 GB).
+                HardwareModel::Separated => {
+                    if host == from {
+                        MemClass::Local
+                    } else {
+                        MemClass::Remote
+                    }
+                }
+                // Shared: the whole pool is remote-shared for both.
+                HardwareModel::Shared => MemClass::RemoteShared,
+                HardwareModel::FullyShared => MemClass::Local,
+            },
+        }
+    }
+
+    /// DRAM latency for a miss that classifies as `class` under the
+    /// accessing domain's latency table.
+    #[must_use]
+    pub fn dram_latency(&self, table: &LatencyTable, class: MemClass) -> Cycles {
+        match class {
+            MemClass::Local => Cycles::new(table.mem as u64),
+            MemClass::Remote | MemClass::RemoteShared => Cycles::new(table.remote_mem as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::GB;
+
+    fn map(model: HardwareModel) -> AddressMap {
+        AddressMap::new(PhysLayout::paper_default(), model)
+    }
+
+    #[test]
+    fn separated_private_regions_are_numa() {
+        let m = map(HardwareModel::Separated);
+        let x86_lo = PhysAddr::new(0x1000);
+        let arm_lo = PhysAddr::new(2 * GB);
+        assert_eq!(m.classify(DomainId::X86, x86_lo), MemClass::Local);
+        assert_eq!(m.classify(DomainId::ARM, x86_lo), MemClass::Remote);
+        assert_eq!(m.classify(DomainId::ARM, arm_lo), MemClass::Local);
+        assert_eq!(m.classify(DomainId::X86, arm_lo), MemClass::Remote);
+    }
+
+    #[test]
+    fn separated_pool_halves_belong_to_hosts() {
+        // §8.1 Separated: x86 local = 0–1.5G and 4–6G; Arm = 1.5–3G, 6–8G.
+        let m = map(HardwareModel::Separated);
+        let x86_pool = PhysAddr::new(5 * GB);
+        let arm_pool = PhysAddr::new(7 * GB);
+        assert_eq!(m.classify(DomainId::X86, x86_pool), MemClass::Local);
+        assert_eq!(m.classify(DomainId::ARM, x86_pool), MemClass::Remote);
+        assert_eq!(m.classify(DomainId::ARM, arm_pool), MemClass::Local);
+        assert_eq!(m.classify(DomainId::X86, arm_pool), MemClass::Remote);
+    }
+
+    #[test]
+    fn shared_pool_is_remote_shared_for_both() {
+        // §8.1 Shared: 4–8 GB is remote for both instances.
+        let m = map(HardwareModel::Shared);
+        for d in DomainId::ALL {
+            assert_eq!(m.classify(d, PhysAddr::new(5 * GB)), MemClass::RemoteShared);
+            assert_eq!(m.classify(d, PhysAddr::new(7 * GB)), MemClass::RemoteShared);
+        }
+        // Private regions keep NUMA behaviour.
+        assert_eq!(m.classify(DomainId::ARM, PhysAddr::new(0x1000)), MemClass::Remote);
+    }
+
+    #[test]
+    fn fully_shared_everything_is_local() {
+        let m = map(HardwareModel::FullyShared);
+        for d in DomainId::ALL {
+            for addr in [0u64, 2 * GB, 5 * GB, 7 * GB] {
+                assert_eq!(m.classify(d, PhysAddr::new(addr)), MemClass::Local);
+            }
+        }
+    }
+
+    #[test]
+    fn hole_classifies_local() {
+        let m = map(HardwareModel::Separated);
+        assert_eq!(m.classify(DomainId::X86, PhysAddr::new(3 * GB + 1)), MemClass::Local);
+    }
+
+    #[test]
+    fn dram_latency_uses_table() {
+        let m = map(HardwareModel::Shared);
+        let t = LatencyTable::XEON_GOLD;
+        assert_eq!(m.dram_latency(&t, MemClass::Local).raw(), 300);
+        assert_eq!(m.dram_latency(&t, MemClass::Remote).raw(), 640);
+        assert_eq!(m.dram_latency(&t, MemClass::RemoteShared).raw(), 640);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = map(HardwareModel::Shared);
+        assert_eq!(m.model(), HardwareModel::Shared);
+        assert!(m.layout().is_disjoint());
+    }
+}

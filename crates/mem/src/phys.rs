@@ -1,0 +1,399 @@
+//! Physical addresses, the Figure 4 memory layout, and the sparse
+//! byte-level backing store.
+//!
+//! Stramash-QEMU allocates guest memory on a per-host basis so that "any
+//! memory operation from a single guest will be reflected in others"
+//! (§7.1). The reproduction keeps one [`SparseMemory`] shared by both
+//! domains — every byte written by one kernel instance is immediately
+//! visible to the other, exactly like cache-coherent shared DRAM.
+
+use std::collections::HashMap;
+use std::fmt;
+use stramash_sim::DomainId;
+
+/// A physical memory address.
+///
+/// ```
+/// use stramash_mem::PhysAddr;
+/// let a = PhysAddr::new(0x1000);
+/// assert_eq!(a.offset(0x20).raw(), 0x1020);
+/// assert_eq!(a.align_down(0x1000), a);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw address value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This address plus `off` bytes.
+    #[must_use]
+    pub const fn offset(self, off: u64) -> PhysAddr {
+        PhysAddr(self.0 + off)
+    }
+
+    /// Rounds down to a multiple of `align` (a power of two).
+    #[must_use]
+    pub const fn align_down(self, align: u64) -> PhysAddr {
+        PhysAddr(self.0 & !(align - 1))
+    }
+
+    /// Whether the address is a multiple of `align` (a power of two).
+    #[must_use]
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 & (align - 1) == 0
+    }
+
+    /// The physical frame number for 4 KiB pages.
+    #[must_use]
+    pub const fn frame(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// The cache-line address for the given line size.
+    #[must_use]
+    pub const fn line(self, line_bytes: u64) -> u64 {
+        self.0 / line_bytes
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// Ownership attribution of a physical region (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Memory attached to (owned by) one domain's memory controller.
+    DomainLocal(DomainId),
+    /// The dynamically shared memory pool (4–8 GB in Figure 4).
+    Pool {
+        /// Which domain's controller physically hosts this half of the
+        /// pool. In the *Separated* model the pool halves behave like
+        /// ordinary local memory of their host; in the *Shared* model
+        /// they are remote-shared for everyone (§8.1).
+        host: DomainId,
+    },
+}
+
+/// A contiguous physical region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRegion {
+    /// First byte.
+    pub start: PhysAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Ownership attribution.
+    pub kind: RegionKind,
+}
+
+impl MemRegion {
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr.raw() >= self.start.raw() && addr.raw() < self.start.raw() + self.len
+    }
+
+    /// One past the last byte.
+    #[must_use]
+    pub fn end(&self) -> PhysAddr {
+        self.start.offset(self.len)
+    }
+}
+
+/// The paper's 8 GB physical layout (Figure 4 and §8.1):
+///
+/// | range | attribution |
+/// |---|---|
+/// | 0 – 1.5 GB | x86 local (x86 instance boots at 0x0) |
+/// | 1.5 – 3 GB | Arm local (Arm instance boots at 0xA000_0000) |
+/// | 3 – 4 GB | hole (MMIO / firmware) |
+/// | 4 – 6 GB | pool, hosted by x86 |
+/// | 6 – 8 GB | pool, hosted by Arm |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysLayout {
+    regions: Vec<MemRegion>,
+}
+
+pub(crate) const GB: u64 = 1 << 30;
+
+impl PhysLayout {
+    /// The Figure 4 layout.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let half_gb = GB / 2;
+        PhysLayout {
+            regions: vec![
+                MemRegion {
+                    start: PhysAddr::new(0),
+                    len: GB + half_gb,
+                    kind: RegionKind::DomainLocal(DomainId::X86),
+                },
+                MemRegion {
+                    start: PhysAddr::new(GB + half_gb),
+                    len: GB + half_gb,
+                    kind: RegionKind::DomainLocal(DomainId::ARM),
+                },
+                MemRegion {
+                    start: PhysAddr::new(4 * GB),
+                    len: 2 * GB,
+                    kind: RegionKind::Pool { host: DomainId::X86 },
+                },
+                MemRegion {
+                    start: PhysAddr::new(6 * GB),
+                    len: 2 * GB,
+                    kind: RegionKind::Pool { host: DomainId::ARM },
+                },
+            ],
+        }
+    }
+
+    /// All regions in address order.
+    #[must_use]
+    pub fn regions(&self) -> &[MemRegion] {
+        &self.regions
+    }
+
+    /// The region containing `addr`, if any (the 3–4 GB hole has none).
+    #[must_use]
+    pub fn region_of(&self, addr: PhysAddr) -> Option<&MemRegion> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// The private (boot-time) region of a domain.
+    #[must_use]
+    pub fn private_region(&self, domain: DomainId) -> &MemRegion {
+        self.regions
+            .iter()
+            .find(|r| r.kind == RegionKind::DomainLocal(domain))
+            .expect("layout always has a private region per domain")
+    }
+
+    /// The pool half hosted by `domain`.
+    #[must_use]
+    pub fn pool_region(&self, domain: DomainId) -> &MemRegion {
+        self.regions
+            .iter()
+            .find(|r| r.kind == RegionKind::Pool { host: domain })
+            .expect("layout always has a pool half per domain")
+    }
+
+    /// Verifies that no two regions overlap (the §6.1 boot invariant:
+    /// "kernel instances' memory areas do not overlap").
+    #[must_use]
+    pub fn is_disjoint(&self) -> bool {
+        let mut sorted: Vec<&MemRegion> = self.regions.iter().collect();
+        sorted.sort_by_key(|r| r.start);
+        sorted.windows(2).all(|w| w[0].end().raw() <= w[1].start.raw())
+    }
+}
+
+impl Default for PhysLayout {
+    fn default() -> Self {
+        PhysLayout::paper_default()
+    }
+}
+
+const CHUNK_SHIFT: u32 = 16; // 64 KiB chunks
+const CHUNK_SIZE: usize = 1 << CHUNK_SHIFT;
+
+/// Sparse byte-addressable physical memory shared by both domains.
+///
+/// Chunks materialise on first write; reads of untouched memory return
+/// zeroes, matching freshly-zeroed DRAM handed out by the allocators.
+#[derive(Debug, Default)]
+pub struct SparseMemory {
+    chunks: HashMap<u64, Box<[u8; CHUNK_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// Number of 64 KiB chunks currently materialised.
+    #[must_use]
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let mut pos = addr.raw();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let chunk_idx = pos >> CHUNK_SHIFT;
+            let off = (pos as usize) & (CHUNK_SIZE - 1);
+            let n = (CHUNK_SIZE - off).min(buf.len() - done);
+            match self.chunks.get(&chunk_idx) {
+                Some(c) => buf[done..done + n].copy_from_slice(&c[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) {
+        let mut pos = addr.raw();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let chunk_idx = pos >> CHUNK_SHIFT;
+            let off = (pos as usize) & (CHUNK_SIZE - 1);
+            let n = (CHUNK_SIZE - off).min(buf.len() - done);
+            let chunk =
+                self.chunks.entry(chunk_idx).or_insert_with(|| Box::new([0u8; CHUNK_SIZE]));
+            chunk[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Fills `len` bytes starting at `addr` with `byte`.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, byte: u8) {
+        // Chunk-at-a-time to avoid a giant temporary.
+        let mut pos = addr.raw();
+        let end = addr.raw() + len;
+        let buf = [byte; 4096];
+        while pos < end {
+            let n = ((end - pos) as usize).min(buf.len());
+            self.write(PhysAddr::new(pos), &buf[..n]);
+            pos += n as u64;
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (the page-replication
+    /// primitive used by the Popcorn DSM model).
+    pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: u64) {
+        let mut buf = vec![0u8; len as usize];
+        self.read(src, &mut buf);
+        self.write(dst, &buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_helpers() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.align_down(0x1000).raw(), 0x1000);
+        assert!(!a.is_aligned(0x1000));
+        assert!(PhysAddr::new(0x2000).is_aligned(0x1000));
+        assert_eq!(a.frame(), 1);
+        assert_eq!(PhysAddr::new(128).line(64), 2);
+        assert_eq!(a.to_string(), "PA:0x1234");
+    }
+
+    #[test]
+    fn paper_layout_matches_figure4() {
+        let l = PhysLayout::paper_default();
+        assert!(l.is_disjoint());
+        // x86 boots at 0x0; Arm's private region starts at 1.5 GB
+        // (its kernel loads at 0xA000_0000 inside it).
+        assert_eq!(l.private_region(DomainId::X86).start.raw(), 0);
+        assert_eq!(l.private_region(DomainId::ARM).start.raw(), 3 * GB / 2);
+        assert!(l.private_region(DomainId::ARM).contains(PhysAddr::new(0xA000_0000)));
+        // Shared pool spans 4–8 GB.
+        assert_eq!(l.pool_region(DomainId::X86).start.raw(), 4 * GB);
+        assert_eq!(l.pool_region(DomainId::ARM).end().raw(), 8 * GB);
+    }
+
+    #[test]
+    fn region_lookup_and_hole() {
+        let l = PhysLayout::paper_default();
+        assert!(l.region_of(PhysAddr::new(0)).is_some());
+        // The 3–4 GB hole belongs to no region.
+        assert!(l.region_of(PhysAddr::new(3 * GB + 42)).is_none());
+        let pool = l.region_of(PhysAddr::new(5 * GB)).unwrap();
+        assert_eq!(pool.kind, RegionKind::Pool { host: DomainId::X86 });
+    }
+
+    #[test]
+    fn sparse_memory_zero_initialised() {
+        let m = SparseMemory::new();
+        let mut buf = [0xffu8; 16];
+        m.read(PhysAddr::new(0x5000), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn sparse_memory_read_back() {
+        let mut m = SparseMemory::new();
+        m.write(PhysAddr::new(0x100), b"stramash");
+        let mut buf = [0u8; 8];
+        m.read(PhysAddr::new(0x100), &mut buf);
+        assert_eq!(&buf, b"stramash");
+    }
+
+    #[test]
+    fn sparse_memory_cross_chunk() {
+        let mut m = SparseMemory::new();
+        let boundary = (1u64 << CHUNK_SHIFT) - 4;
+        let data: Vec<u8> = (0..16).collect();
+        m.write(PhysAddr::new(boundary), &data);
+        let mut buf = [0u8; 16];
+        m.read(PhysAddr::new(boundary), &mut buf);
+        assert_eq!(buf.as_slice(), data.as_slice());
+        assert_eq!(m.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn sparse_memory_u64() {
+        let mut m = SparseMemory::new();
+        m.write_u64(PhysAddr::new(0x40), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(PhysAddr::new(0x40)), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn sparse_memory_fill_and_copy() {
+        let mut m = SparseMemory::new();
+        m.fill(PhysAddr::new(0x2000), 4096, 0xab);
+        assert_eq!(m.read_u64(PhysAddr::new(0x2ff8)), 0xabab_abab_abab_abab);
+        m.copy(PhysAddr::new(0x2000), PhysAddr::new(0x9000), 4096);
+        assert_eq!(m.read_u64(PhysAddr::new(0x9000)), 0xabab_abab_abab_abab);
+    }
+
+    #[test]
+    fn shared_store_is_visible_across_writers() {
+        // Models §7.1: a write from one guest is reflected in the other.
+        let mut m = SparseMemory::new();
+        m.write_u64(PhysAddr::new(0x7000), 7); // "x86 writes"
+        assert_eq!(m.read_u64(PhysAddr::new(0x7000)), 7); // "Arm reads"
+    }
+}

@@ -1,0 +1,890 @@
+//! The fused memory system: both domains' cache hierarchies over one
+//! coherent physical memory, with CXL snoop accounting.
+//!
+//! This is the reproduction's equivalent of Stramash-QEMU's shared guest
+//! memory (§7.1) plus the cache plugin's timing feedback (§7.3, §8.1):
+//! every access probes the issuing domain's hierarchy; on a miss the DRAM
+//! latency depends on the address's [`MemClass`] under the configured
+//! hardware model, and if the *other* domain caches the line the
+//! appropriate MESI transition and CXL snoop overhead are applied.
+
+use crate::cache::{Cache, CacheHierarchy, Mesi};
+use crate::hwmodel::{AddressMap, MemClass};
+use crate::phys::{PhysAddr, PhysLayout, SparseMemory};
+use stramash_sim::config::ConfigError;
+use stramash_sim::{Cycles, DomainId, DomainStats, HardwareModel, SimConfig};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Data access or instruction fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load/store (probes the L1D).
+    Data,
+    /// An instruction fetch (probes the L1I).
+    Instruction,
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// L1 (I or D).
+    L1,
+    /// Unified L2.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Main memory (local, remote or remote-shared).
+    Memory,
+}
+
+/// One recorded access (for trace-driven model validation — the
+/// Figure 7/8 methodology replays identical traces through the primary
+/// and reference simulators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Issuing domain.
+    pub domain: DomainId,
+    /// Physical address.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub access: Access,
+    /// Data or instruction fetch.
+    pub kind: AccessKind,
+}
+
+/// Outcome of a single timed access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Total latency charged.
+    pub cycles: Cycles,
+    /// The level that satisfied the access.
+    pub level: HitLevel,
+    /// For memory-level accesses, the DRAM class reached.
+    pub class: Option<MemClass>,
+    /// Whether a cross-domain snoop was involved.
+    pub snooped: bool,
+}
+
+/// The shared, coherent memory system of the simulated platform.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: SimConfig,
+    map: AddressMap,
+    hierarchies: [CacheHierarchy; 2],
+    /// The single shared LLC of the Fully-Shared model; `None` when each
+    /// domain has a private L3.
+    shared_l3: Option<Cache>,
+    store: SparseMemory,
+    stats: [DomainStats; 2],
+    writebacks: [u64; 2],
+    line_bytes: u64,
+    trace: Option<Vec<TraceEntry>>,
+    /// Per-domain alias windows (§7: the fused simulator supports
+    /// "memory remapping" — the single shared memory "may be mapped to
+    /// different addresses" on each processor, as on OpenPiton).
+    aliases: Vec<AliasWindow>,
+}
+
+/// One per-domain physical alias: `domain` sees
+/// `[alias_start, alias_start + len)` as
+/// `[canon_start, canon_start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AliasWindow {
+    domain: DomainId,
+    alias_start: u64,
+    len: u64,
+    canon_start: u64,
+}
+
+impl MemorySystem {
+    /// Builds a memory system over the Figure 4 layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`] if `cfg` is inconsistent.
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        Self::with_layout(cfg, PhysLayout::paper_default())
+    }
+
+    /// Builds a memory system over a custom layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`] if `cfg` is inconsistent.
+    pub fn with_layout(cfg: SimConfig, layout: PhysLayout) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let line_bytes = cfg.domains[0].cache.line_bytes() as u64;
+        let hierarchies = [
+            CacheHierarchy::new(&cfg.domains[0].cache),
+            CacheHierarchy::new(&cfg.domains[1].cache),
+        ];
+        let shared_l3 = if cfg.hw_model == HardwareModel::FullyShared {
+            Some(Cache::new(cfg.domains[0].cache.l3))
+        } else {
+            None
+        };
+        let map = AddressMap::new(layout, cfg.hw_model);
+        Ok(MemorySystem {
+            cfg,
+            map,
+            hierarchies,
+            shared_l3,
+            store: SparseMemory::new(),
+            stats: [DomainStats::new(), DomainStats::new()],
+            writebacks: [0, 0],
+            line_bytes,
+            trace: None,
+            aliases: Vec::new(),
+        })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The address map (layout + hardware model).
+    #[must_use]
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Cache line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Statistics of `domain`.
+    #[must_use]
+    pub fn stats(&self, domain: DomainId) -> &DomainStats {
+        &self.stats[domain.index()]
+    }
+
+    /// Mutable statistics of `domain` (OS layers add runtime here).
+    pub fn stats_mut(&mut self, domain: DomainId) -> &mut DomainStats {
+        &mut self.stats[domain.index()]
+    }
+
+    /// Dirty-line writebacks performed by `domain`'s LLC.
+    #[must_use]
+    pub fn writebacks(&self, domain: DomainId) -> u64 {
+        self.writebacks[domain.index()]
+    }
+
+    /// Zeroes all statistics (cache contents are preserved).
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            s.reset();
+        }
+        self.writebacks = [0, 0];
+    }
+
+    /// Flushes every cache (contents only; statistics are preserved).
+    pub fn flush_caches(&mut self) {
+        for h in &mut self.hierarchies {
+            h.flush();
+        }
+        if let Some(l3) = &mut self.shared_l3 {
+            l3.flush();
+        }
+    }
+
+    /// Installs a per-domain physical alias (§7 "memory remapping"):
+    /// accesses by `domain` to `[alias_start, alias_start+len)` resolve
+    /// to `[canon_start, canon_start+len)`. Coherence and data are
+    /// shared with every other path to the canonical range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alias range overlaps the canonical range.
+    pub fn add_alias(
+        &mut self,
+        domain: DomainId,
+        alias_start: PhysAddr,
+        len: u64,
+        canon_start: PhysAddr,
+    ) {
+        assert!(
+            alias_start.raw() + len <= canon_start.raw()
+                || canon_start.raw() + len <= alias_start.raw(),
+            "alias must not overlap its canonical range"
+        );
+        self.aliases.push(AliasWindow {
+            domain,
+            alias_start: alias_start.raw(),
+            len,
+            canon_start: canon_start.raw(),
+        });
+    }
+
+    /// Resolves `addr` through `domain`'s alias windows.
+    #[must_use]
+    pub fn canonicalize(&self, domain: DomainId, addr: PhysAddr) -> PhysAddr {
+        for w in &self.aliases {
+            if w.domain == domain && addr.raw() >= w.alias_start && addr.raw() < w.alias_start + w.len
+            {
+                return PhysAddr::new(w.canon_start + (addr.raw() - w.alias_start));
+            }
+        }
+        addr
+    }
+
+    /// Starts recording every timed access (clears any prior trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the trace collected so far.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Untimed access to the backing store, for boot-time setup and
+    /// checkers that must not perturb the timing statistics.
+    #[must_use]
+    pub fn store(&self) -> &SparseMemory {
+        &self.store
+    }
+
+    /// Untimed mutable access to the backing store.
+    pub fn store_mut(&mut self) -> &mut SparseMemory {
+        &mut self.store
+    }
+
+    // ---- timed access path -------------------------------------------------
+
+    /// Performs one timed access of at most a cache line.
+    ///
+    /// This is the plugin's per-memory-instruction feedback path: the
+    /// returned latency is what the caller adds to the issuing domain's
+    /// icount clock.
+    pub fn access(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        access: Access,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let addr = self.canonicalize(domain, addr);
+        let line = addr.line(self.line_bytes);
+        let di = domain.index();
+        let lat = self.cfg.domains[di].latency;
+        let is_write = access == Access::Write;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { domain, addr, access, kind });
+        }
+        if kind == AccessKind::Data {
+            self.stats[di].mem_accesses += 1;
+        }
+
+        // L1 probe.
+        let l1_hit = match kind {
+            AccessKind::Data => self.hierarchies[di].l1d.probe(line).is_some(),
+            AccessKind::Instruction => self.hierarchies[di].l1i.probe(line).is_some(),
+        };
+        match kind {
+            AccessKind::Data => self.stats[di].l1d.record(l1_hit),
+            AccessKind::Instruction => self.stats[di].l1i.record(l1_hit),
+        }
+        if l1_hit {
+            let mut cycles = Cycles::new(lat.l1 as u64);
+            let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
+            return AccessOutcome { cycles, level: HitLevel::L1, class: None, snooped };
+        }
+
+        // L2 probe.
+        let l2_hit = self.hierarchies[di].l2.probe(line).is_some();
+        self.stats[di].l2.record(l2_hit);
+        if l2_hit {
+            let mut cycles = Cycles::new(lat.l2 as u64);
+            self.fill_upper(domain, line, kind, /*fill_l2=*/ false);
+            let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
+            return AccessOutcome { cycles, level: HitLevel::L2, class: None, snooped };
+        }
+
+        // L3 probe (private or shared).
+        let l3_hit = match &mut self.shared_l3 {
+            Some(l3) => l3.probe(line).is_some(),
+            None => self.hierarchies[di].l3.probe(line).is_some(),
+        };
+        self.stats[di].l3.record(l3_hit);
+        if l3_hit {
+            let mut cycles = Cycles::new(lat.l3 as u64);
+            self.fill_upper(domain, line, kind, /*fill_l2=*/ true);
+            let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
+            return AccessOutcome { cycles, level: HitLevel::L3, class: None, snooped };
+        }
+
+        // Miss everywhere: go to memory.
+        self.miss_to_memory(domain, addr, line, is_write, kind, lat)
+    }
+
+    /// Handles a full miss: peer snoop, DRAM latency, fills and evictions.
+    fn miss_to_memory(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        line: u64,
+        is_write: bool,
+        kind: AccessKind,
+        lat: stramash_sim::LatencyTable,
+    ) -> AccessOutcome {
+        let di = domain.index();
+        let oi = domain.other().index();
+        let class = self.map.classify(domain, addr);
+        let mut cycles = self.map.dram_latency(&lat, class);
+        match class {
+            MemClass::Local => self.stats[di].local_mem_hits += 1,
+            MemClass::Remote => self.stats[di].remote_mem_hits += 1,
+            MemClass::RemoteShared => self.stats[di].remote_shared_mem_hits += 1,
+        }
+
+        let mut snooped = false;
+        let mut new_state = if is_write { Mesi::Modified } else { Mesi::Exclusive };
+
+        if self.shared_l3.is_none() {
+            // Private LLCs: consult the peer's hierarchy (CXL snoops §7.3).
+            if self.hierarchies[oi].contains(line) {
+                snooped = true;
+                if is_write {
+                    cycles += Cycles::new(self.cfg.cxl.snoop_invalidate as u64);
+                    if self.hierarchies[oi].invalidate(line) == Some(Mesi::Modified) {
+                        self.writebacks[oi] += 1;
+                    }
+                    self.stats[di].snoop_invalidations += 1;
+                } else {
+                    cycles += Cycles::new(self.cfg.cxl.snoop_data as u64);
+                    // Demote the peer's copy Exclusive/Modified → Shared.
+                    if self.hierarchies[oi].state_of(line) == Some(Mesi::Modified) {
+                        self.writebacks[oi] += 1;
+                    }
+                    self.hierarchies[oi].l3.set_state(line, Mesi::Shared);
+                    self.stats[di].snoop_data_hits += 1;
+                    new_state = Mesi::Shared;
+                }
+            }
+        } else if is_write && self.hierarchies[oi].in_upper_levels(line) {
+            // Shared LLC: only the peer's private L1/L2 can hold a copy.
+            snooped = true;
+            cycles += Cycles::new(self.cfg.cxl.onchip_snoop as u64);
+            self.hierarchies[oi].back_invalidate_upper(line);
+            self.stats[di].snoop_invalidations += 1;
+        }
+
+        // Fill the LLC, handling inclusive evictions.
+        let eviction = match &mut self.shared_l3 {
+            Some(l3) => l3.insert(line, new_state),
+            None => self.hierarchies[di].l3.insert(line, new_state),
+        };
+        if let Some(ev) = eviction {
+            if ev.state == Mesi::Modified {
+                self.writebacks[di] += 1;
+                // Dirty evictions drain through the write buffer; under
+                // streaming writes this stalls for a fraction of the
+                // DRAM write latency.
+                cycles += Cycles::new(lat.mem as u64 / 2);
+            }
+            // Inclusive L3: upper levels must drop the evicted line.
+            let mut back = false;
+            for h in 0..2 {
+                if (h == di || self.shared_l3.is_some()) && self.hierarchies[h].in_upper_levels(ev.line)
+                {
+                    self.hierarchies[h].back_invalidate_upper(ev.line);
+                    back = true;
+                }
+            }
+            if back {
+                cycles += Cycles::new(self.cfg.cxl.back_invalidate as u64);
+            }
+        }
+        self.fill_upper(domain, line, kind, /*fill_l2=*/ true);
+
+        AccessOutcome { cycles, level: HitLevel::Memory, class: Some(class), snooped }
+    }
+
+    /// Fills the L1 (and optionally the L2) after a lower-level hit.
+    fn fill_upper(&mut self, domain: DomainId, line: u64, kind: AccessKind, fill_l2: bool) {
+        let di = domain.index();
+        if fill_l2 {
+            self.hierarchies[di].l2.insert(line, Mesi::Shared);
+        }
+        match kind {
+            AccessKind::Data => self.hierarchies[di].l1d.insert(line, Mesi::Shared),
+            AccessKind::Instruction => self.hierarchies[di].l1i.insert(line, Mesi::Shared),
+        };
+    }
+
+    /// On a write hit, upgrades the line to Modified, snooping the peer
+    /// out if it holds a copy. Returns whether a snoop happened.
+    fn ensure_writable(&mut self, domain: DomainId, line: u64, cycles: &mut Cycles) -> bool {
+        let di = domain.index();
+        let oi = domain.other().index();
+        match &mut self.shared_l3 {
+            Some(l3) => {
+                l3.set_state(line, Mesi::Modified);
+                if self.hierarchies[oi].in_upper_levels(line) {
+                    *cycles += Cycles::new(self.cfg.cxl.onchip_snoop as u64);
+                    self.hierarchies[oi].back_invalidate_upper(line);
+                    self.stats[di].snoop_invalidations += 1;
+                    return true;
+                }
+                false
+            }
+            None => {
+                let state = self.hierarchies[di].l3.state_of(line);
+                if state == Some(Mesi::Modified) || state == Some(Mesi::Exclusive) {
+                    self.hierarchies[di].l3.set_state(line, Mesi::Modified);
+                    return false;
+                }
+                // Shared (or L1-resident without L3 state after an odd
+                // flush): invalidate the peer if present.
+                let mut snooped = false;
+                if self.hierarchies[oi].contains(line) {
+                    *cycles += Cycles::new(self.cfg.cxl.snoop_invalidate as u64);
+                    if self.hierarchies[oi].invalidate(line) == Some(Mesi::Modified) {
+                        self.writebacks[oi] += 1;
+                    }
+                    self.stats[di].snoop_invalidations += 1;
+                    snooped = true;
+                }
+                self.hierarchies[di].l3.set_state(line, Mesi::Modified);
+                snooped
+            }
+        }
+    }
+
+    // ---- timed data transfer ----------------------------------------------
+
+    /// Timed read of `buf.len()` bytes: charges one access per cache line
+    /// touched and copies the data out of the backing store.
+    pub fn read_bytes(&mut self, domain: DomainId, addr: PhysAddr, buf: &mut [u8]) -> Cycles {
+        let addr = self.canonicalize(domain, addr);
+        let cycles = self.touch(domain, addr, buf.len() as u64, Access::Read);
+        self.store.read(addr, buf);
+        cycles
+    }
+
+    /// Timed write of `data`: charges one access per line and stores the
+    /// bytes (visible to both domains immediately — §7.1).
+    pub fn write_bytes(&mut self, domain: DomainId, addr: PhysAddr, data: &[u8]) -> Cycles {
+        let addr = self.canonicalize(domain, addr);
+        let cycles = self.touch(domain, addr, data.len() as u64, Access::Write);
+        self.store.write(addr, data);
+        cycles
+    }
+
+    /// Timed read of a little-endian `u64`.
+    pub fn read_u64(&mut self, domain: DomainId, addr: PhysAddr) -> (u64, Cycles) {
+        let addr = self.canonicalize(domain, addr);
+        let cycles = self.touch(domain, addr, 8, Access::Read);
+        (self.store.read_u64(addr), cycles)
+    }
+
+    /// Timed write of a little-endian `u64`.
+    pub fn write_u64(&mut self, domain: DomainId, addr: PhysAddr, value: u64) -> Cycles {
+        let addr = self.canonicalize(domain, addr);
+        let cycles = self.touch(domain, addr, 8, Access::Write);
+        self.store.write_u64(addr, value);
+        cycles
+    }
+
+    /// Timed atomic read-modify-write of a `u64` (compare-and-swap).
+    ///
+    /// Models §6.5/§7.1: both ISAs use single-instruction CAS (x86
+    /// `lock cmpxchg`, AArch64 LSE `CAS`), so a cross-ISA atomic is one
+    /// write-for-ownership access plus a fixed serialisation penalty.
+    pub fn cas_u64(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        expected: u64,
+        new: u64,
+        penalty: Cycles,
+    ) -> (Result<u64, u64>, Cycles) {
+        let addr = self.canonicalize(domain, addr);
+        let out = self.access(domain, addr, Access::Write, AccessKind::Data);
+        let cycles = out.cycles + penalty;
+        let current = self.store.read_u64(addr);
+        if current == expected {
+            self.store.write_u64(addr, new);
+            (Ok(current), cycles)
+        } else {
+            (Err(current), cycles)
+        }
+    }
+
+    /// Timed fetch-add on a `u64`.
+    pub fn fetch_add_u64(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        delta: u64,
+        penalty: Cycles,
+    ) -> (u64, Cycles) {
+        let addr = self.canonicalize(domain, addr);
+        let out = self.access(domain, addr, Access::Write, AccessKind::Data);
+        let old = self.store.read_u64(addr);
+        self.store.write_u64(addr, old.wrapping_add(delta));
+        (old, out.cycles + penalty)
+    }
+
+    /// Timed copy (e.g. DSM page replication): reads from `src`, writes
+    /// to `dst`, charging both sides' line accesses to `domain`.
+    pub fn copy_bytes(
+        &mut self,
+        domain: DomainId,
+        src: PhysAddr,
+        dst: PhysAddr,
+        len: u64,
+    ) -> Cycles {
+        let src = self.canonicalize(domain, src);
+        let dst = self.canonicalize(domain, dst);
+        let mut cycles = self.touch(domain, src, len, Access::Read);
+        cycles += self.touch(domain, dst, len, Access::Write);
+        self.store.copy(src, dst, len);
+        cycles
+    }
+
+    /// Charges one timed access per cache line in `[addr, addr+len)`.
+    fn touch(&mut self, domain: DomainId, addr: PhysAddr, len: u64, access: Access) -> Cycles {
+        if len == 0 {
+            return Cycles::ZERO;
+        }
+        let first = addr.line(self.line_bytes);
+        let last = PhysAddr::new(addr.raw() + len - 1).line(self.line_bytes);
+        let mut cycles = Cycles::ZERO;
+        for line in first..=last {
+            let line_addr = PhysAddr::new(line * self.line_bytes);
+            cycles += self.access(domain, line_addr, access, AccessKind::Data).cycles;
+        }
+        cycles
+    }
+
+    /// Whether `domain`'s L1/L2 hold the line containing `addr` — with
+    /// inclusive LLCs this implies [`MemorySystem::caches_line`], an
+    /// invariant the property tests check.
+    #[must_use]
+    pub fn upper_levels_resident(&self, domain: DomainId, addr: PhysAddr) -> bool {
+        let line = addr.line(self.line_bytes);
+        self.hierarchies[domain.index()].in_upper_levels(line)
+    }
+
+    /// Whether `domain`'s hierarchy (or the shared LLC) holds the line
+    /// containing `addr` — used by tests and the reference comparison.
+    #[must_use]
+    pub fn caches_line(&self, domain: DomainId, addr: PhysAddr) -> bool {
+        let line = addr.line(self.line_bytes);
+        match &self.shared_l3 {
+            Some(l3) => l3.contains(line),
+            None => self.hierarchies[domain.index()].contains(line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_sim::CacheConfig;
+
+    fn sys(model: HardwareModel) -> MemorySystem {
+        let cfg = SimConfig::big_pair().with_hw_model(model);
+        MemorySystem::new(cfg).unwrap()
+    }
+
+    const X86_LOCAL: PhysAddr = PhysAddr::new(0x10_0000);
+    const ARM_LOCAL: PhysAddr = PhysAddr::new(0x8000_0000); // 2 GB
+    const POOL: PhysAddr = PhysAddr::new(0x1_4000_0000); // 5 GB
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut m = sys(HardwareModel::Separated);
+        let out = m.access(DomainId::X86, X86_LOCAL, Access::Read, AccessKind::Data);
+        assert_eq!(out.level, HitLevel::Memory);
+        assert_eq!(out.class, Some(MemClass::Local));
+        assert_eq!(out.cycles.raw(), 300);
+        let out = m.access(DomainId::X86, X86_LOCAL, Access::Read, AccessKind::Data);
+        assert_eq!(out.level, HitLevel::L1);
+        assert_eq!(out.cycles.raw(), 4);
+        assert_eq!(m.stats(DomainId::X86).local_mem_hits, 1);
+        assert_eq!(m.stats(DomainId::X86).mem_accesses, 2);
+    }
+
+    #[test]
+    fn remote_miss_charges_remote_latency() {
+        let mut m = sys(HardwareModel::Separated);
+        let out = m.access(DomainId::X86, ARM_LOCAL, Access::Read, AccessKind::Data);
+        assert_eq!(out.class, Some(MemClass::Remote));
+        assert_eq!(out.cycles.raw(), 640); // Xeon Gold remote-mem
+        assert_eq!(m.stats(DomainId::X86).remote_mem_hits, 1);
+    }
+
+    #[test]
+    fn shared_pool_counts_remote_shared() {
+        let mut m = sys(HardwareModel::Shared);
+        let out = m.access(DomainId::ARM, POOL, Access::Read, AccessKind::Data);
+        assert_eq!(out.class, Some(MemClass::RemoteShared));
+        assert_eq!(out.cycles.raw(), 620); // ThunderX2 remote-mem
+        assert_eq!(m.stats(DomainId::ARM).remote_shared_mem_hits, 1);
+    }
+
+    #[test]
+    fn read_sharing_triggers_snoop_data() {
+        let mut m = sys(HardwareModel::Shared);
+        // x86 writes the line (Modified in x86's L3).
+        m.access(DomainId::X86, POOL, Access::Write, AccessKind::Data);
+        // Arm reads it: Snoop Data demotes x86's copy to Shared (§7.3).
+        let out = m.access(DomainId::ARM, POOL, Access::Read, AccessKind::Data);
+        assert!(out.snooped);
+        assert_eq!(out.cycles.raw(), 620 + 80);
+        assert_eq!(m.stats(DomainId::ARM).snoop_data_hits, 1);
+        // The dirty copy was demoted → counts as a writeback on x86.
+        assert_eq!(m.writebacks(DomainId::X86), 1);
+    }
+
+    #[test]
+    fn write_invalidates_peer_copy() {
+        let mut m = sys(HardwareModel::Shared);
+        m.access(DomainId::X86, POOL, Access::Read, AccessKind::Data);
+        assert!(m.caches_line(DomainId::X86, POOL));
+        // Arm writes: Snoop Invalidate (§7.3) drops x86's copy.
+        let out = m.access(DomainId::ARM, POOL, Access::Write, AccessKind::Data);
+        assert!(out.snooped);
+        assert_eq!(out.cycles.raw(), 620 + 90);
+        assert!(!m.caches_line(DomainId::X86, POOL));
+        assert_eq!(m.stats(DomainId::ARM).snoop_invalidations, 1);
+    }
+
+    #[test]
+    fn write_hit_on_shared_line_upgrades_and_snoops() {
+        let mut m = sys(HardwareModel::Shared);
+        // Both domains read the line → Shared in both.
+        m.access(DomainId::X86, POOL, Access::Read, AccessKind::Data);
+        m.access(DomainId::ARM, POOL, Access::Read, AccessKind::Data);
+        // x86 writes: L1 hit but must invalidate Arm's copy first.
+        let out = m.access(DomainId::X86, POOL, Access::Write, AccessKind::Data);
+        assert_eq!(out.level, HitLevel::L1);
+        assert!(out.snooped);
+        assert_eq!(out.cycles.raw(), 4 + 90);
+        assert!(!m.caches_line(DomainId::ARM, POOL));
+    }
+
+    #[test]
+    fn write_hit_on_exclusive_line_is_silent() {
+        let mut m = sys(HardwareModel::Separated);
+        m.access(DomainId::X86, X86_LOCAL, Access::Read, AccessKind::Data);
+        let out = m.access(DomainId::X86, X86_LOCAL, Access::Write, AccessKind::Data);
+        assert_eq!(out.level, HitLevel::L1);
+        assert!(!out.snooped);
+        assert_eq!(out.cycles.raw(), 4);
+    }
+
+    #[test]
+    fn fully_shared_everything_local_and_llc_shared() {
+        let mut m = sys(HardwareModel::FullyShared);
+        let out = m.access(DomainId::X86, POOL, Access::Write, AccessKind::Data);
+        assert_eq!(out.class, Some(MemClass::Local));
+        assert_eq!(out.cycles.raw(), 300);
+        // Arm finds the line in the *shared* L3 — no DRAM access.
+        let out = m.access(DomainId::ARM, POOL, Access::Read, AccessKind::Data);
+        assert_eq!(out.level, HitLevel::L3);
+        assert_eq!(m.stats(DomainId::ARM).memory_hits(), 0);
+    }
+
+    #[test]
+    fn fully_shared_write_back_invalidates_peer_l1() {
+        let mut m = sys(HardwareModel::FullyShared);
+        m.access(DomainId::ARM, POOL, Access::Read, AccessKind::Data);
+        // x86 writes the same line: Arm's L1/L2 copy must go (on-chip snoop).
+        let out = m.access(DomainId::X86, POOL, Access::Write, AccessKind::Data);
+        assert!(out.snooped);
+        // Arm re-reads: shared L3 still hits (no memory access), but its
+        // private L1 was dropped, so this is an L2/L3-level access.
+        let out = m.access(DomainId::ARM, POOL, Access::Read, AccessKind::Data);
+        assert_ne!(out.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn instruction_fetches_use_l1i() {
+        let mut m = sys(HardwareModel::Separated);
+        m.access(DomainId::X86, X86_LOCAL, Access::Read, AccessKind::Instruction);
+        m.access(DomainId::X86, X86_LOCAL, Access::Read, AccessKind::Instruction);
+        let s = m.stats(DomainId::X86);
+        assert_eq!(s.l1i.accesses, 2);
+        assert_eq!(s.l1i.hits, 1);
+        assert_eq!(s.l1d.accesses, 0);
+        // Instruction fetches do not count as data mem_accesses.
+        assert_eq!(s.mem_accesses, 0);
+    }
+
+    #[test]
+    fn timed_data_round_trip() {
+        let mut m = sys(HardwareModel::Shared);
+        let c = m.write_bytes(DomainId::X86, X86_LOCAL, b"fused-kernel");
+        assert!(c.raw() >= 300);
+        let mut buf = [0u8; 12];
+        let c2 = m.read_bytes(DomainId::ARM, X86_LOCAL, &mut buf);
+        assert_eq!(&buf, b"fused-kernel");
+        assert!(c2.raw() >= 620, "peer read pays remote latency, got {c2}");
+    }
+
+    #[test]
+    fn touch_charges_per_line() {
+        let mut m = sys(HardwareModel::Separated);
+        // 256 bytes = 4 lines, all cold local misses.
+        let c = m.write_bytes(DomainId::X86, X86_LOCAL, &[0u8; 256]);
+        assert_eq!(c.raw(), 4 * 300);
+        assert_eq!(m.stats(DomainId::X86).mem_accesses, 4);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = sys(HardwareModel::Shared);
+        m.store_mut().write_u64(POOL, 5);
+        let (r, c) = m.cas_u64(DomainId::X86, POOL, 5, 9, Cycles::new(20));
+        assert_eq!(r, Ok(5));
+        assert!(c.raw() > 20);
+        assert_eq!(m.store().read_u64(POOL), 9);
+        let (r, _) = m.cas_u64(DomainId::ARM, POOL, 5, 11, Cycles::new(20));
+        assert_eq!(r, Err(9));
+        assert_eq!(m.store().read_u64(POOL), 9, "failed CAS must not write");
+    }
+
+    #[test]
+    fn fetch_add_returns_old() {
+        let mut m = sys(HardwareModel::Shared);
+        let (old, _) = m.fetch_add_u64(DomainId::X86, POOL, 3, Cycles::new(20));
+        assert_eq!(old, 0);
+        let (old, _) = m.fetch_add_u64(DomainId::ARM, POOL, 4, Cycles::new(20));
+        assert_eq!(old, 3);
+        assert_eq!(m.store().read_u64(POOL), 7);
+    }
+
+    #[test]
+    fn copy_bytes_moves_data_and_charges_both_sides() {
+        let mut m = sys(HardwareModel::Separated);
+        m.store_mut().write(X86_LOCAL, &[7u8; 4096]);
+        let c = m.copy_bytes(DomainId::ARM, X86_LOCAL, ARM_LOCAL, 4096);
+        // 64 line reads from remote (x86) memory + 64 line writes local.
+        assert!(c.raw() >= 64 * (640 + 300) - 64 * 300, "copy cost too low: {c}");
+        let mut buf = [0u8; 8];
+        m.store().read(ARM_LOCAL, &mut buf);
+        assert_eq!(buf, [7u8; 8]);
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_upper_levels() {
+        // Tiny caches to force evictions quickly.
+        let mut cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Separated);
+        for d in &mut cfg.domains {
+            d.cache = CacheConfig {
+                l1i: stramash_sim::CacheGeometry::new(128, 2, 64),
+                l1d: stramash_sim::CacheGeometry::new(128, 2, 64),
+                l2: stramash_sim::CacheGeometry::new(256, 2, 64),
+                l3: stramash_sim::CacheGeometry::new(256, 2, 64),
+            };
+        }
+        let mut m = MemorySystem::new(cfg).unwrap();
+        // Fill one L3 set (2 ways, 2 sets: same-set lines are 128 B apart).
+        for i in 0..3u64 {
+            m.access(
+                DomainId::X86,
+                PhysAddr::new(0x10_0000 + i * 128),
+                Access::Read,
+                AccessKind::Data,
+            );
+        }
+        // First line must be gone from the entire hierarchy (inclusive).
+        assert!(!m.caches_line(DomainId::X86, PhysAddr::new(0x10_0000)));
+        let out = m.access(DomainId::X86, PhysAddr::new(0x10_0000), Access::Read, AccessKind::Data);
+        assert_eq!(out.level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Separated);
+        for d in &mut cfg.domains {
+            d.cache = CacheConfig {
+                l1i: stramash_sim::CacheGeometry::new(128, 2, 64),
+                l1d: stramash_sim::CacheGeometry::new(128, 2, 64),
+                l2: stramash_sim::CacheGeometry::new(256, 2, 64),
+                l3: stramash_sim::CacheGeometry::new(256, 2, 64),
+            };
+        }
+        let mut m = MemorySystem::new(cfg).unwrap();
+        for i in 0..3u64 {
+            m.access(
+                DomainId::X86,
+                PhysAddr::new(0x10_0000 + i * 128),
+                Access::Write,
+                AccessKind::Data,
+            );
+        }
+        assert!(m.writebacks(DomainId::X86) >= 1);
+    }
+
+    #[test]
+    fn aliases_remap_per_domain_and_stay_coherent() {
+        // §7 "memory remapping": the Arm instance maps the pool at a
+        // different physical base (as OpenPiton-style platforms do);
+        // both views are the same coherent memory.
+        let mut m = sys(HardwareModel::FullyShared);
+        let arm_view = PhysAddr::new(0x7_0000_0000);
+        let canon = PhysAddr::new(5 << 30);
+        m.add_alias(DomainId::ARM, arm_view, 1 << 20, canon);
+        // Arm writes through its alias…
+        m.write_u64(DomainId::ARM, arm_view.offset(0x40), 0xfade);
+        // …and x86 reads the canonical address coherently.
+        let (v, _) = m.read_u64(DomainId::X86, canon.offset(0x40));
+        assert_eq!(v, 0xfade);
+        // Writes the other way are visible through the alias.
+        m.write_u64(DomainId::X86, canon.offset(0x80), 7);
+        let (v, _) = m.read_u64(DomainId::ARM, arm_view.offset(0x80));
+        assert_eq!(v, 7);
+        // The alias does not apply to the other domain.
+        assert_eq!(m.canonicalize(DomainId::X86, arm_view), arm_view);
+        assert_eq!(m.canonicalize(DomainId::ARM, arm_view), canon);
+    }
+
+    #[test]
+    fn alias_views_share_cache_lines() {
+        // Cache coherence must key on the canonical address: an aliased
+        // write invalidates the peer's canonically-cached copy.
+        let mut m = sys(HardwareModel::Shared);
+        let arm_view = PhysAddr::new(0x7_0000_0000);
+        let canon = PhysAddr::new(5 << 30);
+        m.add_alias(DomainId::ARM, arm_view, 1 << 20, canon);
+        m.access(DomainId::X86, canon, Access::Read, AccessKind::Data);
+        assert!(m.caches_line(DomainId::X86, canon));
+        let out = m.access(DomainId::ARM, arm_view, Access::Write, AccessKind::Data);
+        assert!(out.snooped, "aliased write must snoop the canonical copy");
+        assert!(!m.caches_line(DomainId::X86, canon));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn alias_overlap_rejected() {
+        let mut m = sys(HardwareModel::Shared);
+        m.add_alias(DomainId::ARM, PhysAddr::new(0x1000), 0x2000, PhysAddr::new(0x2000));
+    }
+
+    #[test]
+    fn reset_and_flush() {
+        let mut m = sys(HardwareModel::Shared);
+        m.access(DomainId::X86, X86_LOCAL, Access::Read, AccessKind::Data);
+        m.reset_stats();
+        assert_eq!(m.stats(DomainId::X86).mem_accesses, 0);
+        assert!(m.caches_line(DomainId::X86, X86_LOCAL), "reset_stats keeps contents");
+        m.flush_caches();
+        assert!(!m.caches_line(DomainId::X86, X86_LOCAL));
+    }
+}

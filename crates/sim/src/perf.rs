@@ -1,0 +1,254 @@
+//! The perf + icount measurement tool (§7.3 "Instruction Counting").
+//!
+//! "Measuring programs' execution time in a heterogeneous-ISA platform
+//! is not as straightforward as in homogeneous-ISA platforms because the
+//! application can migrate between CPUs of diverse ISA at runtime. We
+//! have integrated our icount approach with Linux Perf to get an
+//! accurate measurement of the time that the application has actually
+//! executed." A [`PerfSession`] snapshots both domains' clocks at
+//! migration (or arbitrary) markers and reports per-phase instruction
+//! and cycle deltas attributed to the domain that executed each phase.
+
+use crate::time::{Cycles, DomainId, Timebase};
+use std::fmt::Write as _;
+
+/// One snapshot of both domain clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfSample {
+    /// Marker label ("start", "migrate x86→arm", …).
+    pub label: String,
+    /// Per-domain retired instructions at the marker.
+    pub icount: [u64; 2],
+    /// Per-domain total cycles at the marker.
+    pub cycles: [u64; 2],
+}
+
+/// A per-phase delta between consecutive markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfPhase {
+    /// The marker that *opened* the phase.
+    pub label: String,
+    /// Per-domain instructions retired during the phase.
+    pub insns: [u64; 2],
+    /// Per-domain cycles spent during the phase.
+    pub cycles: [u64; 2],
+}
+
+impl PerfPhase {
+    /// The domain that did (almost all of) the phase's work.
+    #[must_use]
+    pub fn dominant_domain(&self) -> DomainId {
+        if self.cycles[0] >= self.cycles[1] {
+            DomainId::X86
+        } else {
+            DomainId::ARM
+        }
+    }
+
+    /// Total cycles across both domains.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles::new(self.cycles.iter().sum())
+    }
+
+    /// Effective instructions-per-cycle of the phase (both domains).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        let c: u64 = self.cycles.iter().sum();
+        if c == 0 {
+            0.0
+        } else {
+            self.insns.iter().sum::<u64>() as f64 / c as f64
+        }
+    }
+}
+
+/// A measurement session over a run with migrations.
+#[derive(Debug, Clone, Default)]
+pub struct PerfSession {
+    samples: Vec<PerfSample>,
+}
+
+impl PerfSession {
+    /// An empty session.
+    #[must_use]
+    pub fn new() -> Self {
+        PerfSession::default()
+    }
+
+    /// Records a marker from the current timebase.
+    pub fn sample(&mut self, label: impl Into<String>, timebase: &Timebase) {
+        let get = |d: DomainId| {
+            let c = timebase.clock(d);
+            (c.icount(), c.cycles().raw())
+        };
+        let (i0, c0) = get(DomainId::X86);
+        let (i1, c1) = get(DomainId::ARM);
+        self.samples.push(PerfSample { label: label.into(), icount: [i0, i1], cycles: [c0, c1] });
+    }
+
+    /// Raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[PerfSample] {
+        &self.samples
+    }
+
+    /// Per-phase deltas between consecutive markers.
+    #[must_use]
+    pub fn phases(&self) -> Vec<PerfPhase> {
+        self.samples
+            .windows(2)
+            .map(|w| PerfPhase {
+                label: w[0].label.clone(),
+                insns: [w[1].icount[0] - w[0].icount[0], w[1].icount[1] - w[0].icount[1]],
+                cycles: [w[1].cycles[0] - w[0].cycles[0], w[1].cycles[1] - w[0].cycles[1]],
+            })
+            .collect()
+    }
+
+    /// Total instructions attributed to each domain across all phases —
+    /// the §9.1.2 "pre- and post-migration" accounting.
+    #[must_use]
+    pub fn per_domain_insns(&self) -> [u64; 2] {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(first), Some(last)) => {
+                [last.icount[0] - first.icount[0], last.icount[1] - first.icount[1]]
+            }
+            _ => [0, 0],
+        }
+    }
+
+    /// Renders a perf-style per-phase report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:>14} {:>14} {:>8} {:>6}", "phase", "insns", "cycles", "on", "IPC");
+        for p in self.phases() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14} {:>8} {:>6.2}",
+                p.label,
+                p.insns.iter().sum::<u64>(),
+                p.total_cycles().raw(),
+                p.dominant_domain().to_string(),
+                p.ipc()
+            );
+        }
+        out
+    }
+
+    /// Clears the session.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Exports the phases as a Chrome trace-event JSON array
+    /// (`chrome://tracing` / Perfetto): one complete event per phase on
+    /// the track of the domain that executed it, timestamps in
+    /// simulated microseconds at `freq_hz`.
+    #[must_use]
+    pub fn to_chrome_trace(&self, freq_hz: u64) -> String {
+        let us = |cycles: u64| cycles as f64 * 1e6 / freq_hz as f64;
+        let mut events = Vec::new();
+        let mut cursor = [0u64; 2];
+        for p in self.phases() {
+            let d = p.dominant_domain();
+            let di = d.index();
+            let dur = p.cycles[di];
+            events.push(format!(
+                r#"{{"name":"{}","ph":"X","pid":1,"tid":{},"ts":{:.3},"dur":{:.3},"args":{{"insns":{},"cycles":{}}}}}"#,
+                p.label.replace('"', "'"),
+                di + 1,
+                us(cursor[di]),
+                us(dur),
+                p.insns.iter().sum::<u64>(),
+                p.total_cycles().raw(),
+            ));
+            cursor[di] += dur;
+        }
+        format!("[{}]", events.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_attribute_work_to_the_executing_domain() {
+        let mut tb = Timebase::new();
+        let mut perf = PerfSession::new();
+        perf.sample("start", &tb);
+        tb.clock_mut(DomainId::X86).retire(1000);
+        tb.clock_mut(DomainId::X86).add_memory(Cycles::new(500));
+        perf.sample("migrate x86->arm", &tb);
+        tb.clock_mut(DomainId::ARM).retire(2000);
+        perf.sample("migrate arm->x86", &tb);
+        tb.clock_mut(DomainId::X86).retire(100);
+        perf.sample("end", &tb);
+
+        let phases = perf.phases();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].insns, [1000, 0]);
+        assert_eq!(phases[0].dominant_domain(), DomainId::X86);
+        assert_eq!(phases[0].total_cycles().raw(), 1500);
+        assert_eq!(phases[1].insns, [0, 2000]);
+        assert_eq!(phases[1].dominant_domain(), DomainId::ARM);
+        assert_eq!(phases[2].insns, [100, 0]);
+        assert_eq!(perf.per_domain_insns(), [1100, 2000]);
+    }
+
+    #[test]
+    fn ipc_accounts_memory_stalls() {
+        let mut tb = Timebase::new();
+        let mut perf = PerfSession::new();
+        perf.sample("start", &tb);
+        tb.clock_mut(DomainId::X86).retire(100);
+        tb.clock_mut(DomainId::X86).add_memory(Cycles::new(300));
+        perf.sample("end", &tb);
+        let p = &perf.phases()[0];
+        assert!((p.ipc() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_and_reset() {
+        let mut tb = Timebase::new();
+        let mut perf = PerfSession::new();
+        perf.sample("start", &tb);
+        tb.clock_mut(DomainId::ARM).retire(5);
+        perf.sample("end", &tb);
+        let r = perf.report();
+        assert!(r.contains("start"));
+        assert!(r.contains("arm"));
+        perf.reset();
+        assert!(perf.samples().is_empty());
+        assert_eq!(perf.per_domain_insns(), [0, 0]);
+    }
+
+    #[test]
+    fn chrome_trace_export() {
+        let mut tb = Timebase::new();
+        let mut perf = PerfSession::new();
+        perf.sample("start", &tb);
+        tb.clock_mut(DomainId::X86).retire(2_100); // 1 µs at 2.1 GHz
+        perf.sample("migrate x86->arm", &tb);
+        tb.clock_mut(DomainId::ARM).retire(4_200);
+        perf.sample("end", &tb);
+        let json = perf.to_chrome_trace(2_100_000_000);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#""name":"start""#));
+        assert!(json.contains(r#""tid":1"#), "x86 track present");
+        assert!(json.contains(r#""tid":2"#), "arm track present");
+        assert!(json.contains(r#""dur":1.000"#), "1 µs phase duration");
+        // Empty sessions export an empty array.
+        assert_eq!(PerfSession::new().to_chrome_trace(1_000_000_000), "[]");
+    }
+
+    #[test]
+    fn empty_session_is_harmless() {
+        let perf = PerfSession::new();
+        assert!(perf.phases().is_empty());
+        assert_eq!(perf.per_domain_insns(), [0, 0]);
+        assert!(!perf.report().is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Per-domain simulation statistics.
+//!
+//! [`DomainStats`] mirrors the counter block that the Stramash artifact's
+//! cache plugin prints at the end of a run (Artifact Appendix A.5
+//! "Example output"): per-level cache hit counts and rates, IPI count,
+//! local/remote/remote-shared memory hits, instruction and memory-access
+//! counts, and the derived runtime.
+
+use crate::config::LatencyTable;
+use crate::time::Cycles;
+use std::fmt;
+
+/// The artifact's Fully-Shared runtime derivation (Appendix A.5):
+///
+/// ```text
+/// Fully Shared Runtime = Final Runtime − Remote Memory Hits × (remote − local)
+/// ```
+///
+/// With the AE plugin constants (remote 660, local 360) the subtracted
+/// term is `remote_hits × 0.455 × remote`; expressed against a
+/// [`LatencyTable`] it is simply the remote-vs-local differential per
+/// remote DRAM hit.
+#[must_use]
+pub fn fully_shared_estimate(
+    runtime: Cycles,
+    remote_hits: u64,
+    table: &LatencyTable,
+) -> Cycles {
+    let differential = u64::from(table.remote_mem.saturating_sub(table.mem));
+    runtime.saturating_sub(Cycles::new(remote_hits * differential))
+}
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Accesses that reached this level.
+    pub accesses: u64,
+    /// Accesses that hit at this level.
+    pub hits: u64,
+}
+
+impl LevelStats {
+    /// Hit rate in `[0, 1]`; zero when the level was never accessed.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Records one access, a hit when `hit` is true.
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        self.hits += u64::from(hit);
+    }
+}
+
+/// All counters for one ISA domain, in the artifact's output format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// L1 instruction cache.
+    pub l1i: LevelStats,
+    /// L1 data cache.
+    pub l1d: LevelStats,
+    /// Unified L2.
+    pub l2: LevelStats,
+    /// Unified L3 / LLC.
+    pub l3: LevelStats,
+    /// Inter-processor interrupts sent by this domain.
+    pub ipi: u64,
+    /// Cache misses satisfied by this domain's local memory.
+    pub local_mem_hits: u64,
+    /// Cache misses satisfied by the *other* domain's memory (remote).
+    pub remote_mem_hits: u64,
+    /// Cache misses satisfied by the shared memory pool (remote shared).
+    pub remote_shared_mem_hits: u64,
+    /// Cache misses satisfied by a snoop from the other domain's cache.
+    pub snoop_data_hits: u64,
+    /// Snoop invalidations this domain *caused* in the other domain.
+    pub snoop_invalidations: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Memory accesses issued.
+    pub mem_accesses: u64,
+    /// Accumulated runtime (icount + memory feedback).
+    pub runtime: Cycles,
+}
+
+impl DomainStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        DomainStats::default()
+    }
+
+    /// Combined L1 hit rate over instruction and data accesses.
+    #[must_use]
+    pub fn l1_combined_hit_rate(&self) -> f64 {
+        let acc = self.l1i.accesses + self.l1d.accesses;
+        if acc == 0 {
+            0.0
+        } else {
+            (self.l1i.hits + self.l1d.hits) as f64 / acc as f64
+        }
+    }
+
+    /// Total misses that left the cache hierarchy.
+    #[must_use]
+    pub fn memory_hits(&self) -> u64 {
+        self.local_mem_hits + self.remote_mem_hits + self.remote_shared_mem_hits
+    }
+
+    /// Adds another domain's counters into this one (for aggregation).
+    pub fn merge(&mut self, other: &DomainStats) {
+        self.l1i.accesses += other.l1i.accesses;
+        self.l1i.hits += other.l1i.hits;
+        self.l1d.accesses += other.l1d.accesses;
+        self.l1d.hits += other.l1d.hits;
+        self.l2.accesses += other.l2.accesses;
+        self.l2.hits += other.l2.hits;
+        self.l3.accesses += other.l3.accesses;
+        self.l3.hits += other.l3.hits;
+        self.ipi += other.ipi;
+        self.local_mem_hits += other.local_mem_hits;
+        self.remote_mem_hits += other.remote_mem_hits;
+        self.remote_shared_mem_hits += other.remote_shared_mem_hits;
+        self.snoop_data_hits += other.snoop_data_hits;
+        self.snoop_invalidations += other.snoop_invalidations;
+        self.instructions += other.instructions;
+        self.mem_accesses += other.mem_accesses;
+        self.runtime += other.runtime;
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = DomainStats::default();
+    }
+
+    /// Renders the artifact-style report block.
+    #[must_use]
+    pub fn report(&self, label: &str) -> String {
+        let mut s = String::new();
+        use fmt::Write as _;
+        let _ = writeln!(s, "{label}:");
+        let _ = writeln!(s, "L1 Cache Hit Rate: {:.2}%", self.l1_combined_hit_rate() * 100.0);
+        let _ = writeln!(s, "L2 Cache Hit Rate: {:.2}%", self.l2.hit_rate() * 100.0);
+        let _ = writeln!(s, "L3 Cache Hit Rate: {:.2}%", self.l3.hit_rate() * 100.0);
+        let _ = writeln!(s, "L1 Cache Hits: {}", self.l1i.hits + self.l1d.hits);
+        let _ = writeln!(s, "L2 Cache Hits: {}", self.l2.hits);
+        let _ = writeln!(s, "L3 Cache Hits: {}", self.l3.hits);
+        let _ = writeln!(s, "L1 Cache Accesses: {}", self.l1i.accesses + self.l1d.accesses);
+        let _ = writeln!(s, "L2 Cache Accesses: {}", self.l2.accesses);
+        let _ = writeln!(s, "L3 Cache Accesses: {}", self.l3.accesses);
+        let _ = writeln!(s, "IPI: {}", self.ipi);
+        let _ = writeln!(s, "Local Memory Hits: {}", self.local_mem_hits);
+        let _ = writeln!(s, "Remote Memory Hits: {}", self.remote_mem_hits);
+        let _ = writeln!(s, "Remote Shared Memory Hits: {}", self.remote_shared_mem_hits);
+        let _ = writeln!(s, "Number of Instructions: {}", self.instructions);
+        let _ = writeln!(s, "Number of mem_access: {}", self.mem_accesses);
+        let _ = writeln!(s, "Runtime: {}", self.runtime.raw());
+        s
+    }
+}
+
+impl fmt::Display for DomainStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.report("domain"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ae_fully_shared_derivation() {
+        // 1000 remote hits on the Xeon Gold row: each saves 640−300
+        // cycles under the Fully-Shared model.
+        let est = fully_shared_estimate(
+            Cycles::new(1_000_000),
+            1000,
+            &LatencyTable::XEON_GOLD,
+        );
+        assert_eq!(est.raw(), 1_000_000 - 1000 * 340);
+        // Saturates instead of underflowing.
+        let est = fully_shared_estimate(Cycles::new(10), 1000, &LatencyTable::XEON_GOLD);
+        assert_eq!(est, Cycles::ZERO);
+        // The AE constants give the paper's 0.455 ratio.
+        let ae = LatencyTable { l1: 4, l2: 14, l3: 50, mem: 360, remote_mem: 660 };
+        assert!((ae.remote_differential_ratio() - 0.455).abs() < 0.01);
+    }
+
+    #[test]
+    fn level_hit_rate() {
+        let mut l = LevelStats::default();
+        assert_eq!(l.hit_rate(), 0.0);
+        l.record(true);
+        l.record(true);
+        l.record(false);
+        assert!((l.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(l.accesses, 3);
+        assert_eq!(l.hits, 2);
+    }
+
+    #[test]
+    fn combined_l1_rate_weighs_both_caches() {
+        let mut s = DomainStats::new();
+        s.l1i = LevelStats { accesses: 100, hits: 100 };
+        s.l1d = LevelStats { accesses: 100, hits: 0 };
+        assert!((s.l1_combined_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_hits_sums_all_classes() {
+        let s = DomainStats {
+            local_mem_hits: 3,
+            remote_mem_hits: 5,
+            remote_shared_mem_hits: 7,
+            ..DomainStats::default()
+        };
+        assert_eq!(s.memory_hits(), 15);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = DomainStats { ipi: 1, instructions: 10, ..DomainStats::default() };
+        let b = DomainStats {
+            ipi: 2,
+            instructions: 5,
+            runtime: Cycles::new(100),
+            ..DomainStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ipi, 3);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.runtime.raw(), 100);
+    }
+
+    #[test]
+    fn report_contains_artifact_fields() {
+        let s = DomainStats { remote_mem_hits: 42, ..DomainStats::default() };
+        let r = s.report("x86");
+        assert!(r.contains("Remote Memory Hits: 42"));
+        assert!(r.contains("L3 Cache Hit Rate:"));
+        assert!(r.contains("Runtime:"));
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = DomainStats { ipi: 9, ..DomainStats::default() };
+        s.reset();
+        assert_eq!(s, DomainStats::default());
+    }
+}

@@ -1,0 +1,301 @@
+//! Typed application-side memory access.
+//!
+//! Workloads are real algorithms whose every load and store travels
+//! through the simulated OS and memory system. [`MemoryClient`] wraps an
+//! [`OsSystem`] + [`Pid`] with typed array helpers and instruction
+//! accounting, playing the role of the compiled NPB binary running on
+//! the machine.
+
+use stramash_kernel::addr::VirtAddr;
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{OsError, OsSystem};
+use stramash_kernel::vma::VmaProt;
+use stramash_sim::DomainId;
+
+/// A virtually-addressed `f64` array owned by the process.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayF64 {
+    base: VirtAddr,
+    len: u64,
+}
+
+impl ArrayF64 {
+    /// Element count.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn at(&self, i: u64) -> VirtAddr {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base.offset(i * 8)
+    }
+}
+
+/// A virtually-addressed `u64` array owned by the process.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayU64 {
+    base: VirtAddr,
+    len: u64,
+}
+
+impl ArrayU64 {
+    /// Element count.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn at(&self, i: u64) -> VirtAddr {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base.offset(i * 8)
+    }
+}
+
+/// Batched instruction accounting: retiring per-op would call into the
+/// timebase constantly, so the client accumulates and flushes.
+const EXEC_FLUSH: u64 = 4096;
+
+/// The application's view of the machine.
+///
+/// # Examples
+///
+/// ```
+/// use stramash_kernel::system::VanillaSystem;
+/// use stramash_sim::{DomainId, SimConfig};
+/// use stramash_workloads::MemoryClient;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sys = VanillaSystem::new(SimConfig::big_pair())?;
+/// let pid = sys.spawn(DomainId::X86)?;
+/// let mut app = MemoryClient::new(&mut sys, pid);
+/// let xs = app.alloc_f64(128)?;
+/// app.st_f64(xs, 0, 3.5)?;
+/// app.work(12)?; // twelve compute instructions
+/// assert_eq!(app.ld_f64(xs, 0)?, 3.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemoryClient<'a, S: OsSystem> {
+    sys: &'a mut S,
+    pid: Pid,
+    pending_insns: u64,
+}
+
+impl<'a, S: OsSystem> MemoryClient<'a, S> {
+    /// Wraps a system and process.
+    pub fn new(sys: &'a mut S, pid: Pid) -> Self {
+        MemoryClient { sys, pid, pending_insns: 0 }
+    }
+
+    /// The wrapped process id.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The underlying system.
+    pub fn system(&mut self) -> &mut S {
+        self.sys
+    }
+
+    /// Allocates an `f64` array (lazily populated on fault).
+    ///
+    /// # Errors
+    ///
+    /// VMA errors.
+    pub fn alloc_f64(&mut self, len: u64) -> Result<ArrayF64, OsError> {
+        let base = self.sys.mmap(self.pid, len * 8, VmaProt::rw())?;
+        Ok(ArrayF64 { base, len })
+    }
+
+    /// Allocates a `u64` array.
+    ///
+    /// # Errors
+    ///
+    /// VMA errors.
+    pub fn alloc_u64(&mut self, len: u64) -> Result<ArrayU64, OsError> {
+        let base = self.sys.mmap(self.pid, len * 8, VmaProt::rw())?;
+        Ok(ArrayU64 { base, len })
+    }
+
+    /// Allocates raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// VMA errors.
+    pub fn alloc_bytes(&mut self, len: u64) -> Result<VirtAddr, OsError> {
+        self.sys.mmap(self.pid, len, VmaProt::rw())
+    }
+
+    /// Loads `a[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_f64(&mut self, a: ArrayF64, i: u64) -> Result<f64, OsError> {
+        self.sys.load_f64(self.pid, a.at(i))
+    }
+
+    /// Stores `a[i] = v`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_f64(&mut self, a: ArrayF64, i: u64, v: f64) -> Result<(), OsError> {
+        self.sys.store_f64(self.pid, a.at(i), v)
+    }
+
+    /// Loads `a[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_u64(&mut self, a: ArrayU64, i: u64) -> Result<u64, OsError> {
+        self.sys.load_u64(self.pid, a.at(i))
+    }
+
+    /// Stores `a[i] = v`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_u64(&mut self, a: ArrayU64, i: u64, v: u64) -> Result<(), OsError> {
+        self.sys.store_u64(self.pid, a.at(i), v)
+    }
+
+    /// Accounts `n` compute instructions (flushed in batches).
+    ///
+    /// # Errors
+    ///
+    /// Process-lookup errors on flush.
+    pub fn work(&mut self, n: u64) -> Result<(), OsError> {
+        self.pending_insns += n;
+        if self.pending_insns >= EXEC_FLUSH {
+            let pending = self.pending_insns;
+            self.pending_insns = 0;
+            self.sys.exec(self.pid, pending)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any pending instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Process-lookup errors.
+    pub fn flush_work(&mut self) -> Result<(), OsError> {
+        if self.pending_insns > 0 {
+            let pending = self.pending_insns;
+            self.pending_insns = 0;
+            self.sys.exec(self.pid, pending)?;
+        }
+        Ok(())
+    }
+
+    /// Migrates the thread (flushing pending work first so instructions
+    /// are charged to the domain that executed them).
+    ///
+    /// # Errors
+    ///
+    /// Migration errors.
+    pub fn migrate(&mut self, to: DomainId) -> Result<(), OsError> {
+        self.flush_work()?;
+        self.sys.migrate(self.pid, to)?;
+        Ok(())
+    }
+
+    /// The executing domain.
+    ///
+    /// # Errors
+    ///
+    /// Process-lookup errors.
+    pub fn domain(&self) -> Result<DomainId, OsError> {
+        self.sys.current_domain(self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_kernel::system::VanillaSystem;
+    use stramash_sim::SimConfig;
+
+    fn client_env() -> (VanillaSystem, Pid) {
+        let mut sys = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        (sys, pid)
+    }
+
+    #[test]
+    fn typed_array_roundtrip() {
+        let (mut sys, pid) = client_env();
+        let mut c = MemoryClient::new(&mut sys, pid);
+        let a = c.alloc_f64(100).unwrap();
+        let b = c.alloc_u64(100).unwrap();
+        for i in 0..100 {
+            c.st_f64(a, i, i as f64 * 0.5).unwrap();
+            c.st_u64(b, i, i * 3).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(c.ld_f64(a, i).unwrap(), i as f64 * 0.5);
+            assert_eq!(c.ld_u64(b, i).unwrap(), i * 3);
+        }
+        assert_eq!(a.len(), 100);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let a = ArrayF64 { base: VirtAddr::new(0x4000_0000), len: 4 };
+        let _ = a.at(4);
+    }
+
+    #[test]
+    fn work_batches_and_flushes() {
+        let (mut sys, pid) = client_env();
+        let mut c = MemoryClient::new(&mut sys, pid);
+        for _ in 0..100 {
+            c.work(10).unwrap();
+        }
+        c.flush_work().unwrap();
+        assert_eq!(sys.base().timebase.clock(DomainId::X86).icount(), 1000);
+    }
+
+    #[test]
+    fn arrays_do_not_alias() {
+        let (mut sys, pid) = client_env();
+        let mut c = MemoryClient::new(&mut sys, pid);
+        let a = c.alloc_u64(16).unwrap();
+        let b = c.alloc_u64(16).unwrap();
+        c.st_u64(a, 0, 111).unwrap();
+        c.st_u64(b, 0, 222).unwrap();
+        assert_eq!(c.ld_u64(a, 0).unwrap(), 111);
+    }
+}

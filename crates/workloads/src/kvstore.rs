@@ -1,0 +1,519 @@
+//! The network-serving application of §9.2.8 (Figure 14).
+//!
+//! A functional in-simulator key-value store standing in for the
+//! modified Redis server: the client lives on the x86 kernel, the server
+//! thread is migrated to the Arm kernel, and every request crosses the
+//! messaging layer (TCP vs SHM) while the server's data-structure
+//! accesses run through the simulated memory system. The store supports
+//! the eight redis-benchmark operations the figure reports.
+
+use crate::target::TargetSystem;
+use stramash_kernel::addr::VirtAddr;
+use stramash_kernel::msg::{Message, MsgType};
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{OsError, OsSystem};
+use stramash_kernel::vma::VmaProt;
+use stramash_sim::{Cycles, DomainId};
+use std::fmt;
+
+/// The redis-benchmark operations of Figure 14, in the figure's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvOp {
+    /// String read.
+    Get,
+    /// String write.
+    Set,
+    /// Push at the list head.
+    Lpush,
+    /// Push at the list tail.
+    Rpush,
+    /// Pop from the head.
+    Lpop,
+    /// Pop from the tail.
+    Rpop,
+    /// Set-insert with dedup.
+    Sadd,
+    /// Multi-key string write (5 keys per request).
+    Mset,
+}
+
+impl KvOp {
+    /// All eight, in figure order.
+    pub const ALL: [KvOp; 8] = [
+        KvOp::Get,
+        KvOp::Set,
+        KvOp::Lpush,
+        KvOp::Rpush,
+        KvOp::Lpop,
+        KvOp::Rpop,
+        KvOp::Sadd,
+        KvOp::Mset,
+    ];
+}
+
+impl fmt::Display for KvOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KvOp::Get => "get",
+            KvOp::Set => "set",
+            KvOp::Lpush => "lpush",
+            KvOp::Rpush => "rpush",
+            KvOp::Lpop => "lpop",
+            KvOp::Rpop => "rpop",
+            KvOp::Sadd => "sadd",
+            KvOp::Mset => "mset",
+        };
+        f.write_str(s)
+    }
+}
+
+const BUCKETS: u64 = 256;
+const ENTRY_HEADER: u64 = 24; // next, keyhash, len
+
+/// The server's in-simulator data structures.
+#[derive(Debug)]
+pub struct KvServer {
+    /// Hash buckets for strings (u64 VA pointers, 0 = empty).
+    buckets: VirtAddr,
+    /// Hash buckets for the set type.
+    set_buckets: VirtAddr,
+    /// Head pointer word of the global list.
+    list_head: VirtAddr,
+    /// Tail pointer word.
+    list_tail: VirtAddr,
+    heap_base: VirtAddr,
+    heap_len: u64,
+    heap_cursor: u64,
+}
+
+impl KvServer {
+    /// Allocates the store's structures in the process's address space
+    /// (they will live in whichever kernel's memory faults them in).
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn setup(
+        sys: &mut TargetSystem,
+        pid: Pid,
+        heap_len: u64,
+    ) -> Result<Self, OsError> {
+        let buckets = sys.mmap(pid, BUCKETS * 8, VmaProt::rw())?;
+        let set_buckets = sys.mmap(pid, BUCKETS * 8, VmaProt::rw())?;
+        let words = sys.mmap(pid, 4096, VmaProt::rw())?;
+        let heap_base = sys.mmap(pid, heap_len, VmaProt::rw())?;
+        // Zero the bucket arrays and list words (first touch).
+        for b in 0..BUCKETS {
+            sys.store_u64(pid, buckets.offset(b * 8), 0)?;
+            sys.store_u64(pid, set_buckets.offset(b * 8), 0)?;
+        }
+        sys.store_u64(pid, words, 0)?;
+        sys.store_u64(pid, words.offset(8), 0)?;
+        Ok(KvServer {
+            buckets,
+            set_buckets,
+            list_head: words,
+            list_tail: words.offset(8),
+            heap_base,
+            heap_len,
+            heap_cursor: 0,
+        })
+    }
+
+    fn alloc(&mut self, size: u64) -> VirtAddr {
+        let aligned = size.div_ceil(64) * 64;
+        assert!(
+            self.heap_cursor + aligned <= self.heap_len,
+            "KV heap exhausted — enlarge heap_len"
+        );
+        let va = self.heap_base.offset(self.heap_cursor);
+        self.heap_cursor += aligned;
+        va
+    }
+
+    /// Executes one operation server-side, returning the response
+    /// payload length.
+    ///
+    /// # Errors
+    ///
+    /// OS errors from the store's memory traffic.
+    pub fn process(
+        &mut self,
+        sys: &mut TargetSystem,
+        pid: Pid,
+        op: KvOp,
+        key_hash: u64,
+        payload: &[u8],
+    ) -> Result<u32, OsError> {
+        match op {
+            KvOp::Set => {
+                self.insert_string(sys, pid, key_hash, payload)?;
+                Ok(8)
+            }
+            KvOp::Mset => {
+                for k in 0..5 {
+                    self.insert_string(sys, pid, key_hash.wrapping_add(k * 7919), payload)?;
+                }
+                Ok(8)
+            }
+            KvOp::Get => {
+                let found = self.lookup_string(sys, pid, key_hash)?;
+                Ok(found.map_or(8, |len| len as u32))
+            }
+            KvOp::Lpush | KvOp::Rpush => {
+                let node = self.alloc(ENTRY_HEADER + payload.len() as u64);
+                sys.write_mem(pid, node.offset(ENTRY_HEADER), payload)?;
+                sys.store_u64(pid, node.offset(16), payload.len() as u64)?;
+                if op == KvOp::Lpush {
+                    let head = sys.load_u64(pid, self.list_head)?;
+                    sys.store_u64(pid, node, head)?;
+                    sys.store_u64(pid, node.offset(8), 0)?;
+                    if head != 0 {
+                        sys.store_u64(pid, VirtAddr::new(head).offset(8), node.raw())?;
+                    } else {
+                        sys.store_u64(pid, self.list_tail, node.raw())?;
+                    }
+                    sys.store_u64(pid, self.list_head, node.raw())?;
+                } else {
+                    let tail = sys.load_u64(pid, self.list_tail)?;
+                    sys.store_u64(pid, node, 0)?;
+                    sys.store_u64(pid, node.offset(8), tail)?;
+                    if tail != 0 {
+                        sys.store_u64(pid, VirtAddr::new(tail), node.raw())?;
+                    } else {
+                        sys.store_u64(pid, self.list_head, node.raw())?;
+                    }
+                    sys.store_u64(pid, self.list_tail, node.raw())?;
+                }
+                { let d = sys.current_domain(pid)?; sys.base_mut().retire(d, 40); }
+                Ok(8)
+            }
+            KvOp::Lpop | KvOp::Rpop => {
+                let node = if op == KvOp::Lpop {
+                    sys.load_u64(pid, self.list_head)?
+                } else {
+                    sys.load_u64(pid, self.list_tail)?
+                };
+                if node == 0 {
+                    return Ok(8); // empty list
+                }
+                let node_va = VirtAddr::new(node);
+                let next = sys.load_u64(pid, node_va)?;
+                let prev = sys.load_u64(pid, node_va.offset(8))?;
+                if op == KvOp::Lpop {
+                    sys.store_u64(pid, self.list_head, next)?;
+                    if next != 0 {
+                        sys.store_u64(pid, VirtAddr::new(next).offset(8), 0)?;
+                    } else {
+                        sys.store_u64(pid, self.list_tail, 0)?;
+                    }
+                } else {
+                    sys.store_u64(pid, self.list_tail, prev)?;
+                    if prev != 0 {
+                        sys.store_u64(pid, VirtAddr::new(prev), 0)?;
+                    } else {
+                        sys.store_u64(pid, self.list_head, 0)?;
+                    }
+                }
+                let len = sys.load_u64(pid, node_va.offset(16))?;
+                let mut out = vec![0u8; len as usize];
+                sys.read_mem(pid, node_va.offset(ENTRY_HEADER), &mut out)?;
+                { let d = sys.current_domain(pid)?; sys.base_mut().retire(d, 40); }
+                Ok(len as u32)
+            }
+            KvOp::Sadd => {
+                // Dedup insert keyed by hash.
+                let bucket = self.set_buckets.offset((key_hash % BUCKETS) * 8);
+                let mut cur = sys.load_u64(pid, bucket)?;
+                while cur != 0 {
+                    let h = sys.load_u64(pid, VirtAddr::new(cur).offset(8))?;
+                    if h == key_hash {
+                        return Ok(8); // already a member
+                    }
+                    cur = sys.load_u64(pid, VirtAddr::new(cur))?;
+                }
+                let entry = self.alloc(ENTRY_HEADER + payload.len() as u64);
+                sys.write_mem(pid, entry.offset(ENTRY_HEADER), payload)?;
+                sys.store_u64(pid, entry.offset(8), key_hash)?;
+                sys.store_u64(pid, entry.offset(16), payload.len() as u64)?;
+                let head = sys.load_u64(pid, bucket)?;
+                sys.store_u64(pid, entry, head)?;
+                sys.store_u64(pid, bucket, entry.raw())?;
+                { let d = sys.current_domain(pid)?; sys.base_mut().retire(d, 60); }
+                Ok(8)
+            }
+        }
+    }
+
+    fn insert_string(
+        &mut self,
+        sys: &mut TargetSystem,
+        pid: Pid,
+        key_hash: u64,
+        payload: &[u8],
+    ) -> Result<(), OsError> {
+        let bucket = self.buckets.offset((key_hash % BUCKETS) * 8);
+        // Update in place when the key exists.
+        let mut cur = sys.load_u64(pid, bucket)?;
+        while cur != 0 {
+            let h = sys.load_u64(pid, VirtAddr::new(cur).offset(8))?;
+            if h == key_hash {
+                sys.write_mem(pid, VirtAddr::new(cur).offset(ENTRY_HEADER), payload)?;
+                return Ok(());
+            }
+            cur = sys.load_u64(pid, VirtAddr::new(cur))?;
+        }
+        let entry = self.alloc(ENTRY_HEADER + payload.len() as u64);
+        sys.write_mem(pid, entry.offset(ENTRY_HEADER), payload)?;
+        sys.store_u64(pid, entry.offset(8), key_hash)?;
+        sys.store_u64(pid, entry.offset(16), payload.len() as u64)?;
+        let head = sys.load_u64(pid, bucket)?;
+        sys.store_u64(pid, entry, head)?;
+        sys.store_u64(pid, bucket, entry.raw())?;
+        { let d = sys.current_domain(pid)?; sys.base_mut().retire(d, 60); }
+        Ok(())
+    }
+
+    /// String lookup by key hash, returning the payload length if found.
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn lookup_string(
+        &self,
+        sys: &mut TargetSystem,
+        pid: Pid,
+        key_hash: u64,
+    ) -> Result<Option<u64>, OsError> {
+        Ok(self.fetch_string(sys, pid, key_hash)?.map(|v| v.len() as u64))
+    }
+
+    /// String lookup returning the stored payload bytes (the response
+    /// body a GET would ship back).
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn fetch_string(
+        &self,
+        sys: &mut TargetSystem,
+        pid: Pid,
+        key_hash: u64,
+    ) -> Result<Option<Vec<u8>>, OsError> {
+        let bucket = self.buckets.offset((key_hash % BUCKETS) * 8);
+        let mut cur = sys.load_u64(pid, bucket)?;
+        while cur != 0 {
+            let h = sys.load_u64(pid, VirtAddr::new(cur).offset(8))?;
+            if h == key_hash {
+                let len = sys.load_u64(pid, VirtAddr::new(cur).offset(16))?;
+                let mut buf = vec![0u8; len as usize];
+                sys.read_mem(pid, VirtAddr::new(cur).offset(ENTRY_HEADER), &mut buf)?;
+                return Ok(Some(buf));
+            }
+            cur = sys.load_u64(pid, VirtAddr::new(cur))?;
+        }
+        Ok(None)
+    }
+}
+
+/// Result of one Figure 14 run.
+#[derive(Debug, Clone, Copy)]
+pub struct KvRunResult {
+    /// The operation exercised.
+    pub op: KvOp,
+    /// Requests served.
+    pub requests: u64,
+    /// Total cycles across both domains.
+    pub total: Cycles,
+    /// Average cycles per request.
+    pub per_request: f64,
+}
+
+/// Runs the Figure 14 experiment for one operation: `requests` requests
+/// with `payload` bytes each (the paper uses 10 K requests of 1024 B).
+///
+/// # Errors
+///
+/// OS errors.
+pub fn run_kv(
+    sys: &mut TargetSystem,
+    op: KvOp,
+    requests: u64,
+    payload_len: u32,
+) -> Result<KvRunResult, OsError> {
+    let pid = sys.spawn(DomainId::X86)?;
+    // Heap sized for the worst case (mset: 5 entries per request).
+    let heap = (requests * 6 + 1024) * (ENTRY_HEADER + u64::from(payload_len) + 64);
+    let mut server = KvServer::setup(sys, pid, heap)?;
+    let payload = vec![0xabu8; payload_len as usize];
+
+    // The server migrates to the remote kernel "during the processing of
+    // the time_event" (§9.2.8).
+    if sys.kind().migrates() {
+        sys.migrate(pid, DomainId::ARM)?;
+    }
+
+    // Pre-populate for read-side operations.
+    match op {
+        KvOp::Get => {
+            for r in 0..requests {
+                server.insert_string(sys, pid, key_of(r), &payload)?;
+            }
+        }
+        KvOp::Lpop | KvOp::Rpop => {
+            for _ in 0..requests {
+                server.process(sys, pid, KvOp::Lpush, 0, &payload)?;
+            }
+        }
+        _ => {}
+    }
+
+    let server_domain = sys.current_domain(pid)?;
+    let client_domain = DomainId::X86;
+    let before = sys.runtime();
+    for r in 0..requests {
+        // Client → server request over the messaging layer.
+        let req = Message { ty: MsgType::KvRequest, payload: payload_len };
+        let (send_c, recv_c) = {
+            let base = sys.base_mut();
+            let send_c = {
+                let (msg, mem, ipi) = (&mut base.msg, &mut base.mem, &mut base.ipi);
+                msg.send(mem, ipi, client_domain, req)
+            };
+            let recv_c = {
+                let (msg, mem) = (&mut base.msg, &mut base.mem);
+                msg.receive(mem, server_domain, req)
+            };
+            base.charge(client_domain, send_c);
+            base.charge(server_domain, recv_c);
+            (send_c, recv_c)
+        };
+        let _ = (send_c, recv_c);
+        // Server processes the operation.
+        let resp_len = server.process(sys, pid, op, key_of(r), &payload)?;
+        // Server → client response.
+        let resp = Message { ty: MsgType::KvResponse, payload: resp_len };
+        let base = sys.base_mut();
+        let send_c = {
+            let (msg, mem, ipi) = (&mut base.msg, &mut base.mem, &mut base.ipi);
+            msg.send(mem, ipi, server_domain, resp)
+        };
+        let recv_c = {
+            let (msg, mem) = (&mut base.msg, &mut base.mem);
+            msg.receive(mem, client_domain, resp)
+        };
+        base.charge(server_domain, send_c);
+        base.charge(client_domain, recv_c);
+    }
+    let total = sys.runtime() - before;
+    Ok(KvRunResult {
+        op,
+        requests,
+        total,
+        per_request: total.raw() as f64 / requests as f64,
+    })
+}
+
+fn key_of(r: u64) -> u64 {
+    r.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::SystemKind;
+    use stramash_sim::HardwareModel;
+
+    fn local_setup() -> (TargetSystem, Pid, KvServer) {
+        let mut sys = TargetSystem::build(SystemKind::Vanilla, HardwareModel::Shared).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        let server = KvServer::setup(&mut sys, pid, 1 << 20).unwrap();
+        (sys, pid, server)
+    }
+
+    #[test]
+    fn set_then_get() {
+        let (mut sys, pid, mut server) = local_setup();
+        server.process(&mut sys, pid, KvOp::Set, 42, b"hello-kv").unwrap();
+        let len = server.lookup_string(&mut sys, pid, 42).unwrap();
+        assert_eq!(len, Some(8));
+        assert_eq!(server.lookup_string(&mut sys, pid, 43).unwrap(), None);
+        // Overwrite keeps a single entry.
+        server.process(&mut sys, pid, KvOp::Set, 42, b"world-kv").unwrap();
+        assert_eq!(server.lookup_string(&mut sys, pid, 42).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn list_push_pop_fifo_lifo() {
+        let (mut sys, pid, mut server) = local_setup();
+        server.process(&mut sys, pid, KvOp::Rpush, 0, b"aaaa").unwrap();
+        server.process(&mut sys, pid, KvOp::Rpush, 0, b"bbbb").unwrap();
+        server.process(&mut sys, pid, KvOp::Lpush, 0, b"cccc").unwrap();
+        // List is c, a, b.
+        assert_eq!(server.process(&mut sys, pid, KvOp::Lpop, 0, &[]).unwrap(), 4);
+        assert_eq!(server.process(&mut sys, pid, KvOp::Rpop, 0, &[]).unwrap(), 4);
+        assert_eq!(server.process(&mut sys, pid, KvOp::Lpop, 0, &[]).unwrap(), 4);
+        // Now empty.
+        assert_eq!(server.process(&mut sys, pid, KvOp::Lpop, 0, &[]).unwrap(), 8);
+    }
+
+    #[test]
+    fn sadd_dedups() {
+        let (mut sys, pid, mut server) = local_setup();
+        server.process(&mut sys, pid, KvOp::Sadd, 7, b"member").unwrap();
+        let cursor_after_first = server.heap_cursor;
+        server.process(&mut sys, pid, KvOp::Sadd, 7, b"member").unwrap();
+        assert_eq!(server.heap_cursor, cursor_after_first, "duplicate sadd must not allocate");
+        server.process(&mut sys, pid, KvOp::Sadd, 8, b"member").unwrap();
+        assert!(server.heap_cursor > cursor_after_first);
+    }
+
+    #[test]
+    fn payload_integrity_across_migration() {
+        // Values written by the server on the Arm kernel must read back
+        // byte-for-byte after migrating home — on every design.
+        for kind in [SystemKind::PopcornShm, SystemKind::Stramash] {
+            let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
+            let pid = sys.spawn(DomainId::X86).unwrap();
+            let mut server = KvServer::setup(&mut sys, pid, 1 << 20).unwrap();
+            sys.migrate(pid, DomainId::ARM).unwrap();
+            let payload: Vec<u8> = (0..1024u32).map(|i| (i * 7) as u8).collect();
+            server.process(&mut sys, pid, KvOp::Set, 99, &payload).unwrap();
+            sys.migrate(pid, DomainId::X86).unwrap();
+            let got = server.fetch_string(&mut sys, pid, 99).unwrap().unwrap();
+            assert_eq!(got, payload, "{kind:?}: payload corrupted across kernels");
+        }
+    }
+
+    #[test]
+    fn kv_experiment_shm_beats_tcp() {
+        // The Figure 14 headline: SHM messaging is far faster than TCP.
+        let mut tcp = TargetSystem::build(SystemKind::PopcornTcp, HardwareModel::Shared).unwrap();
+        let t = run_kv(&mut tcp, KvOp::Get, 50, 1024).unwrap();
+        let mut shm = TargetSystem::build(SystemKind::PopcornShm, HardwareModel::Shared).unwrap();
+        let s = run_kv(&mut shm, KvOp::Get, 50, 1024).unwrap();
+        let speedup = t.per_request / s.per_request;
+        assert!(speedup > 2.0, "SHM speedup over TCP was only {speedup:.2}×");
+    }
+
+    #[test]
+    fn kv_experiment_stramash_at_least_matches_shm() {
+        let mut shm = TargetSystem::build(SystemKind::PopcornShm, HardwareModel::Shared).unwrap();
+        let s = run_kv(&mut shm, KvOp::Set, 50, 1024).unwrap();
+        let mut stra = TargetSystem::build(SystemKind::Stramash, HardwareModel::Shared).unwrap();
+        let f = run_kv(&mut stra, KvOp::Set, 50, 1024).unwrap();
+        assert!(
+            f.per_request <= s.per_request,
+            "stramash {} vs popcorn-shm {}",
+            f.per_request,
+            s.per_request
+        );
+    }
+
+    #[test]
+    fn ops_display_lowercase() {
+        assert_eq!(KvOp::Lpush.to_string(), "lpush");
+        assert_eq!(KvOp::Mset.to_string(), "mset");
+        assert_eq!(KvOp::ALL.len(), 8);
+    }
+}

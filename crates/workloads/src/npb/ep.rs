@@ -1,0 +1,159 @@
+//! EP — Embarrassingly Parallel (NPB's compute-bound kernel).
+//!
+//! The paper's benchmark list (§8.3, citing RNR-94-007) includes EP
+//! alongside IS/CG/MG/FT; the artifact ships the four memory-bound ones,
+//! so EP is an *extension* here (not part of [`super::NpbKind::ALL`]).
+//! EP generates Gaussian pairs with the Marsaglia polar method and
+//! tallies them into ten annulus counters — almost pure compute with a
+//! tiny working set, so under migration the OS overheads (messaging,
+//! faults) are all that separates the designs. It is the control case:
+//! every system should converge to Vanilla here.
+
+use super::{offload, Class, DataRng, NpbOutcome};
+use crate::client::MemoryClient;
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{OsError, OsSystem};
+
+struct Params {
+    /// Gaussian pairs per procedure.
+    pairs: u64,
+    /// Offloaded procedures.
+    procedures: u32,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::Tiny => Params { pairs: 2_000, procedures: 2 },
+        Class::Small => Params { pairs: 50_000, procedures: 4 },
+        Class::Validation => Params { pairs: 20_000, procedures: 2 },
+        Class::Large => Params { pairs: 400_000, procedures: 4 },
+    }
+}
+
+/// Runs EP. See [`super::run_npb`].
+pub fn run<S: OsSystem>(
+    sys: &mut S,
+    pid: Pid,
+    class: Class,
+    migrate: bool,
+) -> Result<NpbOutcome, OsError> {
+    let p = params(class);
+    let mut c = MemoryClient::new(sys, pid);
+    // The annulus counters q[0..10] and the running sums, in simulated
+    // memory (EP's entire data footprint).
+    let q = c.alloc_u64(10)?;
+    let sums = c.alloc_f64(2)?;
+    for i in 0..10 {
+        c.st_u64(q, i, 0)?;
+    }
+    c.st_f64(sums, 0, 0.0)?;
+    c.st_f64(sums, 1, 0.0)?;
+
+    let mut rng = DataRng::new(0xE9);
+    let mut procedures = 0;
+    for _ in 0..p.procedures {
+        offload(&mut c, migrate, |c| {
+            let mut sx = c.ld_f64(sums, 0)?;
+            let mut sy = c.ld_f64(sums, 1)?;
+            let mut generated = 0u64;
+            while generated < p.pairs {
+                // Marsaglia polar method (as NPB EP does).
+                let x = 2.0 * rng.next_f64() - 1.0;
+                let y = 2.0 * rng.next_f64() - 1.0;
+                let t = x * x + y * y;
+                c.work(18)?;
+                if t >= 1.0 || t == 0.0 {
+                    continue;
+                }
+                let f = (-2.0 * t.ln() / t).sqrt();
+                let (gx, gy) = (x * f, y * f);
+                sx += gx;
+                sy += gy;
+                // Tally the annulus of max(|gx|,|gy|).
+                let bucket = gx.abs().max(gy.abs()).floor() as u64;
+                let bucket = bucket.min(9);
+                let n = c.ld_u64(q, bucket)?;
+                c.st_u64(q, bucket, n + 1)?;
+                c.work(30)?;
+                generated += 1;
+            }
+            c.st_f64(sums, 0, sx)?;
+            c.st_f64(sums, 1, sy)?;
+            Ok(())
+        })?;
+        procedures += 1;
+    }
+    c.flush_work()?;
+
+    // Verification: the counters account for every generated pair, and
+    // the Gaussian sums are plausibly near zero-mean.
+    let mut counted = 0u64;
+    for i in 0..10 {
+        counted += c.ld_u64(q, i)?;
+    }
+    let total_pairs = p.pairs * u64::from(p.procedures);
+    let sx = c.ld_f64(sums, 0)?;
+    let mean = sx / total_pairs as f64;
+    let verified = counted == total_pairs && mean.abs() < 0.1;
+    Ok(NpbOutcome { verified, checksum: sx, procedures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_kernel::system::VanillaSystem;
+    use stramash_sim::{DomainId, SimConfig};
+
+    #[test]
+    fn ep_tallies_every_pair_locally() {
+        let mut sys = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        let out = run(&mut sys, pid, Class::Tiny, false).unwrap();
+        assert!(out.verified, "EP verification failed: checksum {}", out.checksum);
+        assert_eq!(out.procedures, 2);
+    }
+
+    #[test]
+    fn ep_is_compute_dominated() {
+        let mut sys = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        run(&mut sys, pid, Class::Tiny, false).unwrap();
+        use stramash_kernel::system::OsSystem as _;
+        let clock = sys.base().timebase.clock(DomainId::X86);
+        // INST cycles dominate the memory feedback — the opposite of
+        // IS/CG, which are memory-bound.
+        assert!(
+            clock.icount() > clock.memory_cycles().raw(),
+            "EP must be compute-bound: {} insns vs {} mem cycles",
+            clock.icount(),
+            clock.memory_cycles().raw()
+        );
+    }
+
+    #[test]
+    fn ep_designs_converge_under_migration() {
+        // The control experiment: with almost no shared data, the fused
+        // and multiple-kernel designs both sit close to Vanilla — at
+        // Small class, where the fixed migration overheads amortise
+        // against the compute.
+        let mut vanilla = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = vanilla.spawn(DomainId::X86).unwrap();
+        run(&mut vanilla, pid, Class::Small, false).unwrap();
+        use stramash_kernel::system::OsSystem as _;
+        let base = vanilla.runtime().raw() as f64;
+
+        let mut stra = stramash::StramashSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = stra.spawn(DomainId::X86).unwrap();
+        let out = run(&mut stra, pid, Class::Small, true).unwrap();
+        assert!(out.verified);
+        let ratio = stra.runtime().raw() as f64 / base;
+        assert!(ratio < 1.15, "EP under Stramash should stay near Vanilla, got {ratio:.2}x");
+
+        let mut pop = popcorn_os::PopcornSystem::new_shm(SimConfig::big_pair()).unwrap();
+        let pid = pop.spawn(DomainId::X86).unwrap();
+        let out = run(&mut pop, pid, Class::Small, true).unwrap();
+        assert!(out.verified);
+        let ratio = pop.runtime().raw() as f64 / base;
+        assert!(ratio < 1.25, "EP under Popcorn should stay near Vanilla, got {ratio:.2}x");
+    }
+}

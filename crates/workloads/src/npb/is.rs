@@ -1,0 +1,165 @@
+//! IS — Integer Sort (bucket ranking).
+//!
+//! The write-intensive kernel: every iteration histograms the keys,
+//! prefix-sums the buckets, and scatters the keys into ranked positions
+//! — "integer sorting algorithms … modify the sequence of keys during
+//! the procedure stage" (§9.2.1). The scatter phase's random-index
+//! writes are what give Stramash its biggest win (Figure 9's 2.1×):
+//! every write invalidates peer cache lines rather than replicating
+//! pages.
+
+use super::{offload, Class, DataRng, NpbOutcome};
+use crate::client::MemoryClient;
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{OsError, OsSystem};
+
+struct Params {
+    keys: u64,
+    max_key: u64,
+    iterations: u32,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::Tiny => Params { keys: 1 << 10, max_key: 1 << 7, iterations: 2 },
+        // keys + ranked output = 8 MB: past the 4 MB L3, inside 32 MB.
+        Class::Small => Params { keys: 1 << 19, max_key: 1 << 11, iterations: 3 },
+        // 2 MB working set: between L2 and L3.
+        Class::Validation => Params { keys: 1 << 17, max_key: 1 << 11, iterations: 3 },
+        // 64 MB working set: exceeds even the 32 MB LLC, the regime
+        // where the paper's Figure 10 IS trend lives.
+        Class::Large => Params { keys: 1 << 22, max_key: 1 << 11, iterations: 2 },
+    }
+}
+
+/// Runs IS. See [`super::run_npb`].
+pub fn run<S: OsSystem>(
+    sys: &mut S,
+    pid: Pid,
+    class: Class,
+    migrate: bool,
+) -> Result<NpbOutcome, OsError> {
+    let p = params(class);
+    let mut c = MemoryClient::new(sys, pid);
+    let keys = c.alloc_u64(p.keys)?;
+    let sorted = c.alloc_u64(p.keys)?;
+    let hist = c.alloc_u64(p.max_key)?;
+
+    // Key generation on the origin (the NPB driver phase).
+    let mut rng = DataRng::new(0x15_15);
+    for i in 0..p.keys {
+        c.st_u64(keys, i, rng.next_u64() % p.max_key)?;
+        c.work(8)?;
+    }
+
+    let mut procedures = 0;
+    for iter in 0..p.iterations {
+        // One ranking procedure, offloaded per §9.2.
+        offload(&mut c, migrate, |c| {
+            // Clear the histogram.
+            for b in 0..p.max_key {
+                c.st_u64(hist, b, 0)?;
+                c.work(2)?;
+            }
+            // Histogram the keys (read key, read-modify-write bucket).
+            for i in 0..p.keys {
+                let k = c.ld_u64(keys, i)?;
+                let n = c.ld_u64(hist, k)?;
+                c.st_u64(hist, k, n + 1)?;
+                c.work(6)?;
+            }
+            // Exclusive prefix sum over the buckets.
+            let mut acc = 0u64;
+            for b in 0..p.max_key {
+                let n = c.ld_u64(hist, b)?;
+                c.st_u64(hist, b, acc)?;
+                acc += n;
+                c.work(4)?;
+            }
+            // Scatter: rank every key (write-heavy, random indices).
+            for i in 0..p.keys {
+                let k = c.ld_u64(keys, i)?;
+                let pos = c.ld_u64(hist, k)?;
+                c.st_u64(sorted, pos, k)?;
+                c.st_u64(hist, k, pos + 1)?;
+                c.work(8)?;
+            }
+            Ok(())
+        })?;
+        procedures += 1;
+
+        // Partial verification on the origin (as NPB does each
+        // iteration): spot-check ordering at a few positions.
+        let step = (p.keys / 7).max(1);
+        let mut i = step;
+        while i < p.keys {
+            let a = c.ld_u64(sorted, i - step)?;
+            let b = c.ld_u64(sorted, i)?;
+            if a > b {
+                return Ok(NpbOutcome { verified: false, checksum: iter as f64, procedures });
+            }
+            c.work(6)?;
+            i += step;
+        }
+    }
+
+    // Full verification: the output must be a sorted permutation.
+    let mut checksum = 0.0f64;
+    let mut prev = 0u64;
+    let mut verified = true;
+    for i in 0..p.keys {
+        let k = c.ld_u64(sorted, i)?;
+        if k < prev {
+            verified = false;
+        }
+        prev = k;
+        checksum += k as f64;
+        c.work(5)?;
+    }
+    c.flush_work()?;
+    Ok(NpbOutcome { verified, checksum, procedures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_kernel::system::VanillaSystem;
+    use stramash_sim::{DomainId, SimConfig};
+
+    #[test]
+    fn is_sorts_correctly_without_migration() {
+        let mut sys = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        let out = run(&mut sys, pid, Class::Tiny, false).unwrap();
+        assert!(out.verified, "IS output must be sorted");
+        assert_eq!(out.procedures, 2);
+        assert!(out.checksum > 0.0);
+    }
+
+    #[test]
+    fn is_sorts_correctly_with_migration_on_stramash() {
+        let mut sys = stramash::StramashSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        let out = run(&mut sys, pid, Class::Tiny, true).unwrap();
+        assert!(out.verified);
+        // The process ends back on the origin.
+        use stramash_kernel::system::OsSystem as _;
+        assert_eq!(sys.current_domain(pid).unwrap(), DomainId::X86);
+    }
+
+    #[test]
+    fn is_checksum_identical_across_systems() {
+        // Functional equivalence: the same sorted result regardless of
+        // which OS ran it.
+        let mut vanilla = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = vanilla.spawn(DomainId::X86).unwrap();
+        let a = run(&mut vanilla, pid, Class::Tiny, false).unwrap();
+
+        let mut pop = popcorn_os::PopcornSystem::new_shm(SimConfig::big_pair()).unwrap();
+        let pid = pop.spawn(DomainId::X86).unwrap();
+        let b = run(&mut pop, pid, Class::Tiny, true).unwrap();
+
+        assert!(b.verified);
+        assert_eq!(a.checksum, b.checksum);
+    }
+}

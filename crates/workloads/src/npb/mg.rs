@@ -1,0 +1,240 @@
+//! MG — MultiGrid.
+//!
+//! V-cycles on a 3-D Poisson problem: residual evaluation with a 7-point
+//! stencil, restriction to a coarser grid, smoothing, prolongation and
+//! correction. The large strided sweeps over 3-D arrays generate the
+//! streaming access pattern (and the huge Popcorn message counts of
+//! Table 3 — every remotely-touched page is replicated).
+
+use super::{offload, Class, NpbOutcome};
+use crate::client::{ArrayF64, MemoryClient};
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{OsError, OsSystem};
+
+struct Params {
+    /// Fine-grid edge length (power of two).
+    n: u64,
+    /// V-cycles to run.
+    cycles: u32,
+}
+
+fn params(class: Class) -> Params {
+    match class {
+        Class::Tiny => Params { n: 8, cycles: 2 },
+        Class::Small => Params { n: 16, cycles: 3 },
+        // 32³ fine grid ≈ 2.2 MB of level data (3 arrays + coarser levels).
+        Class::Validation => Params { n: 32, cycles: 2 },
+        // 64³ fine grid ≈ 19 MB of level data.
+        Class::Large => Params { n: 64, cycles: 2 },
+    }
+}
+
+/// 3-D index into an `n`³ grid stored x-fastest.
+fn idx(n: u64, x: u64, y: u64, z: u64) -> u64 {
+    (z * n + y) * n + x
+}
+
+/// One grid level: the solution `u`, right-hand side `v` and residual
+/// `r` arrays plus the edge length.
+#[derive(Clone, Copy)]
+struct Level {
+    n: u64,
+    u: ArrayF64,
+    v: ArrayF64,
+    r: ArrayF64,
+}
+
+/// Runs MG. See [`super::run_npb`].
+pub fn run<S: OsSystem>(
+    sys: &mut S,
+    pid: Pid,
+    class: Class,
+    migrate: bool,
+) -> Result<NpbOutcome, OsError> {
+    let p = params(class);
+    let mut c = MemoryClient::new(sys, pid);
+
+    // Build the level hierarchy down to 4³.
+    let mut levels = Vec::new();
+    let mut n = p.n;
+    while n >= 4 {
+        let cells = n * n * n;
+        levels.push(Level {
+            n,
+            u: c.alloc_f64(cells)?,
+            v: c.alloc_f64(cells)?,
+            r: c.alloc_f64(cells)?,
+        });
+        n /= 2;
+    }
+
+    // Initial state on the origin: u = 0 everywhere; v has two point
+    // charges (the classic MG test problem).
+    let fine = levels[0];
+    for i in 0..fine.n * fine.n * fine.n {
+        c.st_f64(fine.u, i, 0.0)?;
+        c.st_f64(fine.v, i, 0.0)?;
+        c.work(4)?;
+    }
+    let q = fine.n / 4;
+    c.st_f64(fine.v, idx(fine.n, q, q, q), 1.0)?;
+    c.st_f64(fine.v, idx(fine.n, 3 * q, 3 * q, 3 * q), -1.0)?;
+
+    let initial = residual_norm(&mut c, fine)?;
+    let mut procedures = 0;
+
+    for _ in 0..p.cycles {
+        let lv = levels.clone();
+        offload(&mut c, migrate, |c| v_cycle(c, &lv, 0))?;
+        procedures += 1;
+    }
+    let final_norm = residual_norm(&mut c, fine)?;
+    c.flush_work()?;
+
+    let verified = final_norm.is_finite() && final_norm < initial * 0.6;
+    Ok(NpbOutcome { verified, checksum: final_norm, procedures })
+}
+
+/// residual r = v − A u with the 7-point Laplacian, interior cells only.
+fn compute_residual<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Result<(), OsError> {
+    let n = l.n;
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let i = idx(n, x, y, z);
+                if x == 0 || y == 0 || z == 0 || x == n - 1 || y == n - 1 || z == n - 1 {
+                    c.st_f64(l.r, i, 0.0)?;
+                    continue;
+                }
+                let center = c.ld_f64(l.u, i)?;
+                let sum = c.ld_f64(l.u, idx(n, x - 1, y, z))?
+                    + c.ld_f64(l.u, idx(n, x + 1, y, z))?
+                    + c.ld_f64(l.u, idx(n, x, y - 1, z))?
+                    + c.ld_f64(l.u, idx(n, x, y + 1, z))?
+                    + c.ld_f64(l.u, idx(n, x, y, z - 1))?
+                    + c.ld_f64(l.u, idx(n, x, y, z + 1))?;
+                let au = 6.0 * center - sum;
+                let v = c.ld_f64(l.v, i)?;
+                c.st_f64(l.r, i, v - au)?;
+                c.work(16)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Weighted-Jacobi smoothing sweeps.
+fn smooth<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level, sweeps: u32) -> Result<(), OsError> {
+    let n = l.n;
+    let omega = 0.8;
+    for _ in 0..sweeps {
+        for z in 1..n - 1 {
+            for y in 1..n - 1 {
+                for x in 1..n - 1 {
+                    let i = idx(n, x, y, z);
+                    let sum = c.ld_f64(l.u, idx(n, x - 1, y, z))?
+                        + c.ld_f64(l.u, idx(n, x + 1, y, z))?
+                        + c.ld_f64(l.u, idx(n, x, y - 1, z))?
+                        + c.ld_f64(l.u, idx(n, x, y + 1, z))?
+                        + c.ld_f64(l.u, idx(n, x, y, z - 1))?
+                        + c.ld_f64(l.u, idx(n, x, y, z + 1))?;
+                    let v = c.ld_f64(l.v, i)?;
+                    let old = c.ld_f64(l.u, i)?;
+                    let jac = (v + sum) / 6.0;
+                    c.st_f64(l.u, i, old + omega * (jac - old))?;
+                    c.work(18)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One V-cycle at `depth`.
+fn v_cycle<S: OsSystem>(
+    c: &mut MemoryClient<'_, S>,
+    levels: &[Level],
+    depth: usize,
+) -> Result<(), OsError> {
+    let l = levels[depth];
+    if depth + 1 == levels.len() {
+        // Coarsest level: solve by heavy smoothing.
+        smooth(c, l, 8)?;
+        return Ok(());
+    }
+    smooth(c, l, 2)?;
+    compute_residual(c, l)?;
+    // Restrict r to the coarser grid's v (injection of even cells).
+    let coarse = levels[depth + 1];
+    let cn = coarse.n;
+    for z in 0..cn {
+        for y in 0..cn {
+            for x in 0..cn {
+                let r = c.ld_f64(l.r, idx(l.n, x * 2, y * 2, z * 2))?;
+                c.st_f64(coarse.v, idx(cn, x, y, z), r)?;
+                c.st_f64(coarse.u, idx(cn, x, y, z), 0.0)?;
+                c.work(8)?;
+            }
+        }
+    }
+    v_cycle(c, levels, depth + 1)?;
+    // Prolongate the coarse correction and add it in.
+    for z in 1..l.n - 1 {
+        for y in 1..l.n - 1 {
+            for x in 1..l.n - 1 {
+                let e = c.ld_f64(coarse.u, idx(cn, x / 2, y / 2, z / 2))?;
+                let i = idx(l.n, x, y, z);
+                let u = c.ld_f64(l.u, i)?;
+                c.st_f64(l.u, i, u + e)?;
+                c.work(8)?;
+            }
+        }
+    }
+    smooth(c, l, 2)?;
+    Ok(())
+}
+
+/// ‖v − A u‖₂ on the fine grid.
+fn residual_norm<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Result<f64, OsError> {
+    compute_residual(c, l)?;
+    let mut acc = 0.0;
+    for i in 0..l.n * l.n * l.n {
+        let r = c.ld_f64(l.r, i)?;
+        acc += r * r;
+        c.work(4)?;
+    }
+    Ok(acc.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stramash_kernel::system::VanillaSystem;
+    use stramash_sim::{DomainId, SimConfig};
+
+    #[test]
+    fn mg_reduces_residual_locally() {
+        let mut sys = VanillaSystem::new(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        let out = run(&mut sys, pid, Class::Tiny, false).unwrap();
+        assert!(out.verified, "V-cycles must reduce the residual: {}", out.checksum);
+        assert_eq!(out.procedures, 2);
+    }
+
+    #[test]
+    fn mg_reduces_residual_with_migration() {
+        let mut sys = popcorn_os::PopcornSystem::new_shm(SimConfig::big_pair()).unwrap();
+        let pid = sys.spawn(DomainId::X86).unwrap();
+        let out = run(&mut sys, pid, Class::Tiny, true).unwrap();
+        assert!(out.verified);
+        assert!(sys.replicated_pages(pid) > 0, "Popcorn must have replicated grid pages");
+    }
+
+    #[test]
+    fn idx_is_x_fastest() {
+        assert_eq!(idx(8, 0, 0, 0), 0);
+        assert_eq!(idx(8, 1, 0, 0), 1);
+        assert_eq!(idx(8, 0, 1, 0), 8);
+        assert_eq!(idx(8, 0, 0, 1), 64);
+    }
+}

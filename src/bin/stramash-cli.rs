@@ -1,0 +1,224 @@
+//! Command-line front end for the Stramash reproduction — the
+//! equivalent of the artifact's run scripts: boot a platform, run a
+//! workload, print the artifact-style report.
+//!
+//! ```text
+//! stramash-cli npb is --system stramash --model shared --class tiny
+//! stramash-cli sweep cg --class tiny
+//! stramash-cli kv get --requests 200
+//! stramash-cli ipi
+//! ```
+
+use stramash_repro::kernel::system::OsSystem;
+use stramash_repro::prelude::*;
+use stramash_repro::sim::ipi::{IpiCharacterization, IpiTopology};
+use stramash_repro::sim::rng::SimRng;
+use stramash_repro::workloads::driver::{run_benchmark, Configuration};
+use stramash_repro::workloads::kvstore::{run_kv, KvOp};
+use stramash_repro::workloads::npb::{Class, NpbKind};
+use stramash_repro::workloads::target::{SystemKind, TargetSystem};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  stramash-cli npb <is|cg|mg|ft|ep> [--system <vanilla|popcorn-tcp|popcorn-shm|stramash>]
+                                    [--model <separated|shared|fully-shared>]
+                                    [--class <tiny|small|large>] [--report]
+  stramash-cli sweep <is|cg|mg|ft|ep> [--class <tiny|small|large>]
+  stramash-cli kv <get|set|lpush|rpush|lpop|rpop|sadd|mset> [--requests N]
+  stramash-cli ipi"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_kind(s: &str) -> Option<NpbKind> {
+    match s {
+        "is" => Some(NpbKind::Is),
+        "cg" => Some(NpbKind::Cg),
+        "mg" => Some(NpbKind::Mg),
+        "ft" => Some(NpbKind::Ft),
+        "ep" => Some(NpbKind::Ep),
+        _ => None,
+    }
+}
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    match s {
+        "vanilla" => Some(SystemKind::Vanilla),
+        "popcorn-tcp" => Some(SystemKind::PopcornTcp),
+        "popcorn-shm" => Some(SystemKind::PopcornShm),
+        "stramash" => Some(SystemKind::Stramash),
+        _ => None,
+    }
+}
+
+fn parse_model(s: &str) -> Option<HardwareModel> {
+    match s {
+        "separated" => Some(HardwareModel::Separated),
+        "shared" => Some(HardwareModel::Shared),
+        "fully-shared" => Some(HardwareModel::FullyShared),
+        _ => None,
+    }
+}
+
+/// A tiny flag parser: `--key value` pairs after the positionals.
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_npb(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first().and_then(|a| parse_kind(a)) else {
+        return usage();
+    };
+    let system = match flag(args, "--system").as_deref() {
+        Some(s) => match parse_system(s) {
+            Some(k) => k,
+            None => return usage(),
+        },
+        None => SystemKind::Stramash,
+    };
+    let model = match flag(args, "--model").as_deref() {
+        Some(s) => match parse_model(s) {
+            Some(m) => m,
+            None => return usage(),
+        },
+        None => HardwareModel::Shared,
+    };
+    let class = match flag(args, "--class").as_deref() {
+        Some("small") => Class::Small,
+        Some("large") => Class::Large,
+        _ => Class::Tiny,
+    };
+    let want_report = args.iter().any(|a| a == "--report");
+
+    // Run through the driver for the metrics, or manually for --report
+    // (which needs the live system to print the stats blocks).
+    let cfg = Configuration { kind: system, model };
+    if want_report {
+        let mut sys = TargetSystem::build(system, model).expect("boot");
+        let pid = sys.spawn(DomainId::X86).expect("spawn");
+        let out = stramash_repro::workloads::npb::run_npb(
+            kind,
+            &mut sys,
+            pid,
+            class,
+            system.migrates(),
+        )
+        .expect("run");
+        sys.base_mut().sync_runtime_stats();
+        println!("{kind} on {} ({model}) — verified: {}\n", cfg.label(), out.verified);
+        for d in DomainId::ALL {
+            println!("{}", sys.base().mem.stats(d).report(&d.to_string()));
+        }
+        println!("perf+icount phases:");
+        print!("{}", sys.base().perf.report());
+        return ExitCode::SUCCESS;
+    }
+    let report = run_benchmark(cfg, kind, class).expect("run");
+    println!(
+        "{kind} on {}: runtime {} cycles, {} messages, {} replicated pages, verified {}",
+        cfg.label(),
+        report.runtime.raw(),
+        report.messages,
+        report.replicated_pages,
+        report.outcome.verified
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first().and_then(|a| parse_kind(a)) else {
+        return usage();
+    };
+    let class = match flag(args, "--class").as_deref() {
+        Some("small") => Class::Small,
+        Some("large") => Class::Large,
+        _ => Class::Tiny,
+    };
+    let mut baseline = None;
+    for config in Configuration::figure9_set() {
+        let report = run_benchmark(config, kind, class).expect("run");
+        let base = *baseline.get_or_insert(report.runtime);
+        println!(
+            "{:<22} {:>14} cycles  {:>6.3}x vanilla  msgs {:>6}  repl {:>5}",
+            config.label(),
+            report.runtime.raw(),
+            report.normalized_to(base),
+            report.messages,
+            report.replicated_pages
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_kv(args: &[String]) -> ExitCode {
+    let Some(op) = args.first().and_then(|a| KvOp::ALL.iter().find(|o| o.to_string() == *a)) else {
+        return usage();
+    };
+    let requests: u64 =
+        flag(args, "--requests").and_then(|v| v.parse().ok()).unwrap_or(200);
+    for kind in [SystemKind::PopcornTcp, SystemKind::PopcornShm, SystemKind::Stramash] {
+        let mut sys = TargetSystem::build(kind, HardwareModel::Shared).expect("boot");
+        let r = run_kv(&mut sys, *op, requests, 1024).expect("run");
+        println!("{kind:<12} {op}: {:>10.0} cycles/request", r.per_request);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_ipi() -> ExitCode {
+    for (name, topo, freq) in [
+        ("big_Arm", IpiTopology::big_arm(), 2_000_000_000u64),
+        ("big_x86", IpiTopology::big_x86(), 2_100_000_000),
+    ] {
+        let mut rng = SimRng::new(7);
+        let run = IpiCharacterization::run(topo, 8, &mut rng);
+        println!(
+            "{name}: all-pairs avg {:.0} ns  ->  {} simulator cycles",
+            run.average_ns(),
+            run.average_cycles(freq).raw()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("npb") => cmd_npb(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("kv") => cmd_kv(&args[1..]),
+        Some("ipi") => cmd_ipi(),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kinds_systems_models() {
+        assert_eq!(parse_kind("is"), Some(NpbKind::Is));
+        assert_eq!(parse_kind("ep"), Some(NpbKind::Ep));
+        assert_eq!(parse_kind("nope"), None);
+        assert_eq!(parse_system("popcorn-shm"), Some(SystemKind::PopcornShm));
+        assert_eq!(parse_system("stramash"), Some(SystemKind::Stramash));
+        assert_eq!(parse_system("bogus"), None);
+        assert_eq!(parse_model("fully-shared"), Some(HardwareModel::FullyShared));
+        assert_eq!(parse_model("separated"), Some(HardwareModel::Separated));
+        assert_eq!(parse_model("x"), None);
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let args: Vec<String> =
+            ["is", "--system", "stramash", "--class", "small"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag(&args, "--system").as_deref(), Some("stramash"));
+        assert_eq!(flag(&args, "--class").as_deref(), Some("small"));
+        assert_eq!(flag(&args, "--model"), None);
+        // A trailing flag without a value yields None.
+        let args: Vec<String> = ["is", "--system"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag(&args, "--system"), None);
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use stramash_repro::isa::pte::{decode_pte, encode_pte};
+use stramash_repro::isa::{IsaKind, PteFlags, RawPte};
+use stramash_repro::kernel::addr::VirtAddr;
+use stramash_repro::kernel::vma::{Vma, VmaKind, VmaProt, VmaTree};
+use stramash_repro::kernel::FrameAllocator;
+use stramash_repro::mem::{Access, AccessKind, MemorySystem, PhysAddr, SparseMemory};
+use stramash_repro::prelude::*;
+
+fn arb_flags() -> impl Strategy<Value = PteFlags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(writable, user, accessed, dirty, no_exec)| PteFlags {
+            present: true,
+            writable,
+            user,
+            accessed,
+            dirty,
+            no_exec,
+        },
+    )
+}
+
+fn arb_isa() -> impl Strategy<Value = IsaKind> {
+    prop_oneof![Just(IsaKind::X86_64), Just(IsaKind::Aarch64)]
+}
+
+proptest! {
+    /// PTE encode→decode is the identity for every flag combination and
+    /// in-range PFN, on both ISAs.
+    #[test]
+    fn pte_codec_roundtrip(isa in arb_isa(), pfn in 0u64..(1 << 30), flags in arb_flags()) {
+        let raw = encode_pte(isa.format(), pfn, flags);
+        let (got_pfn, got_flags) = decode_pte(isa.format(), raw.raw).expect("present");
+        prop_assert_eq!(got_pfn, pfn);
+        prop_assert_eq!(got_flags, flags);
+    }
+
+    /// Cross-ISA PTE conversion preserves meaning in both directions
+    /// (§6.4's reconfiguration is lossless).
+    #[test]
+    fn pte_conversion_is_lossless(pfn in 0u64..(1 << 30), flags in arb_flags()) {
+        let arm = encode_pte(IsaKind::Aarch64.format(), pfn, flags);
+        let x86 = arm.convert_to(IsaKind::X86_64);
+        prop_assert_eq!(x86.decode(), Some((pfn, flags)));
+        let back = x86.convert_to(IsaKind::Aarch64);
+        prop_assert_eq!(back.raw, arm.raw);
+        prop_assert!(RawPte::empty(IsaKind::X86_64).convert_to(IsaKind::Aarch64).decode().is_none());
+    }
+
+    /// Sparse memory behaves like a flat byte array: the last write to
+    /// each byte wins, untouched bytes read zero.
+    #[test]
+    fn sparse_memory_is_a_byte_array(
+        writes in prop::collection::vec((0u64..(1 << 20), any::<u8>(), 1usize..64), 1..40)
+    ) {
+        let mut mem = SparseMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, byte, len) in &writes {
+            let data = vec![*byte; *len];
+            mem.write(PhysAddr::new(*addr), &data);
+            for off in 0..*len as u64 {
+                model.insert(addr + off, *byte);
+            }
+        }
+        for (addr, _, len) in &writes {
+            let mut buf = vec![0u8; *len + 8];
+            mem.read(PhysAddr::new(*addr), &mut buf);
+            for (off, got) in buf.iter().enumerate() {
+                let expect = model.get(&(addr + off as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(*got, expect);
+            }
+        }
+    }
+
+    /// The frame allocator never double-allocates and frees restore
+    /// exact accounting.
+    #[test]
+    fn frame_allocator_uniqueness(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut alloc = FrameAllocator::new();
+        alloc.add_region(PhysAddr::new(0x10_0000), 64 * 4096).unwrap();
+        let mut live = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for op in ops {
+            if op || live.is_empty() {
+                if let Ok(frame) = alloc.alloc() {
+                    prop_assert!(frame.is_aligned(4096));
+                    prop_assert!(seen.insert(frame), "frame {frame} double-allocated");
+                    live.push(frame);
+                }
+            } else {
+                let frame = live.swap_remove(live.len() / 2);
+                alloc.free(frame).unwrap();
+                seen.remove(&frame);
+            }
+            prop_assert_eq!(alloc.allocated_frames() as usize, live.len());
+        }
+    }
+
+    /// The VMA tree never admits overlapping areas, and lookups agree
+    /// with a naive model.
+    #[test]
+    fn vma_tree_no_overlap(
+        areas in prop::collection::vec((0u64..256, 1u64..16), 1..30),
+        probes in prop::collection::vec(0u64..0x120_000, 10)
+    ) {
+        let mut tree = VmaTree::new();
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for (start_page, pages) in areas {
+            let start = start_page * 4096;
+            let end = start + pages * 4096;
+            let vma = Vma {
+                start: VirtAddr::new(start),
+                end: VirtAddr::new(end),
+                prot: VmaProt::rw(),
+                kind: VmaKind::Anon,
+            };
+            let overlaps = model.iter().any(|&(s, e)| s < end && start < e);
+            match tree.insert(vma) {
+                Ok(()) => {
+                    prop_assert!(!overlaps, "tree accepted an overlapping area");
+                    model.push((start, end));
+                }
+                Err(_) => prop_assert!(overlaps, "tree rejected a disjoint area"),
+            }
+        }
+        for va in probes {
+            let expect = model.iter().any(|&(s, e)| va >= s && va < e);
+            prop_assert_eq!(tree.find(VirtAddr::new(va)).is_some(), expect);
+        }
+    }
+
+    /// Memory-system coherence invariant: after any access sequence, a
+    /// read on either domain returns the value of the last write,
+    /// and per-level hits never exceed accesses.
+    #[test]
+    fn memory_system_coherence(
+        ops in prop::collection::vec(
+            (any::<bool>(), any::<bool>(), 0u64..64, any::<u64>()),
+            1..120
+        )
+    ) {
+        let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let base = 5u64 << 30; // the shared pool
+        let mut model = std::collections::HashMap::new();
+        for (is_arm, is_write, slot, value) in ops {
+            let domain = if is_arm { DomainId::ARM } else { DomainId::X86 };
+            let addr = PhysAddr::new(base + slot * 8);
+            if is_write {
+                mem.write_u64(domain, addr, value);
+                model.insert(slot, value);
+            } else {
+                let (got, _) = mem.read_u64(domain, addr);
+                prop_assert_eq!(got, model.get(&slot).copied().unwrap_or(0));
+            }
+        }
+        for d in DomainId::ALL {
+            let s = mem.stats(d);
+            prop_assert!(s.l1d.hits <= s.l1d.accesses);
+            prop_assert!(s.l2.hits <= s.l2.accesses);
+            prop_assert!(s.l3.hits <= s.l3.accesses);
+        }
+    }
+
+    /// Inclusive-hierarchy invariant: any line resident in a domain's
+    /// L1/L2 is also resident in its L3 (back-invalidation on LLC
+    /// eviction maintains this).
+    #[test]
+    fn cache_hierarchy_is_inclusive(
+        ops in prop::collection::vec((any::<bool>(), any::<bool>(), 0u64..4096), 1..300)
+    ) {
+        // Tiny caches so evictions are frequent.
+        let mut cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Separated);
+        for d in &mut cfg.domains {
+            d.cache = stramash_repro::sim::CacheConfig {
+                l1i: stramash_repro::sim::CacheGeometry::new(256, 2, 64),
+                l1d: stramash_repro::sim::CacheGeometry::new(256, 2, 64),
+                l2: stramash_repro::sim::CacheGeometry::new(512, 2, 64),
+                l3: stramash_repro::sim::CacheGeometry::new(1024, 2, 64),
+            };
+        }
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut touched = std::collections::HashSet::new();
+        for (is_arm, is_write, line) in ops {
+            let domain = if is_arm { DomainId::ARM } else { DomainId::X86 };
+            let addr = PhysAddr::new(0x10_0000 + line * 64);
+            let access = if is_write { Access::Write } else { Access::Read };
+            mem.access(domain, addr, access, AccessKind::Data);
+            touched.insert(line);
+            // Check the invariant over everything touched so far.
+            for &l in &touched {
+                let a = PhysAddr::new(0x10_0000 + l * 64);
+                for d in DomainId::ALL {
+                    if mem.upper_levels_resident(d, a) {
+                        prop_assert!(
+                            mem.caches_line(d, a),
+                            "line {l:#x} in {d}'s L1/L2 but not its L3"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Timing sanity: every data access costs at least the L1 latency
+    /// and at most DRAM + every snoop overhead.
+    #[test]
+    fn access_latency_bounds(
+        ops in prop::collection::vec((any::<bool>(), any::<bool>(), 0u64..512), 1..200)
+    ) {
+        let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
+        let max_latency = 640 + 90 + 80 + 60 + 150 + 25; // dram + all snoops + writeback
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        for (is_arm, is_write, line) in ops {
+            let domain = if is_arm { DomainId::ARM } else { DomainId::X86 };
+            let access = if is_write { Access::Write } else { Access::Read };
+            let out = mem.access(
+                domain,
+                PhysAddr::new((5u64 << 30) + line * 64),
+                access,
+                AccessKind::Data,
+            );
+            prop_assert!(out.cycles.raw() >= 4, "below L1 latency: {}", out.cycles);
+            prop_assert!(
+                out.cycles.raw() <= max_latency,
+                "latency {} exceeds the physical maximum {max_latency}",
+                out.cycles
+            );
+        }
+    }
+}
+
+proptest! {
+    /// The red-black tree agrees with `BTreeMap` on arbitrary op
+    /// sequences, while keeping its colour/height invariants.
+    #[test]
+    fn rbtree_matches_btreemap(
+        ops in prop::collection::vec((0u8..4, 0u64..128, any::<u64>()), 1..200)
+    ) {
+        use stramash_repro::kernel::rbtree::RbTree;
+        let mut tree: RbTree<u64, u64> = RbTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for (op, key, value) in ops {
+            match op {
+                0 | 1 => prop_assert_eq!(tree.insert(key, value), model.insert(key, value)),
+                2 => prop_assert_eq!(tree.remove(&key), model.remove(&key)),
+                _ => {
+                    prop_assert_eq!(tree.get(&key), model.get(&key));
+                    let f = tree.floor(&key).map(|(k, v)| (*k, *v));
+                    let mf = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                    prop_assert_eq!(f, mf);
+                }
+            }
+        }
+        tree.assert_invariants();
+        let a: Vec<_> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The buddy allocator conserves pages and never overlaps blocks
+    /// under arbitrary alloc/free interleavings.
+    #[test]
+    fn buddy_conserves_and_never_overlaps(
+        ops in prop::collection::vec((any::<bool>(), 0u32..4), 1..150),
+        pages in 16u64..200
+    ) {
+        use stramash_repro::kernel::buddy::BuddyAllocator;
+        let mut buddy = BuddyAllocator::new(PhysAddr::new(0x100_0000), pages * 4096);
+        let mut live: Vec<(PhysAddr, u32)> = Vec::new();
+        for (is_alloc, order) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(blk) = buddy.alloc(order) {
+                    prop_assert!(blk.is_aligned((4096u64) << order));
+                    for &(other, oo) in &live {
+                        let (a0, a1) = (blk.raw(), blk.raw() + (4096u64 << order));
+                        let (b0, b1) = (other.raw(), other.raw() + (4096u64 << oo));
+                        prop_assert!(a1 <= b0 || b1 <= a0, "overlapping blocks");
+                    }
+                    live.push((blk, order));
+                }
+            } else {
+                let (blk, _) = live.swap_remove(live.len() / 2);
+                buddy.free(blk).unwrap();
+            }
+            buddy.assert_invariants();
+        }
+        let allocated: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+        prop_assert_eq!(buddy.allocated_pages(), allocated);
+    }
+}
