@@ -1,12 +1,15 @@
-//! Criterion microbenchmarks of the simulator itself.
+//! Microbenchmarks of the simulator itself.
 //!
 //! Not a paper figure: these measure the *host-side* performance of the
-//! reproduction's hot paths (cache access, page-table walks, fused
-//! remote faults), so regressions in the simulator's own speed are
-//! caught.
+//! reproduction's hot paths (cache access, page-table walks, red-black
+//! tree and buddy operations), so regressions in the simulator's own
+//! speed are caught. Built only with `--features criterion` so the
+//! default tier-1 build stays free of bench-only code; the harness
+//! itself is a self-contained `Instant`-based timer with no external
+//! crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use stramash_isa::{IsaKind, PteFlags};
 use stramash_kernel::addr::VirtAddr;
 use stramash_kernel::pagetable::PageTable;
@@ -14,46 +17,62 @@ use stramash_kernel::FrameAllocator;
 use stramash_mem::{Access, AccessKind, MemorySystem, PhysAddr};
 use stramash_sim::{DomainId, HardwareModel, SimConfig};
 
-fn bench_cache_access(c: &mut Criterion) {
+const WARM_UP: Duration = Duration::from_millis(500);
+const MEASURE: Duration = Duration::from_secs(2);
+
+/// Runs `f` repeatedly for a warm-up window and then a measurement
+/// window, printing the mean iteration time.
+fn bench_function<F: FnMut()>(name: &str, mut f: F) {
+    let warm_end = Instant::now() + WARM_UP;
+    while Instant::now() < warm_end {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < MEASURE {
+        // Batches of 64 keep the clock out of the measured loop.
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<34} {per_iter:>12.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_cache_access() {
     let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
     let mut mem = MemorySystem::new(cfg).unwrap();
     let mut addr = 0u64;
-    c.bench_function("memory_system_access_hot", |b| {
-        b.iter(|| {
-            // 64 KB working set → mostly L1/L2 hits.
-            addr = (addr + 64) % (64 << 10);
-            let out = mem.access(
-                DomainId::X86,
-                PhysAddr::new(0x10_0000 + addr),
-                Access::Read,
-                AccessKind::Data,
-            );
-            black_box(out.cycles)
-        });
+    bench_function("memory_system_access_hot", || {
+        // 64 KB working set → mostly L1/L2 hits.
+        addr = (addr + 64) % (64 << 10);
+        let out = mem.access(
+            DomainId::X86,
+            PhysAddr::new(0x10_0000 + addr),
+            Access::Read,
+            AccessKind::Data,
+        );
+        black_box(out.cycles);
     });
 }
 
-fn bench_cache_access_coherent(c: &mut Criterion) {
+fn bench_cache_access_coherent() {
     let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
     let mut mem = MemorySystem::new(cfg).unwrap();
     let mut i = 0u64;
-    c.bench_function("memory_system_access_pingpong", |b| {
-        b.iter(|| {
-            // Alternating writers force MESI transitions every access.
-            i += 1;
-            let domain = if i.is_multiple_of(2) { DomainId::X86 } else { DomainId::ARM };
-            let out = mem.access(
-                domain,
-                PhysAddr::new(0x1_4000_0000),
-                Access::Write,
-                AccessKind::Data,
-            );
-            black_box(out.cycles)
-        });
+    bench_function("memory_system_access_pingpong", || {
+        // Alternating writers force MESI transitions every access.
+        i += 1;
+        let domain = if i.is_multiple_of(2) { DomainId::X86 } else { DomainId::ARM };
+        let out =
+            mem.access(domain, PhysAddr::new(0x1_4000_0000), Access::Write, AccessKind::Data);
+        black_box(out.cycles);
     });
 }
 
-fn bench_page_walk(c: &mut Criterion) {
+fn bench_page_walk() {
     let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
     let mut mem = MemorySystem::new(cfg).unwrap();
     let mut frames = FrameAllocator::new();
@@ -72,53 +91,46 @@ fn bench_page_walk(c: &mut Criterion) {
         .unwrap();
     }
     let mut p = 0u64;
-    c.bench_function("software_page_walk", |b| {
-        b.iter(|| {
-            p = (p + 1) % 512;
-            let (res, cycles) = pt.walk(&mut mem, DomainId::ARM, VirtAddr::new(0x4000_0000 + p * 4096));
-            black_box((res, cycles))
-        });
+    bench_function("software_page_walk", || {
+        p = (p + 1) % 512;
+        let (res, cycles) = pt.walk(&mut mem, DomainId::ARM, VirtAddr::new(0x4000_0000 + p * 4096));
+        black_box((res, cycles));
     });
 }
 
-fn bench_rbtree(c: &mut Criterion) {
+fn bench_rbtree() {
     use stramash_kernel::rbtree::RbTree;
     let mut tree = RbTree::new();
     for k in 0..4096u64 {
         tree.insert(k.wrapping_mul(0x9e37_79b9) % 65536, k);
     }
     let mut probe = 0u64;
-    c.bench_function("rbtree_floor_lookup", |b| {
-        b.iter(|| {
-            probe = probe.wrapping_add(977) % 65536;
-            black_box(tree.floor(&probe))
-        });
+    bench_function("rbtree_floor_lookup", || {
+        probe = probe.wrapping_add(977) % 65536;
+        black_box(tree.floor(&probe));
     });
     let mut k = 0u64;
-    c.bench_function("rbtree_insert_remove", |b| {
-        b.iter(|| {
-            k = k.wrapping_add(1);
-            let key = 70_000 + (k % 1024);
-            tree.insert(key, k);
-            black_box(tree.remove(&key))
-        });
+    bench_function("rbtree_insert_remove", || {
+        k = k.wrapping_add(1);
+        let key = 70_000 + (k % 1024);
+        tree.insert(key, k);
+        black_box(tree.remove(&key));
     });
 }
 
-fn bench_buddy(c: &mut Criterion) {
+fn bench_buddy() {
     use stramash_kernel::buddy::BuddyAllocator;
     let mut buddy = BuddyAllocator::new(PhysAddr::new(64 << 20), 64 << 20);
-    c.bench_function("buddy_alloc_free_order0", |b| {
-        b.iter(|| {
-            let f = buddy.alloc(0).expect("space available");
-            buddy.free(black_box(f)).expect("just allocated");
-        });
+    bench_function("buddy_alloc_free_order0", || {
+        let f = buddy.alloc(0).expect("space available");
+        buddy.free(black_box(f)).expect("just allocated");
     });
 }
 
-criterion_group! {
-    name = simulator;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_cache_access, bench_cache_access_coherent, bench_page_walk, bench_rbtree, bench_buddy
+fn main() {
+    bench_cache_access();
+    bench_cache_access_coherent();
+    bench_page_walk();
+    bench_rbtree();
+    bench_buddy();
 }
-criterion_main!(simulator);

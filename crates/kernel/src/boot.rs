@@ -104,7 +104,8 @@ pub fn boot_pair(cfg: &SimConfig, layout: &PhysLayout, boot: &BootConfig) -> Boo
     let pool = layout.pool_region(DomainId::X86);
     let ring_len = boot.msg_ring_bytes / 2;
     let ring_base = [pool.start, pool.start.offset(ring_len)];
-    let msg = MessagingLayer::new(boot.transport, ring_base, ring_len, cfg.tcp_rtt);
+    let msg = MessagingLayer::new(boot.transport, ring_base, ring_len, cfg.tcp_rtt)
+        .expect("boot ring configuration is validated by the firmware map");
     let ipi = IpiFabric::new(cfg.ipi_latency);
 
     let pool_end = layout.pool_region(DomainId::ARM).end();

@@ -14,7 +14,43 @@ use std::collections::BTreeMap;
 use std::fmt;
 use stramash_mem::{MemorySystem, PhysAddr};
 use stramash_sim::ipi::{IpiFabric, NotifyMode};
-use stramash_sim::{Cycles, DomainId};
+use stramash_sim::{Cycles, DomainId, FaultKind, SharedFaultInjector};
+
+/// Retransmission cap per logical message. With sane fault plans the
+/// probability of this many consecutive losses is negligible; the cap
+/// keeps adversarial plans (drop = 1.0) from hanging the simulation —
+/// the final attempt is delivered and counted as `fatal`.
+const MAX_SEND_ATTEMPTS: u32 = 16;
+
+/// Exponent cap for the retransmission backoff (base × 2^min(n, 3)).
+const BACKOFF_CAP: u32 = 3;
+
+/// Errors from the messaging layer's configuration and flow control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgError {
+    /// The ring length was zero.
+    ZeroRing,
+    /// The ring cannot hold even one maximum-size message.
+    RingTooSmall {
+        /// The configured ring length.
+        ring_len: u64,
+        /// The minimum length (header + one 4 KiB page).
+        min: u64,
+    },
+}
+
+impl fmt::Display for MsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgError::ZeroRing => write!(f, "message ring length must be positive"),
+            MsgError::RingTooSmall { ring_len, min } => {
+                write!(f, "message ring of {ring_len} B cannot hold one {min} B message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
 
 /// Message kinds exchanged by the OS protocols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -116,12 +152,17 @@ pub enum Transport {
     Tcp,
 }
 
-/// Per-direction message counters (Table 3 reports these).
+/// Per-direction message counters (Table 3 reports these; the fault
+/// harness adds the reliability counters).
 #[derive(Debug, Clone, Default)]
 pub struct MsgCounters {
     sent: [u64; 2],
     bytes: [u64; 2],
     by_type: BTreeMap<MsgType, u64>,
+    retransmits: [u64; 2],
+    timeouts: [u64; 2],
+    dup_delivered: [u64; 2],
+    backpressure_stalls: [u64; 2],
 }
 
 impl MsgCounters {
@@ -131,13 +172,14 @@ impl MsgCounters {
         self.sent[domain.index()]
     }
 
-    /// Total messages in both directions.
+    /// Total messages in both directions. Counts *logical* messages: a
+    /// message retransmitted five times is still one send.
     #[must_use]
     pub fn total(&self) -> u64 {
         self.sent.iter().sum()
     }
 
-    /// Total payload+header bytes.
+    /// Total payload+header bytes (logical, excluding retransmissions).
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().sum()
@@ -147,6 +189,57 @@ impl MsgCounters {
     #[must_use]
     pub fn of_type(&self, ty: MsgType) -> u64 {
         self.by_type.get(&ty).copied().unwrap_or(0)
+    }
+
+    /// Retransmissions performed by `domain` after a timeout.
+    #[must_use]
+    pub fn retransmits_by(&self, domain: DomainId) -> u64 {
+        self.retransmits[domain.index()]
+    }
+
+    /// Total retransmissions in both directions.
+    #[must_use]
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.iter().sum()
+    }
+
+    /// Ack timeouts `domain` waited out (each is followed by a
+    /// retransmission charged real simulated cycles).
+    #[must_use]
+    pub fn timeouts_by(&self, domain: DomainId) -> u64 {
+        self.timeouts[domain.index()]
+    }
+
+    /// Total ack timeouts in both directions.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.iter().sum()
+    }
+
+    /// Duplicate deliveries `domain` received and discarded by sequence
+    /// number (the sender's ack was lost, so it retransmitted).
+    #[must_use]
+    pub fn dup_delivered_to(&self, domain: DomainId) -> u64 {
+        self.dup_delivered[domain.index()]
+    }
+
+    /// Total duplicate deliveries (both receivers).
+    #[must_use]
+    pub fn dup_delivered(&self) -> u64 {
+        self.dup_delivered.iter().sum()
+    }
+
+    /// Times `domain`'s sends found the peer ring full and had to stall
+    /// for the receiver to drain it (ring-overflow backpressure).
+    #[must_use]
+    pub fn backpressure_stalls_by(&self, domain: DomainId) -> u64 {
+        self.backpressure_stalls[domain.index()]
+    }
+
+    /// Total backpressure stalls in both directions.
+    #[must_use]
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.backpressure_stalls.iter().sum()
     }
 
     /// Resets all counters.
@@ -175,7 +268,7 @@ impl MsgCounters {
 ///     [pool, pool.offset(64 << 20)],
 ///     64 << 20,
 ///     stramash_sim::Cycles::new(157_500),
-/// );
+/// )?;
 /// // A DSM page response: ring write + cross-ISA IPI, all timed.
 /// let cost = msg.send(&mut mem, &mut ipi, DomainId::X86, Message::page(MsgType::PageResponse));
 /// assert!(cost.raw() > 4200, "at least the 2 µs IPI");
@@ -191,8 +284,16 @@ pub struct MessagingLayer {
     ring_len: u64,
     /// Producer cursors (offsets into each ring).
     cursor: [u64; 2],
+    /// Bytes written to each ring but not yet consumed by its receiver;
+    /// exceeding `ring_len` is the overflow condition that triggers
+    /// backpressure instead of silently overwriting unread messages.
+    outstanding: [u64; 2],
+    /// Per-sender sequence numbers; receivers dedup retransmissions by
+    /// sequence (a retransmit after a lost ack re-delivers the same seq).
+    next_seq: [u64; 2],
     tcp_rtt: Cycles,
     counters: MsgCounters,
+    injector: Option<SharedFaultInjector>,
 }
 
 impl MessagingLayer {
@@ -202,15 +303,36 @@ impl MessagingLayer {
     /// §8.2 places this 128 MB area differently per hardware model; with
     /// the Figure 4 layout, putting it at the start of the 4 GB pool
     /// reproduces all three placements at once.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::ZeroRing`] for an empty ring, and
+    /// [`MsgError::RingTooSmall`] when the ring cannot hold even one
+    /// maximum-size (header + 4 KiB page) message.
     pub fn new(
         transport: Transport,
         ring_base: [PhysAddr; 2],
         ring_len: u64,
         tcp_rtt: Cycles,
-    ) -> Self {
-        assert!(ring_len > 0, "ring length must be positive");
-        MessagingLayer { transport, ring_base, ring_len, cursor: [0, 0], tcp_rtt, counters: MsgCounters::default() }
+    ) -> Result<Self, MsgError> {
+        if ring_len == 0 {
+            return Err(MsgError::ZeroRing);
+        }
+        let min = u64::from(MSG_HEADER_BYTES) + 4096;
+        if ring_len < min {
+            return Err(MsgError::RingTooSmall { ring_len, min });
+        }
+        Ok(MessagingLayer {
+            transport,
+            ring_base,
+            ring_len,
+            cursor: [0, 0],
+            outstanding: [0, 0],
+            next_seq: [0, 0],
+            tcp_rtt,
+            counters: MsgCounters::default(),
+            injector: None,
+        })
     }
 
     /// The transport in use.
@@ -230,8 +352,56 @@ impl MessagingLayer {
         self.counters.reset();
     }
 
+    /// Installs a fault injector; subsequent sends may be dropped,
+    /// corrupted or delayed and recover via timeout + retransmission.
+    /// Without an injector the layer consumes zero RNG and charges the
+    /// exact fault-free costs.
+    pub fn set_fault_injector(&mut self, injector: SharedFaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Checks the layer's internal invariants, returning one line per
+    /// violation (empty = clean). Run by the system auditors after every
+    /// fault-injection round.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for d in DomainId::ALL {
+            let i = d.index();
+            if self.cursor[i] > self.ring_len {
+                violations.push(format!(
+                    "ring cursor for {d:?} at {} exceeds ring length {}",
+                    self.cursor[i], self.ring_len
+                ));
+            }
+            if self.outstanding[i] > self.ring_len {
+                violations.push(format!(
+                    "outstanding bytes for {d:?} at {} exceed ring length {} (overflow)",
+                    self.outstanding[i], self.ring_len
+                ));
+            }
+        }
+        violations
+    }
+
+    /// The capped exponential retransmission timeout for attempt `n`
+    /// (1-based): `base × 2^min(n−1, 3)`.
+    fn backoff(base: Cycles, attempt: u32) -> Cycles {
+        Cycles::new(base.raw() << attempt.saturating_sub(1).min(BACKOFF_CAP))
+    }
+
     /// Sends `msg` from `from` to the other domain, returning the cost
     /// charged to the *sender*.
+    ///
+    /// Reliability is built in: each message carries a sequence number
+    /// and is acknowledged by the receiver. If an injected fault drops or
+    /// corrupts the transmission (or its ack), the sender waits out a
+    /// capped-exponential timeout and retransmits — every retry pays the
+    /// real ring-write (or TCP half-RTT) cost again, the receiver dedups
+    /// re-deliveries by sequence number, and all of it lands in
+    /// [`MsgCounters`] and the per-domain fault statistics. With no
+    /// injector installed the fast path is byte- and cycle-identical to
+    /// the fault-free model.
     pub fn send(
         &mut self,
         mem: &mut MemorySystem,
@@ -244,24 +414,210 @@ impl MessagingLayer {
         self.counters.sent[from.index()] += 1;
         self.counters.bytes[from.index()] += u64::from(total);
         *self.counters.by_type.entry(msg.ty).or_insert(0) += 1;
-        match self.transport {
+        // Sequence-number the message (modelled inside the 64 B header,
+        // so it adds no bytes and no extra timed accesses).
+        self.next_seq[from.index()] += 1;
+
+        // Mirrored into the per-domain fault statistics at the end.
+        let mut injected = 0u64;
+        let mut retried = 0u64;
+        let mut recovered = 0u64;
+        let mut fatal = 0u64;
+
+        let cycles = match self.transport {
             Transport::Shm { notify } => {
-                let addr = self.slot(to, total);
-                let payload = vec![0u8; total as usize];
-                let mut cycles = mem.write_bytes(from, addr, &payload);
-                match notify {
-                    NotifyMode::Interrupt => {
-                        cycles += ipi.send(from);
-                        mem.stats_mut(from).ipi += 1;
+                let mut cycles = Cycles::ZERO;
+                // Ring-overflow backpressure: never overwrite unread
+                // messages. The sender stalls (~one notify round trip)
+                // for the receiver to drain its ring, then restarts at
+                // the ring base.
+                if self.outstanding[to.index()] + u64::from(total) > self.ring_len {
+                    cycles += Cycles::new(ipi.latency().raw() * 2);
+                    self.counters.backpressure_stalls[from.index()] += 1;
+                    if let Some(inj) = &self.injector {
+                        inj.borrow_mut().note_backpressure();
                     }
-                    NotifyMode::Polling => {}
+                    self.outstanding[to.index()] = 0;
+                    self.cursor[to.index()] = 0;
                 }
+                let timeout_base = Cycles::new(ipi.latency().raw() * 2);
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    let addr = self.slot(to, total);
+                    let payload = vec![0u8; total as usize];
+                    cycles += mem.write_bytes(from, addr, &payload);
+                    let fault = match &self.injector {
+                        Some(inj) => inj.borrow_mut().msg_fault(),
+                        None => None,
+                    };
+                    match fault {
+                        Some(FaultKind::MsgDrop | FaultKind::MsgCorrupt)
+                            if attempt < MAX_SEND_ATTEMPTS =>
+                        {
+                            // Lost in the channel (a corrupt message is
+                            // checksum-rejected by the receiver): the ack
+                            // never comes, so wait out the timeout and
+                            // retransmit.
+                            cycles += Self::backoff(timeout_base, attempt);
+                            self.counters.timeouts[from.index()] += 1;
+                            self.counters.retransmits[from.index()] += 1;
+                            injected += 1;
+                            retried += 1;
+                            recovered += 1;
+                            if let Some(inj) = &self.injector {
+                                let mut inj = inj.borrow_mut();
+                                inj.note_retried(1);
+                                inj.note_recovered(1);
+                            }
+                            continue;
+                        }
+                        Some(FaultKind::MsgDrop | FaultKind::MsgCorrupt) => {
+                            // Retransmission cap reached: deliver the
+                            // final attempt but record the protocol gave
+                            // up retrying (unreachable under sane plans).
+                            injected += 1;
+                            fatal += 1;
+                            if let Some(inj) = &self.injector {
+                                inj.borrow_mut().note_fatal(1);
+                            }
+                        }
+                        Some(FaultKind::MsgDelay) => {
+                            // Delivered late: pure added latency.
+                            let delay = match &self.injector {
+                                Some(inj) => inj.borrow().plan().msg_delay_cycles,
+                                None => 0,
+                            };
+                            cycles += Cycles::new(delay);
+                            injected += 1;
+                            recovered += 1;
+                            if let Some(inj) = &self.injector {
+                                inj.borrow_mut().note_recovered(1);
+                            }
+                        }
+                        _ => {}
+                    }
+                    // Delivered: notify the receiver. The fabric itself
+                    // retries injected IPI losses; fold its retry count
+                    // into this domain's fault statistics.
+                    match notify {
+                        NotifyMode::Interrupt => {
+                            let fabric_retries = ipi.retries();
+                            cycles += ipi.send(from);
+                            mem.stats_mut(from).ipi += 1;
+                            let lost = ipi.retries() - fabric_retries;
+                            injected += lost;
+                            retried += lost;
+                            recovered += lost;
+                        }
+                        NotifyMode::Polling => {}
+                    }
+                    break;
+                }
+                // Ack leg: a delivered message whose ack is lost looks
+                // like a drop to the sender — it retransmits, and the
+                // receiver discards the duplicate by sequence number.
+                if self.injector.is_some() {
+                    let mut ack_attempt = 1u32;
+                    loop {
+                        let dropped = match &self.injector {
+                            Some(inj) => inj.borrow_mut().ack_dropped(),
+                            None => false,
+                        };
+                        if !dropped || ack_attempt >= MAX_SEND_ATTEMPTS {
+                            break;
+                        }
+                        ack_attempt += 1;
+                        cycles += Self::backoff(timeout_base, ack_attempt);
+                        let addr = self.slot(to, total);
+                        let payload = vec![0u8; total as usize];
+                        cycles += mem.write_bytes(from, addr, &payload);
+                        if let NotifyMode::Interrupt = notify {
+                            cycles += ipi.send(from);
+                            mem.stats_mut(from).ipi += 1;
+                        }
+                        self.counters.timeouts[from.index()] += 1;
+                        self.counters.retransmits[from.index()] += 1;
+                        self.counters.dup_delivered[to.index()] += 1;
+                        injected += 1;
+                        retried += 1;
+                        recovered += 1;
+                        if let Some(inj) = &self.injector {
+                            let mut inj = inj.borrow_mut();
+                            inj.note_retried(1);
+                            inj.note_recovered(1);
+                        }
+                    }
+                }
+                self.outstanding[to.index()] += u64::from(total);
                 cycles
             }
             // One way is half the measured 75 µs round trip; a protocol
-            // request/response pair thus costs one full RTT.
-            Transport::Tcp => self.tcp_rtt / 2,
+            // request/response pair thus costs one full RTT. A dropped
+            // segment costs a full-RTT timeout plus the retransmitted
+            // half-RTT.
+            Transport::Tcp => {
+                let mut cycles = Cycles::ZERO;
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    cycles += self.tcp_rtt / 2;
+                    let fault = match &self.injector {
+                        Some(inj) => inj.borrow_mut().msg_fault(),
+                        None => None,
+                    };
+                    match fault {
+                        Some(FaultKind::MsgDrop | FaultKind::MsgCorrupt)
+                            if attempt < MAX_SEND_ATTEMPTS =>
+                        {
+                            cycles += Self::backoff(self.tcp_rtt, attempt);
+                            self.counters.timeouts[from.index()] += 1;
+                            self.counters.retransmits[from.index()] += 1;
+                            injected += 1;
+                            retried += 1;
+                            recovered += 1;
+                            if let Some(inj) = &self.injector {
+                                let mut inj = inj.borrow_mut();
+                                inj.note_retried(1);
+                                inj.note_recovered(1);
+                            }
+                            continue;
+                        }
+                        Some(FaultKind::MsgDrop | FaultKind::MsgCorrupt) => {
+                            injected += 1;
+                            fatal += 1;
+                            if let Some(inj) = &self.injector {
+                                inj.borrow_mut().note_fatal(1);
+                            }
+                        }
+                        Some(FaultKind::MsgDelay) => {
+                            let delay = match &self.injector {
+                                Some(inj) => inj.borrow().plan().msg_delay_cycles,
+                                None => 0,
+                            };
+                            cycles += Cycles::new(delay);
+                            injected += 1;
+                            recovered += 1;
+                            if let Some(inj) = &self.injector {
+                                inj.borrow_mut().note_recovered(1);
+                            }
+                        }
+                        _ => {}
+                    }
+                    break;
+                }
+                cycles
+            }
+        };
+
+        if injected + retried + recovered + fatal > 0 {
+            let stats = mem.stats_mut(from);
+            stats.faults_injected += injected;
+            stats.faults_retried += retried;
+            stats.faults_recovered += recovered;
+            stats.faults_fatal += fatal;
         }
+        cycles
     }
 
     /// Receiver-side cost of consuming the oldest message addressed to
@@ -277,6 +633,10 @@ impl MessagingLayer {
                     let (_, c) = mem.read_u64(to, self.ring_base[to.index()]);
                     cycles += c;
                 }
+                // Consuming the message frees its ring space, releasing
+                // any sender backpressure.
+                self.outstanding[to.index()] =
+                    self.outstanding[to.index()].saturating_sub(u64::from(total));
                 // Re-read the most recent slot of our ring.
                 let addr = self.peek_slot(to, total);
                 let mut buf = vec![0u8; total as usize];
@@ -288,7 +648,10 @@ impl MessagingLayer {
     }
 
     /// Allocates ring space for a message to `to` and advances the
-    /// cursor (wrapping).
+    /// cursor. The cursor only wraps once the send path has verified the
+    /// ring has room (see the backpressure check in
+    /// [`MessagingLayer::send`]), so wrapping never overwrites an unread
+    /// message.
     fn slot(&mut self, to: DomainId, total: u32) -> PhysAddr {
         let ti = to.index();
         if self.cursor[ti] + u64::from(total) > self.ring_len {
@@ -324,7 +687,8 @@ mod tests {
             [PhysAddr::new(POOL), PhysAddr::new(POOL + (64 << 20))],
             64 << 20,
             tcp,
-        );
+        )
+        .unwrap();
         (mem, ipi, ml)
     }
 
@@ -410,21 +774,149 @@ mod tests {
     }
 
     #[test]
-    fn ring_cursor_wraps() {
+    fn ring_full_stalls_instead_of_silent_wrap() {
         let cfg = SimConfig::big_pair();
         let tcp = cfg.tcp_rtt;
         let mut mem = MemorySystem::new(cfg).unwrap();
         let mut ipi = IpiFabric::new(Cycles::new(10));
-        // Tiny 8 KB ring forces wrapping after two page messages.
+        // Tiny 8 KB ring: a second unconsumed page message overflows it.
         let mut ml = MessagingLayer::new(
             Transport::Shm { notify: NotifyMode::Polling },
             [PhysAddr::new(POOL), PhysAddr::new(POOL + 8192)],
             8192,
             tcp,
-        );
+        )
+        .unwrap();
         for _ in 0..5 {
             ml.send(&mut mem, &mut ipi, DomainId::X86, Message::page(MsgType::PageResponse));
         }
         assert_eq!(ml.counters().total(), 5);
+        // Every send after the first found the ring full and stalled for
+        // the receiver to drain it — no silent overwrite.
+        assert_eq!(ml.counters().backpressure_stalls(), 4);
+        assert_eq!(ml.counters().backpressure_stalls_by(DomainId::X86), 4);
+        assert!(ml.audit().is_empty(), "cursor must stay inside the ring");
+    }
+
+    #[test]
+    fn receive_drains_ring_and_avoids_backpressure() {
+        let cfg = SimConfig::big_pair();
+        let tcp = cfg.tcp_rtt;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut ipi = IpiFabric::new(Cycles::new(10));
+        let mut ml = MessagingLayer::new(
+            Transport::Shm { notify: NotifyMode::Polling },
+            [PhysAddr::new(POOL), PhysAddr::new(POOL + 8192)],
+            8192,
+            tcp,
+        )
+        .unwrap();
+        let msg = Message::page(MsgType::PageResponse);
+        for _ in 0..5 {
+            ml.send(&mut mem, &mut ipi, DomainId::X86, msg);
+            ml.receive(&mut mem, DomainId::ARM, msg);
+        }
+        assert_eq!(ml.counters().backpressure_stalls(), 0);
+        assert!(ml.audit().is_empty());
+    }
+
+    #[test]
+    fn constructor_rejects_degenerate_rings() {
+        let cfg = SimConfig::big_pair();
+        let mk = |len| {
+            MessagingLayer::new(
+                Transport::Shm { notify: NotifyMode::Polling },
+                [PhysAddr::new(POOL), PhysAddr::new(POOL + 8192)],
+                len,
+                cfg.tcp_rtt,
+            )
+        };
+        assert_eq!(mk(0).unwrap_err(), MsgError::ZeroRing);
+        assert_eq!(mk(1024).unwrap_err(), MsgError::RingTooSmall { ring_len: 1024, min: 4160 });
+        assert!(mk(4160).is_ok());
+        assert!(!mk(0).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn injected_drop_retransmits_and_charges_timeout() {
+        use stramash_sim::{shared_injector, FaultPlan};
+        let (mut mem, mut ipi, mut ml) = setup(
+            HardwareModel::Shared,
+            Transport::Shm { notify: NotifyMode::Interrupt },
+        );
+        let inj = shared_injector(FaultPlan::none().with_msg_drop(0.4), 0x5eed);
+        ml.set_fault_injector(inj.clone());
+        let baseline = 640 + 4200; // fault-free header send cost
+        let mut total = Cycles::ZERO;
+        let sends = 200u64;
+        for _ in 0..sends {
+            total +=
+                ml.send(&mut mem, &mut ipi, DomainId::X86, Message::control(MsgType::FutexRequest));
+        }
+        let c = ml.counters();
+        assert_eq!(c.total(), sends, "retransmits must not inflate the logical count");
+        assert!(c.retransmits() > 0, "40% drop over 200 sends must retransmit");
+        assert_eq!(c.retransmits(), c.timeouts());
+        assert!(
+            total.raw() > sends * baseline,
+            "retries must cost real cycles: {total} vs {}",
+            sends * baseline
+        );
+        let fc = inj.borrow().counters();
+        assert_eq!(fc.retried, c.retransmits());
+        assert_eq!(fc.recovered, fc.injected, "every drop must be recovered");
+        assert_eq!(fc.fatal, 0);
+        // Recoveries are visible in the per-domain stats block.
+        let s = mem.stats(DomainId::X86);
+        assert_eq!(s.faults_injected, fc.injected);
+        assert_eq!(s.faults_recovered, fc.recovered);
+        assert!(s.faults_retried > 0);
+    }
+
+    #[test]
+    fn lost_ack_causes_duplicate_delivery_and_dedup() {
+        use stramash_sim::{shared_injector, FaultPlan};
+        let (mut mem, mut ipi, mut ml) = setup(
+            HardwareModel::Shared,
+            Transport::Shm { notify: NotifyMode::Polling },
+        );
+        let inj = shared_injector(FaultPlan::none().with_ack_drop(0.5), 0xacc);
+        ml.set_fault_injector(inj);
+        for _ in 0..100 {
+            ml.send(&mut mem, &mut ipi, DomainId::X86, Message::control(MsgType::VmaRequest));
+        }
+        let c = ml.counters();
+        assert!(c.dup_delivered() > 0, "lost acks must re-deliver");
+        assert_eq!(c.dup_delivered_to(DomainId::ARM), c.dup_delivered());
+        assert_eq!(c.retransmits(), c.dup_delivered(), "each dup is one retransmit");
+        assert_eq!(c.total(), 100, "dedup keeps the logical count exact");
+    }
+
+    #[test]
+    fn delay_fault_adds_latency_but_delivers() {
+        use stramash_sim::{shared_injector, FaultPlan};
+        let (mut mem, mut ipi, mut ml) = setup(
+            HardwareModel::Shared,
+            Transport::Shm { notify: NotifyMode::Interrupt },
+        );
+        let inj = shared_injector(FaultPlan::none().with_msg_delay(1.0, 9999), 1);
+        ml.set_fault_injector(inj);
+        let c = ml.send(&mut mem, &mut ipi, DomainId::X86, Message::control(MsgType::FutexWake));
+        assert_eq!(c.raw(), 640 + 4200 + 9999);
+        assert_eq!(ml.counters().retransmits(), 0);
+        assert_eq!(mem.stats(DomainId::X86).faults_recovered, 1);
+    }
+
+    #[test]
+    fn tcp_drop_retransmits_with_rtt_timeout() {
+        use stramash_sim::{shared_injector, FaultPlan};
+        let (mut mem, mut ipi, mut ml) = setup(HardwareModel::Shared, Transport::Tcp);
+        // Drop exactly the first transmission attempt.
+        let inj = shared_injector(FaultPlan::none().with_msg_drop(1.0).with_window(0, 1), 2);
+        ml.set_fault_injector(inj);
+        let c = ml.send(&mut mem, &mut ipi, DomainId::X86, Message::page(MsgType::PageRequest));
+        // half-RTT (lost) + one-RTT timeout + half-RTT retransmit.
+        assert_eq!(c.raw(), 157_500 / 2 + 157_500 + 157_500 / 2);
+        assert_eq!(ml.counters().retransmits(), 1);
     }
 }

@@ -29,7 +29,7 @@ use stramash_isa::PteFlags;
 use stramash_mem::{MemorySystem, PhysAddr, PhysLayout};
 use stramash_sim::config::ConfigError;
 use stramash_sim::ipi::IpiFabric;
-use stramash_sim::{Cycles, DomainId, SimConfig, Timebase};
+use stramash_sim::{Cycles, DomainId, SharedFaultInjector, SimConfig, Timebase};
 
 /// Trap entry/exit plus generic fault-path bookkeeping, charged for
 /// every page fault regardless of how it is resolved.
@@ -69,6 +69,19 @@ pub enum OsError {
     Config(ConfigError),
     /// MMIO device access failed.
     Device(DeviceError),
+    /// A cross-ISA lock acquisition exhausted its retry budget.
+    LockTimeout {
+        /// Process whose lock acquisition timed out.
+        pid: Pid,
+    },
+    /// An uncorrectable (double-bit) memory fault was detected.
+    UncorrectableMemory {
+        /// The corrupted physical address.
+        pa: PhysAddr,
+    },
+    /// A kernel invariant that should always hold was violated — the
+    /// typed replacement for what used to be a panic site.
+    InvariantViolation(&'static str),
 }
 
 impl fmt::Display for OsError {
@@ -85,6 +98,13 @@ impl fmt::Display for OsError {
             OsError::MigrationUnsupported => f.write_str("this OS cannot migrate across ISAs"),
             OsError::Config(e) => write!(f, "bad configuration: {e}"),
             OsError::Device(e) => write!(f, "device access failed: {e}"),
+            OsError::LockTimeout { pid } => {
+                write!(f, "cross-ISA lock acquisition timed out for {pid}")
+            }
+            OsError::UncorrectableMemory { pa } => {
+                write!(f, "uncorrectable memory fault at {pa}")
+            }
+            OsError::InvariantViolation(what) => write!(f, "kernel invariant violated: {what}"),
         }
     }
 }
@@ -146,6 +166,9 @@ pub struct BaseSystem {
     pub pool_end: PhysAddr,
     processes: HashMap<u32, Process>,
     next_pid: u32,
+    /// The deterministic fault injector, shared with the messaging layer
+    /// and IPI fabric once installed.
+    fault_injector: Option<SharedFaultInjector>,
     /// Per-domain code region base for instruction-fetch modelling.
     code_base: [PhysAddr; 2],
     /// Modelled code working-set bytes.
@@ -185,6 +208,7 @@ impl BaseSystem {
             pool_end,
             processes: HashMap::new(),
             next_pid: 1,
+            fault_injector: None,
             code_base,
             code_bytes: 32 << 10,
             ifetch_interval: 64,
@@ -211,6 +235,37 @@ impl BaseSystem {
             Process::new(pid, origin, pt, lock_frame, lock_frame.offset(64));
         self.processes.insert(pid.0, proc);
         Ok(pid)
+    }
+
+    /// Installs a deterministic fault injector, sharing it with the
+    /// messaging layer and the IPI fabric so every layer draws from the
+    /// same seeded schedule.
+    pub fn install_fault_injector(&mut self, injector: SharedFaultInjector) {
+        self.msg.set_fault_injector(injector.clone());
+        self.ipi.set_fault_injector(injector.clone());
+        self.fault_injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&SharedFaultInjector> {
+        self.fault_injector.as_ref()
+    }
+
+    /// Iterates every live process (for the invariant auditors, which
+    /// must inspect all address spaces without timing side effects).
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values()
+    }
+
+    /// Audits the OS-neutral machine invariants: messaging-ring cursor
+    /// sanity and MESI coherence agreement. Design-specific systems
+    /// extend this with page-table/ownership checks.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = self.msg.audit();
+        violations.extend(self.mem.audit_coherence());
+        violations
     }
 
     /// Looks up a process.
@@ -615,7 +670,12 @@ impl OsSystem for VanillaSystem {
         }
         let frame = self.base.kernels[domain.index()].frames.alloc()?;
         self.base.mem.store_mut().fill(frame, PAGE_SIZE, 0);
-        let pt = self.base.process(pid)?.page_table(domain).copied().expect("origin always has a PT");
+        let pt = self
+            .base
+            .process(pid)?
+            .page_table(domain)
+            .copied()
+            .ok_or(OsError::InvariantViolation("origin kernel lost its page table"))?;
         let mut flags = PteFlags::user_data();
         flags.writable = prot.write;
         let cycles = pt.map(
@@ -670,7 +730,12 @@ impl OsSystem for VanillaSystem {
             let vma = proc.vmas.remove(start).ok_or(OsError::Segfault { pid, va: start })?;
             (proc.current, vma)
         };
-        let pt = self.base.process(pid)?.page_table(domain).copied().expect("origin PT");
+        let pt = self
+            .base
+            .process(pid)?
+            .page_table(domain)
+            .copied()
+            .ok_or(OsError::InvariantViolation("origin kernel lost its page table"))?;
         let mut freed = [0u64; 2];
         for p in 0..vma.pages() {
             let va = start.offset(p * PAGE_SIZE);
@@ -828,5 +893,38 @@ mod tests {
         let e = OsError::Segfault { pid: Pid(1), va: VirtAddr::new(0x10) };
         assert!(e.to_string().contains("segmentation fault"));
         assert!(!OsError::MigrationUnsupported.to_string().is_empty());
+        assert!(OsError::LockTimeout { pid: Pid(3) }.to_string().contains("timed out"));
+        assert!(OsError::UncorrectableMemory { pa: PhysAddr::new(0x40) }
+            .to_string()
+            .contains("uncorrectable"));
+        assert!(OsError::InvariantViolation("x").to_string().contains("invariant"));
+    }
+
+    #[test]
+    fn base_audit_clean_after_workload() {
+        let (mut sys, pid) = vanilla();
+        let va = sys.mmap(pid, 64 << 10, VmaProt::rw()).unwrap();
+        for i in 0..16 {
+            sys.store_u64(pid, va.offset(i * 512), i).unwrap();
+        }
+        assert!(sys.base().audit().is_empty());
+    }
+
+    #[test]
+    fn installed_injector_is_shared_with_msg_and_ipi() {
+        let (mut sys, pid) = vanilla();
+        let inj = stramash_sim::shared_injector(
+            stramash_sim::FaultPlan::none().with_ipi_loss(1.0),
+            42,
+        );
+        sys.base_mut().install_fault_injector(inj.clone());
+        assert!(sys.base().fault_injector().is_some());
+        // Any IPI now draws from the shared schedule and recovers.
+        let va = sys.mmap(pid, 4096, VmaProt::rw()).unwrap();
+        sys.store_u64(pid, va, 1).unwrap();
+        let base = sys.base_mut();
+        let c = base.ipi.send(DomainId::X86);
+        base.charge(DomainId::X86, c);
+        assert!(inj.borrow().counters().recovered > 0, "lost IPIs were retried");
     }
 }

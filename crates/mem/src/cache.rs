@@ -156,6 +156,12 @@ impl Cache {
     pub fn resident(&self) -> usize {
         self.sets.iter().filter(|w| w.line != EMPTY).count()
     }
+
+    /// Iterates every resident line with its state, without disturbing
+    /// LRU. Used by the coherence auditor.
+    pub fn lines(&self) -> impl Iterator<Item = (u64, Mesi)> + '_ {
+        self.sets.iter().filter(|w| w.line != EMPTY).map(|w| (w.line, w.state))
+    }
 }
 
 /// The per-domain hierarchy: split L1, unified L2, inclusive L3.

@@ -49,4 +49,7 @@ pub use cache::{Cache, CacheHierarchy, Mesi};
 pub use hwmodel::{AddressMap, MemClass};
 pub use phys::{MemRegion, PhysAddr, PhysLayout, RegionKind, SparseMemory};
 pub use reference::ReferenceSystem;
-pub use system::{Access, AccessKind, AccessOutcome, HitLevel, MemorySystem, TraceEntry};
+pub use system::{
+    Access, AccessKind, AccessOutcome, EccFault, EccScrubReport, HitLevel, MemorySystem,
+    TraceEntry,
+};

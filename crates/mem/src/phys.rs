@@ -302,6 +302,15 @@ impl SparseMemory {
         self.read(src, &mut buf);
         self.write(dst, &buf);
     }
+
+    /// XORs the 64-bit word at `addr` with `mask` — the bit-flip
+    /// primitive of the fault injector. Applying the same mask twice
+    /// restores the original value, which is exactly how the ECC
+    /// scrubber repairs a journalled single-bit flip.
+    pub fn flip_bits(&mut self, addr: PhysAddr, mask: u64) {
+        let word = self.read_u64(addr);
+        self.write_u64(addr, word ^ mask);
+    }
 }
 
 #[cfg(test)]

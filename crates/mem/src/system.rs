@@ -73,6 +73,29 @@ pub struct AccessOutcome {
     pub snooped: bool,
 }
 
+/// One journalled ECC fault: the XOR mask a fault injector applied to
+/// the 64-bit word at `addr`. DRAM SEC-DED ECC corrects single-bit
+/// flips and detects (but cannot repair) double-bit flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccFault {
+    /// 8-byte-aligned physical address of the flipped word.
+    pub addr: PhysAddr,
+    /// XOR mask applied — one set bit for a correctable fault, two
+    /// adjacent bits for an uncorrectable one.
+    pub mask: u64,
+    /// Whether the fault exceeds SEC-DED correction capability.
+    pub double: bool,
+}
+
+/// Outcome of one [`MemorySystem::ecc_scrub`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EccScrubReport {
+    /// Single-bit faults detected and repaired in place.
+    pub corrected: u64,
+    /// Double-bit faults detected but left corrupted.
+    pub uncorrectable: u64,
+}
+
 /// The shared, coherent memory system of the simulated platform.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -91,6 +114,8 @@ pub struct MemorySystem {
     /// "memory remapping" — the single shared memory "may be mapped to
     /// different addresses" on each processor, as on OpenPiton).
     aliases: Vec<AliasWindow>,
+    /// Injected-but-unscrubbed ECC faults.
+    ecc_journal: Vec<EccFault>,
 }
 
 /// One per-domain physical alias: `domain` sees
@@ -143,6 +168,7 @@ impl MemorySystem {
             line_bytes,
             trace: None,
             aliases: Vec::new(),
+            ecc_journal: Vec::new(),
         })
     }
 
@@ -259,6 +285,92 @@ impl MemorySystem {
     /// Untimed mutable access to the backing store.
     pub fn store_mut(&mut self) -> &mut SparseMemory {
         &mut self.store
+    }
+
+    // ---- fault injection & auditing ----------------------------------------
+
+    /// Injects a transient bit flip into the word containing `addr`
+    /// (aligned down to 8 bytes) and journals it for the ECC scrubber.
+    /// A single-bit flip is SEC-correctable; `double` flips two adjacent
+    /// bits, which SEC-DED detects but cannot repair.
+    pub fn inject_bit_flip(&mut self, addr: PhysAddr, bit: u32, double: bool) -> EccFault {
+        let addr = PhysAddr::new(addr.raw() & !7);
+        let bit = bit % 64;
+        let mask = if double { (1u64 << bit) | (1u64 << ((bit + 1) % 64)) } else { 1u64 << bit };
+        self.store.flip_bits(addr, mask);
+        let fault = EccFault { addr, mask, double };
+        self.ecc_journal.push(fault);
+        fault
+    }
+
+    /// The journalled faults awaiting a scrub pass.
+    #[must_use]
+    pub fn ecc_pending(&self) -> &[EccFault] {
+        &self.ecc_journal
+    }
+
+    /// One ECC scrub pass, performed by `domain`'s memory controller:
+    /// every journalled single-bit fault is repaired in place (the XOR
+    /// mask is involutive), double-bit faults are detected but the data
+    /// stays corrupt. Repairs and fatalities are reflected in the
+    /// scrubbing domain's fault statistics.
+    pub fn ecc_scrub(&mut self, domain: DomainId) -> EccScrubReport {
+        let mut report = EccScrubReport::default();
+        let faults = std::mem::take(&mut self.ecc_journal);
+        for f in &faults {
+            if f.double {
+                report.uncorrectable += 1;
+            } else {
+                self.store.flip_bits(f.addr, f.mask);
+                report.corrected += 1;
+            }
+        }
+        let s = &mut self.stats[domain.index()];
+        s.faults_injected += report.corrected + report.uncorrectable;
+        s.faults_recovered += report.corrected;
+        s.faults_fatal += report.uncorrectable;
+        report
+    }
+
+    /// Audits the MESI coherence invariants: a `Modified` or `Exclusive`
+    /// line in one private LLC must not coexist with any peer copy, and
+    /// every upper-level line must be covered by its inclusive LLC.
+    /// Returns one human-readable message per violation (empty = clean).
+    #[must_use]
+    pub fn audit_coherence(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.shared_l3.is_none() {
+            for di in 0..2 {
+                let oi = di ^ 1;
+                for (line, state) in self.hierarchies[di].l3.lines() {
+                    if matches!(state, Mesi::Modified | Mesi::Exclusive) {
+                        if let Some(peer) = self.hierarchies[oi].l3.state_of(line) {
+                            violations.push(format!(
+                                "line {:#x} is {state:?} in domain {di} L3 but {peer:?} in peer L3",
+                                line * self.line_bytes
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (di, h) in self.hierarchies.iter().enumerate() {
+            for (name, cache) in [("L1I", &h.l1i), ("L1D", &h.l1d), ("L2", &h.l2)] {
+                for (line, _) in cache.lines() {
+                    let covered = match &self.shared_l3 {
+                        Some(l3) => l3.contains(line),
+                        None => h.l3.contains(line),
+                    };
+                    if !covered {
+                        violations.push(format!(
+                            "domain {di} {name} line {:#x} missing from inclusive LLC",
+                            line * self.line_bytes
+                        ));
+                    }
+                }
+            }
+        }
+        violations
     }
 
     // ---- timed access path -------------------------------------------------
@@ -875,6 +987,77 @@ mod tests {
     fn alias_overlap_rejected() {
         let mut m = sys(HardwareModel::Shared);
         m.add_alias(DomainId::ARM, PhysAddr::new(0x1000), 0x2000, PhysAddr::new(0x2000));
+    }
+
+    #[test]
+    fn ecc_single_bit_flip_is_corrected_by_scrub() {
+        let mut m = sys(HardwareModel::Shared);
+        m.store_mut().write_u64(POOL, 0xdead_beef);
+        let f = m.inject_bit_flip(POOL.offset(3), 5, false);
+        assert_eq!(f.addr, POOL, "flip aligns down to the word");
+        assert_eq!(f.mask.count_ones(), 1);
+        assert_ne!(m.store().read_u64(POOL), 0xdead_beef, "fault visible before scrub");
+        assert_eq!(m.ecc_pending().len(), 1);
+        let report = m.ecc_scrub(DomainId::X86);
+        assert_eq!(report, EccScrubReport { corrected: 1, uncorrectable: 0 });
+        assert_eq!(m.store().read_u64(POOL), 0xdead_beef, "SEC repairs the word");
+        assert!(m.ecc_pending().is_empty());
+        assert_eq!(m.stats(DomainId::X86).faults_recovered, 1);
+        assert_eq!(m.stats(DomainId::X86).faults_fatal, 0);
+    }
+
+    #[test]
+    fn ecc_double_bit_flip_is_detected_but_fatal() {
+        let mut m = sys(HardwareModel::Shared);
+        m.store_mut().write_u64(POOL, 77);
+        let f = m.inject_bit_flip(POOL, 63, true);
+        assert_eq!(f.mask.count_ones(), 2);
+        let report = m.ecc_scrub(DomainId::ARM);
+        assert_eq!(report, EccScrubReport { corrected: 0, uncorrectable: 1 });
+        assert_ne!(m.store().read_u64(POOL), 77, "DED cannot repair the data");
+        assert_eq!(m.stats(DomainId::ARM).faults_fatal, 1);
+        assert_eq!(m.stats(DomainId::ARM).faults_recovered, 0);
+    }
+
+    #[test]
+    fn coherence_audit_clean_after_cross_domain_traffic() {
+        for model in [HardwareModel::Separated, HardwareModel::Shared, HardwareModel::FullyShared]
+        {
+            let mut m = sys(model);
+            for i in 0..32u64 {
+                m.access(DomainId::X86, POOL.offset(i * 64), Access::Write, AccessKind::Data);
+                m.access(DomainId::ARM, POOL.offset(i * 32), Access::Read, AccessKind::Data);
+                m.access(DomainId::ARM, X86_LOCAL.offset(i * 64), Access::Write, AccessKind::Data);
+            }
+            assert!(m.audit_coherence().is_empty(), "model {model:?} must audit clean");
+        }
+    }
+
+    #[test]
+    fn coherence_audit_flags_forged_double_owner() {
+        let mut m = sys(HardwareModel::Shared);
+        m.access(DomainId::X86, POOL, Access::Write, AccessKind::Data);
+        // Forge an impossible state: the peer L3 also claims the line.
+        let line = POOL.line(m.line_bytes());
+        m.hierarchies[1].l3.insert(line, Mesi::Exclusive);
+        let violations = m.audit_coherence();
+        assert!(
+            violations.iter().any(|v| v.contains("peer L3")),
+            "double ownership must be reported, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn coherence_audit_flags_forged_inclusivity_break() {
+        let mut m = sys(HardwareModel::Separated);
+        m.access(DomainId::ARM, ARM_LOCAL, Access::Read, AccessKind::Data);
+        let line = ARM_LOCAL.line(m.line_bytes());
+        m.hierarchies[1].l3.invalidate(line);
+        let violations = m.audit_coherence();
+        assert!(
+            violations.iter().any(|v| v.contains("missing from inclusive LLC")),
+            "inclusivity break must be reported, got {violations:?}"
+        );
     }
 
     #[test]

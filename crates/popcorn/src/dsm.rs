@@ -103,6 +103,11 @@ impl DsmDirectory {
         self.pages.len()
     }
 
+    /// Iterates over every tracked page (used by the invariant auditor).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &DsmPage)> {
+        self.pages.iter().map(|(vpn, page)| (*vpn, page))
+    }
+
     /// Resets the event counters (page state is preserved).
     pub fn reset_counters(&mut self) {
         self.replications = 0;

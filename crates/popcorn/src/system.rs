@@ -11,7 +11,7 @@
 use crate::dsm::{DsmDirectory, DsmPageState};
 use std::collections::{HashMap, HashSet};
 use stramash_isa::PteFlags;
-use stramash_kernel::addr::{VirtAddr, PAGE_SIZE};
+use stramash_kernel::addr::{VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 use stramash_kernel::msg::{Message, MsgType, Transport};
 use stramash_kernel::pagetable::PageTable;
 use stramash_kernel::process::Pid;
@@ -98,6 +98,84 @@ impl PopcornSystem {
         self.dsm.get(&pid.0).map_or(0, DsmDirectory::replications)
     }
 
+    /// Runs the cross-layer invariant auditor and returns every
+    /// violation found (an empty vector means the system is sound).
+    ///
+    /// On top of the base checks (messaging-ring cursor sanity and
+    /// MESI directory ↔ cache-state agreement) this verifies the DSM
+    /// protocol's bookkeeping against the real page tables:
+    ///
+    /// * every tracked page still lies inside a live VMA,
+    /// * every replica frame is owned by the kernel that holds it,
+    /// * an `Exclusive` page is mapped by its owner at the recorded
+    ///   frame and by nobody else,
+    /// * a `SharedBoth` page is mapped read-only, and only at frames
+    ///   the directory records.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = self.base.audit();
+        for proc in self.base.processes() {
+            let pid = proc.pid;
+            let Some(dir) = self.dsm.get(&pid.0) else {
+                violations.push(format!("{pid}: process has no DSM directory"));
+                continue;
+            };
+            for (vpn, page) in dir.iter() {
+                let va = VirtAddr::new(vpn << PAGE_SHIFT);
+                if proc.vmas.find(va).is_none() {
+                    violations.push(format!("{pid} {va}: DSM tracks a page outside every VMA"));
+                }
+                for d in DomainId::ALL {
+                    if let Some(frame) = page.frames[d.index()] {
+                        if !self.base.kernels[d.index()].frames.owns(frame) {
+                            violations.push(format!(
+                                "{pid} {va}: {d} replica frame {frame} not owned by that kernel"
+                            ));
+                        }
+                    }
+                }
+                let mapped = DomainId::ALL.map(|d| {
+                    proc.page_table(d).and_then(|pt| pt.walk_untimed(&self.base.mem, va))
+                });
+                match page.state {
+                    DsmPageState::Exclusive(owner) => {
+                        match mapped[owner.index()] {
+                            Some((pa, _)) if Some(pa) == page.frames[owner.index()] => {}
+                            Some(_) => violations.push(format!(
+                                "{pid} {va}: exclusive owner maps a frame the directory does not record"
+                            )),
+                            None => violations.push(format!(
+                                "{pid} {va}: exclusive owner {owner} has no mapping"
+                            )),
+                        }
+                        if mapped[owner.other().index()].is_some() {
+                            violations.push(format!(
+                                "{pid} {va}: peer of exclusive owner {owner} still maps the page"
+                            ));
+                        }
+                    }
+                    DsmPageState::SharedBoth => {
+                        for d in DomainId::ALL {
+                            if let Some((pa, flags)) = mapped[d.index()] {
+                                if Some(pa) != page.frames[d.index()] {
+                                    violations.push(format!(
+                                        "{pid} {va}: {d} maps a frame the directory does not record"
+                                    ));
+                                }
+                                if flags.writable {
+                                    violations.push(format!(
+                                        "{pid} {va}: shared page is writable on {d}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+
     /// A full protocol round-trip: `from` sends `req`, the peer handles
     /// it and answers `resp`. Charges each side's clock.
     fn round_trip(&mut self, from: DomainId, req: Message, resp: Message) -> Cycles {
@@ -122,10 +200,9 @@ impl PopcornSystem {
             return Ok(Cycles::ZERO);
         }
         let cache = self.vma_cache.entry(pid.0).or_default();
-        if cache.contains(&vma_start) {
+        if !cache.insert(vma_start) {
             return Ok(Cycles::ZERO);
         }
-        self.vma_cache.get_mut(&pid.0).expect("just inserted").insert(vma_start);
         Ok(self.round_trip(
             domain,
             Message::control(MsgType::VmaRequest),
@@ -235,9 +312,23 @@ impl PopcornSystem {
         res
     }
 
+    /// Looks up the DSM directory for `pid`, which every spawned
+    /// process owns for its entire lifetime.
+    fn dsm_mut(&mut self, pid: Pid) -> Result<&mut DsmDirectory, OsError> {
+        self.dsm
+            .get_mut(&pid.0)
+            .ok_or(OsError::InvariantViolation("process has no DSM directory"))
+    }
+
     /// The replication transfer: the holder reads its copy and ships it
     /// as a 4 KiB page message; the requester writes it into its own
     /// frame. Returns cycles charged.
+    ///
+    /// Reliability: the PageRequest/PageResponse round trip goes
+    /// through [`stramash_kernel::msg::MessagingLayer`], so dropped or
+    /// corrupted page messages are retransmitted (with acks, timeouts,
+    /// and capped exponential backoff) transparently — DSM never sees a
+    /// lost page, only a higher cycle charge.
     fn ship_page(
         &mut self,
         requester: DomainId,
@@ -300,7 +391,7 @@ impl OsSystem for PopcornSystem {
                     // Plain local anonymous fault.
                     let frame = self.alloc_frame(domain)?;
                     total += self.map_into(pid, domain, va, frame, prot.write)?;
-                    self.dsm.get_mut(&pid.0).expect("spawned").insert_exclusive(vpn, domain, frame);
+                    self.dsm_mut(pid)?.insert_exclusive(vpn, domain, frame);
                     self.base.kernels[domain.index()].counters.local_faults += 1;
                 } else {
                     // §6.4: "anonymous pages are allocated in the origin
@@ -308,10 +399,12 @@ impl OsSystem for PopcornSystem {
                     let origin_frame = self.alloc_frame(origin)?;
                     let local_frame = self.alloc_frame(domain)?;
                     total += self.ship_page(domain, origin_frame, local_frame);
-                    let dsm = self.dsm.get_mut(&pid.0).expect("spawned");
+                    let dsm = self.dsm_mut(pid)?;
                     dsm.insert_exclusive(vpn, origin, origin_frame);
                     dsm.count_replication();
-                    let page = dsm.page_mut(vpn).expect("just inserted");
+                    let page = dsm
+                        .page_mut(vpn)
+                        .ok_or(OsError::InvariantViolation("DSM page vanished after insert"))?;
                     page.frames[domain.index()] = Some(local_frame);
                     if write {
                         page.state = DsmPageState::Exclusive(domain);
@@ -330,22 +423,26 @@ impl OsSystem for PopcornSystem {
             Some(page) => match page.state {
                 DsmPageState::Exclusive(owner) if owner == domain => {
                     // We own it; the mapping was merely missing or RO.
-                    let frame = page.frames[domain.index()].expect("owner has a frame");
+                    let frame = page.frames[domain.index()]
+                        .ok_or(OsError::InvariantViolation("exclusive DSM owner has no frame"))?;
                     total += self.map_into(pid, domain, va, frame, prot.write)?;
                     self.base.kernels[domain.index()].counters.local_faults += 1;
                 }
                 DsmPageState::Exclusive(owner) => {
                     // Fetch from the current owner.
-                    let src = page.frames[owner.index()].expect("owner has a frame");
+                    let src = page.frames[owner.index()]
+                        .ok_or(OsError::InvariantViolation("exclusive DSM owner has no frame"))?;
                     let dst = match page.frames[domain.index()] {
                         Some(f) => f,
                         None => self.alloc_frame(domain)?,
                     };
                     total += self.ship_page(domain, src, dst);
                     {
-                        let dsm = self.dsm.get_mut(&pid.0).expect("spawned");
+                        let dsm = self.dsm_mut(pid)?;
                         dsm.count_replication();
-                        let p = dsm.page_mut(vpn).expect("tracked");
+                        let p = dsm.page_mut(vpn).ok_or(OsError::InvariantViolation(
+                            "DSM page vanished during replication",
+                        ))?;
                         p.frames[domain.index()] = Some(dst);
                         p.state = if write {
                             DsmPageState::Exclusive(domain)
@@ -367,15 +464,16 @@ impl OsSystem for PopcornSystem {
                         Some(f) => f,
                         None => {
                             // Shouldn't normally happen; re-fetch.
-                            let src =
-                                page.frames[domain.other().index()].expect("peer has a frame");
+                            let src = page.frames[domain.other().index()].ok_or(
+                                OsError::InvariantViolation("shared DSM page has no peer frame"),
+                            )?;
                             let dst = self.alloc_frame(domain)?;
                             let c = self.ship_page(domain, src, dst);
-                            self.dsm
-                                .get_mut(&pid.0)
-                                .expect("spawned")
+                            self.dsm_mut(pid)?
                                 .page_mut(vpn)
-                                .expect("tracked")
+                                .ok_or(OsError::InvariantViolation(
+                                    "DSM page vanished during re-fetch",
+                                ))?
                                 .frames[domain.index()] = Some(dst);
                             total += c;
                             dst
@@ -391,9 +489,11 @@ impl OsSystem for PopcornSystem {
                         );
                         total += self.unmap_from(pid, peer, va)?;
                         {
-                            let dsm = self.dsm.get_mut(&pid.0).expect("spawned");
+                            let dsm = self.dsm_mut(pid)?;
                             dsm.count_invalidation();
-                            let p = dsm.page_mut(vpn).expect("tracked");
+                            let p = dsm.page_mut(vpn).ok_or(OsError::InvariantViolation(
+                                "DSM page vanished during invalidation",
+                            ))?;
                             p.state = DsmPageState::Exclusive(domain);
                         }
                         self.base.kernels[domain.other().index()].counters.dsm_invalidations += 1;
@@ -649,6 +749,58 @@ mod tests {
             remote_cost.raw() > origin_cost.raw() * 2,
             "remote futex ops pay the message protocol: {remote_cost} vs {origin_cost}"
         );
+    }
+
+    #[test]
+    fn audit_clean_after_dsm_workload() {
+        let (mut sys, pid) = popcorn();
+        let va = sys.mmap(pid, 16 << 10, VmaProt::rw()).unwrap();
+        sys.store_u64(pid, va, 1).unwrap();
+        sys.migrate(pid, DomainId::ARM).unwrap();
+        assert_eq!(sys.load_u64(pid, va).unwrap(), 1);
+        sys.store_u64(pid, va.offset(PAGE_SIZE), 2).unwrap();
+        sys.store_u64(pid, va, 3).unwrap();
+        sys.migrate(pid, DomainId::X86).unwrap();
+        assert_eq!(sys.load_u64(pid, va).unwrap(), 3);
+        let violations = sys.audit();
+        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+    }
+
+    #[test]
+    fn audit_flags_forged_directory_state() {
+        let (mut sys, pid) = popcorn();
+        let va = sys.mmap(pid, 4096, VmaProt::rw()).unwrap();
+        sys.store_u64(pid, va, 1).unwrap();
+        assert!(sys.audit().is_empty());
+        // Forge: claim the writable origin mapping is a shared replica.
+        let dir = sys.dsm.get_mut(&pid.0).unwrap();
+        dir.page_mut(va.vpn()).unwrap().state = DsmPageState::SharedBoth;
+        let violations = sys.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("writable")),
+            "expected a writable-shared-page violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_page_messages_retransmit_and_dsm_stays_sound() {
+        use stramash_sim::{shared_injector, FaultPlan};
+        let (mut sys, pid) = popcorn();
+        let inj = shared_injector(FaultPlan::none().with_msg_drop(0.4), 0xb0c0);
+        sys.base.install_fault_injector(inj.clone());
+        let va = sys.mmap(pid, 16 << 10, VmaProt::rw()).unwrap();
+        sys.migrate(pid, DomainId::ARM).unwrap();
+        for i in 0..4u64 {
+            sys.store_u64(pid, va.offset(i * PAGE_SIZE), 0x1000 + i).unwrap();
+        }
+        for i in 0..4u64 {
+            assert_eq!(sys.load_u64(pid, va.offset(i * PAGE_SIZE)).unwrap(), 0x1000 + i);
+        }
+        let c = sys.base().msg.counters();
+        assert!(c.retransmits() > 0, "a 40% drop rate must force retransmissions");
+        assert!(inj.borrow().counters().recovered > 0);
+        let violations = sys.audit();
+        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
     }
 
     #[test]

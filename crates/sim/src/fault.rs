@@ -1,0 +1,590 @@
+//! Deterministic fault injection for the fused-kernel stack.
+//!
+//! The paper defers fault tolerance to future work (§10); this module is
+//! the reproduction's chaos harness. A [`FaultPlan`] describes *which*
+//! faults may fire and with what probability; a [`FaultInjector`] turns
+//! the plan into a replayable schedule by giving every injection site its
+//! own [`SimRng`](crate::rng::SimRng) stream split from one root seed.
+//! Because each site draws only from its own stream, the decision made at
+//! (site, op-index) depends solely on the seed and the plan — two runs
+//! with the same seed replay the identical fault sequence even if the
+//! surrounding workload interleaves sites differently.
+//!
+//! When no injector is installed the hot paths consume **zero** RNG and
+//! charge the exact same cycle costs as before this module existed, so
+//! fault-free experiments stay bit-identical to the paper-fidelity model.
+
+use crate::rng::SimRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The kind of fault a site injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A message (or its payload write) was lost in the channel.
+    MsgDrop,
+    /// A message arrived with a bad checksum and was discarded.
+    MsgCorrupt,
+    /// A message was delivered late by the plan's delay.
+    MsgDelay,
+    /// The ack for a delivered message was lost (forces a retransmit
+    /// that the receiver must dedup by sequence number).
+    AckDrop,
+    /// An inter-processor interrupt was lost in the fabric.
+    IpiLoss,
+    /// A single-bit memory flip (ECC-correctable).
+    BitFlipSingle,
+    /// A double-bit memory flip (ECC-detectable but uncorrectable).
+    BitFlipDouble,
+    /// A transient frame-allocation failure.
+    AllocFail,
+    /// The global allocator refused a block grant (forced exhaustion).
+    GallocExhausted,
+    /// A cross-ISA page-table-lock acquisition found the lock held.
+    LockContention,
+    /// A message ring filled up and the sender had to stall.
+    RingBackpressure,
+}
+
+/// The subsystem at which a fault was injected. Each site owns an
+/// independent RNG stream and op counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `MessagingLayer::send` (drop / corrupt / delay / ack-drop).
+    Msg,
+    /// `IpiFabric::send`.
+    Ipi,
+    /// Physical memory (bit flips).
+    Mem,
+    /// Frame / global allocation paths.
+    Alloc,
+    /// Cross-ISA page-table lock.
+    Lock,
+}
+
+impl FaultSite {
+    /// All sites, in stream order.
+    pub const ALL: [FaultSite; 5] =
+        [FaultSite::Msg, FaultSite::Ipi, FaultSite::Mem, FaultSite::Alloc, FaultSite::Lock];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Msg => 0,
+            FaultSite::Ipi => 1,
+            FaultSite::Mem => 2,
+            FaultSite::Alloc => 3,
+            FaultSite::Lock => 4,
+        }
+    }
+}
+
+/// One injected fault, recorded in the injector's replay log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Where it was injected.
+    pub site: FaultSite,
+    /// The site-local operation index at which it fired (0-based).
+    pub op: u64,
+}
+
+/// Declarative description of the faults a run should experience.
+///
+/// All probabilities are in `[0, 1]` and are evaluated per operation at
+/// their site. The default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a message send is dropped in the channel.
+    pub msg_drop: f64,
+    /// Probability a message arrives corrupted (checksum-detected;
+    /// behaves like a drop but is counted separately).
+    pub msg_corrupt: f64,
+    /// Probability a message is delayed by [`FaultPlan::msg_delay_cycles`].
+    pub msg_delay: f64,
+    /// Extra delivery latency charged by a `MsgDelay` fault.
+    pub msg_delay_cycles: u64,
+    /// Probability the ack of a delivered message is lost (forces a
+    /// retransmit the receiver dedups by sequence number).
+    pub ack_drop: f64,
+    /// Probability an IPI is lost in the fabric.
+    pub ipi_loss: f64,
+    /// Probability a frame allocation transiently fails.
+    pub alloc_fail: f64,
+    /// Probability a PTL acquisition finds the lock held by the peer.
+    pub lock_contention: f64,
+    /// Of injected bit flips, the fraction that are double-bit
+    /// (uncorrectable) rather than single-bit (ECC-correctable).
+    pub double_bit: f64,
+    /// Inclusive-exclusive site-local op window `[start, end)` outside of
+    /// which nothing is injected. `None` means always armed.
+    pub window: Option<(u64, u64)>,
+    /// One-shot: force the global allocator to refuse the Nth grant
+    /// request (0-based) observed at the [`FaultSite::Alloc`] site.
+    pub galloc_exhaust_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            msg_drop: 0.0,
+            msg_corrupt: 0.0,
+            msg_delay: 0.0,
+            msg_delay_cycles: 0,
+            ack_drop: 0.0,
+            ipi_loss: 0.0,
+            alloc_fail: 0.0,
+            lock_contention: 0.0,
+            double_bit: 0.0,
+            window: None,
+            galloc_exhaust_at: None,
+        }
+    }
+
+    /// Sets the message-drop probability.
+    #[must_use]
+    pub fn with_msg_drop(mut self, p: f64) -> Self {
+        self.msg_drop = p;
+        self
+    }
+
+    /// Sets the message-corruption probability.
+    #[must_use]
+    pub fn with_msg_corrupt(mut self, p: f64) -> Self {
+        self.msg_corrupt = p;
+        self
+    }
+
+    /// Sets the message-delay probability and the delay itself.
+    #[must_use]
+    pub fn with_msg_delay(mut self, p: f64, cycles: u64) -> Self {
+        self.msg_delay = p;
+        self.msg_delay_cycles = cycles;
+        self
+    }
+
+    /// Sets the ack-drop probability.
+    #[must_use]
+    pub fn with_ack_drop(mut self, p: f64) -> Self {
+        self.ack_drop = p;
+        self
+    }
+
+    /// Sets the IPI-loss probability.
+    #[must_use]
+    pub fn with_ipi_loss(mut self, p: f64) -> Self {
+        self.ipi_loss = p;
+        self
+    }
+
+    /// Sets the transient allocation-failure probability.
+    #[must_use]
+    pub fn with_alloc_fail(mut self, p: f64) -> Self {
+        self.alloc_fail = p;
+        self
+    }
+
+    /// Sets the PTL-contention probability.
+    #[must_use]
+    pub fn with_lock_contention(mut self, p: f64) -> Self {
+        self.lock_contention = p;
+        self
+    }
+
+    /// Restricts injection to the site-local op window `[start, end)`.
+    #[must_use]
+    pub fn with_window(mut self, start: u64, end: u64) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Forces the global allocator to refuse the `n`-th grant (one-shot).
+    #[must_use]
+    pub fn with_galloc_exhaust_at(mut self, n: u64) -> Self {
+        self.galloc_exhaust_at = Some(n);
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.msg_drop == 0.0
+            && self.msg_corrupt == 0.0
+            && self.msg_delay == 0.0
+            && self.ack_drop == 0.0
+            && self.ipi_loss == 0.0
+            && self.alloc_fail == 0.0
+            && self.lock_contention == 0.0
+            && self.galloc_exhaust_at.is_none()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Aggregate fault/recovery counters (the injector-side mirror of the
+/// per-domain [`DomainStats`](crate::stats::DomainStats) fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults the injector fired.
+    pub injected: u64,
+    /// Recovery attempts (retransmits, re-acquisitions, re-allocations).
+    pub retried: u64,
+    /// Faults the stack fully recovered from.
+    pub recovered: u64,
+    /// Faults that were not recoverable (e.g. double-bit flips).
+    pub fatal: u64,
+}
+
+/// The per-run fault scheduler: one RNG stream and op counter per
+/// [`FaultSite`], a replay log, and aggregate counters.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    streams: [SimRng; 5],
+    ops: [u64; 5],
+    /// Grant requests observed by [`FaultInjector::galloc_exhausted`] —
+    /// deliberately separate from the Alloc stream so the one-shot index
+    /// counts grant requests, not every Alloc-site roll.
+    galloc_ops: u64,
+    counters: FaultCounters,
+    log: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, splitting one stream per site off
+    /// the root `seed`.
+    #[must_use]
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let mut root = SimRng::new(seed);
+        let streams =
+            [root.split(), root.split(), root.split(), root.split(), root.split()];
+        FaultInjector {
+            plan,
+            seed,
+            streams,
+            ops: [0; 5],
+            galloc_ops: 0,
+            counters: FaultCounters::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The root seed the streams were split from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// The replay log of every fault fired so far, in firing order per
+    /// site (the cross-site order depends on workload interleaving, but
+    /// each `(site, op)` decision is seed-determined).
+    #[must_use]
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// Number of operations observed at `site`.
+    #[must_use]
+    pub fn ops_at(&self, site: FaultSite) -> u64 {
+        self.ops[site.index()]
+    }
+
+    /// Whether the window (if any) covers the *current* op at `site`.
+    fn armed(&self, site: FaultSite) -> bool {
+        match self.plan.window {
+            Some((start, end)) => {
+                let op = self.ops[site.index()];
+                op >= start && op < end
+            }
+            None => true,
+        }
+    }
+
+    /// Advances `site`'s op counter and returns `(previous op, roll)`.
+    /// The roll is always consumed so the stream position depends only on
+    /// the op index, never on the plan's probabilities.
+    fn roll(&mut self, site: FaultSite) -> (u64, f64) {
+        let i = site.index();
+        let op = self.ops[i];
+        self.ops[i] += 1;
+        (op, self.streams[i].gen_f64())
+    }
+
+    fn fire(&mut self, kind: FaultKind, site: FaultSite, op: u64) {
+        self.counters.injected += 1;
+        self.log.push(FaultEvent { kind, site, op });
+    }
+
+    /// Rolls the message-send site. Returns the fault to apply to this
+    /// transmission attempt, if any. Drop, corrupt and delay are
+    /// evaluated cumulatively from one roll so a single RNG draw decides
+    /// the attempt's fate.
+    pub fn msg_fault(&mut self) -> Option<FaultKind> {
+        let armed = self.armed(FaultSite::Msg);
+        let (op, r) = self.roll(FaultSite::Msg);
+        if !armed {
+            return None;
+        }
+        let p = self.plan;
+        let kind = if r < p.msg_drop {
+            FaultKind::MsgDrop
+        } else if r < p.msg_drop + p.msg_corrupt {
+            FaultKind::MsgCorrupt
+        } else if r < p.msg_drop + p.msg_corrupt + p.msg_delay {
+            FaultKind::MsgDelay
+        } else {
+            return None;
+        };
+        self.fire(kind, FaultSite::Msg, op);
+        Some(kind)
+    }
+
+    /// Rolls the ack leg of a delivered message. Returns whether the ack
+    /// was lost (forcing a retransmit).
+    pub fn ack_dropped(&mut self) -> bool {
+        let armed = self.armed(FaultSite::Msg);
+        let (op, r) = self.roll(FaultSite::Msg);
+        if armed && r < self.plan.ack_drop {
+            self.fire(FaultKind::AckDrop, FaultSite::Msg, op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rolls the IPI site. Returns whether this delivery attempt is lost.
+    pub fn ipi_lost(&mut self) -> bool {
+        let armed = self.armed(FaultSite::Ipi);
+        let (op, r) = self.roll(FaultSite::Ipi);
+        if armed && r < self.plan.ipi_loss {
+            self.fire(FaultKind::IpiLoss, FaultSite::Ipi, op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rolls the allocation site. Returns whether this frame allocation
+    /// transiently fails.
+    pub fn alloc_fails(&mut self) -> bool {
+        let armed = self.armed(FaultSite::Alloc);
+        let (op, r) = self.roll(FaultSite::Alloc);
+        if armed && r < self.plan.alloc_fail {
+            self.fire(FaultKind::AllocFail, FaultSite::Alloc, op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One-shot check: does the plan force the global allocator to refuse
+    /// *this* grant request? Counts grant requests on a dedicated counter
+    /// (no RNG draw), so the one-shot index is independent of how many
+    /// transient-failure rolls the Alloc site has taken.
+    pub fn galloc_exhausted(&mut self) -> bool {
+        let Some(n) = self.plan.galloc_exhaust_at else { return false };
+        let op = self.galloc_ops;
+        self.galloc_ops += 1;
+        if op == n {
+            self.fire(FaultKind::GallocExhausted, FaultSite::Alloc, op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rolls the PTL site. Returns whether this acquisition attempt finds
+    /// the lock held by the peer kernel.
+    pub fn lock_contended(&mut self) -> bool {
+        let armed = self.armed(FaultSite::Lock);
+        let (op, r) = self.roll(FaultSite::Lock);
+        if armed && r < self.plan.lock_contention {
+            self.fire(FaultKind::LockContention, FaultSite::Lock, op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws a bit-flip description from the Mem site: the bit index
+    /// within a 64-bit word and whether the flip is double-bit.
+    /// Callers apply the flip to the backing store and journal it.
+    pub fn bit_flip(&mut self) -> (u32, bool) {
+        let i = FaultSite::Mem.index();
+        let op = self.ops[i];
+        self.ops[i] += 1;
+        let bit = (self.streams[i].next_u64() % 64) as u32;
+        let double = self.streams[i].gen_f64() < self.plan.double_bit;
+        let kind = if double { FaultKind::BitFlipDouble } else { FaultKind::BitFlipSingle };
+        self.fire(kind, FaultSite::Mem, op);
+        (bit, double)
+    }
+
+    /// Records `n` recovery attempts (retransmits, retries).
+    pub fn note_retried(&mut self, n: u64) {
+        self.counters.retried += n;
+    }
+
+    /// Records `n` completed recoveries.
+    pub fn note_recovered(&mut self, n: u64) {
+        self.counters.recovered += n;
+    }
+
+    /// Records `n` unrecoverable faults.
+    pub fn note_fatal(&mut self, n: u64) {
+        self.counters.fatal += n;
+    }
+
+    /// Records a ring-backpressure event (injected + recovered in one:
+    /// the stall *is* the recovery).
+    pub fn note_backpressure(&mut self) {
+        let op = self.ops[FaultSite::Msg.index()];
+        self.fire(FaultKind::RingBackpressure, FaultSite::Msg, op);
+        self.counters.recovered += 1;
+    }
+}
+
+/// The shared handle installed into the messaging layer, IPI fabric and
+/// OS kernels. The simulator is single-threaded, so `Rc<RefCell<…>>`
+/// suffices; borrows are short (one decision per call).
+pub type SharedFaultInjector = Rc<RefCell<FaultInjector>>;
+
+/// Builds a [`SharedFaultInjector`] ready to install.
+#[must_use]
+pub fn shared_injector(plan: FaultPlan, seed: u64) -> SharedFaultInjector {
+    Rc::new(RefCell::new(FaultInjector::new(plan, seed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 7);
+        for _ in 0..1000 {
+            assert_eq!(inj.msg_fault(), None);
+            assert!(!inj.ipi_lost());
+            assert!(!inj.alloc_fails());
+            assert!(!inj.lock_contended());
+            assert!(!inj.galloc_exhausted());
+        }
+        assert_eq!(inj.counters().injected, 0);
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_replays_identical_schedule() {
+        let plan = FaultPlan::none()
+            .with_msg_drop(0.1)
+            .with_msg_corrupt(0.05)
+            .with_msg_delay(0.05, 500)
+            .with_ipi_loss(0.2)
+            .with_lock_contention(0.3);
+        let mut a = FaultInjector::new(plan, 0xfeed);
+        let mut b = FaultInjector::new(plan, 0xfeed);
+        for i in 0..2000 {
+            // Interleave sites differently on purpose: per-site streams
+            // make the (site, op) decisions identical regardless.
+            assert_eq!(a.msg_fault(), b.msg_fault(), "msg op {i}");
+            if i % 3 == 0 {
+                assert_eq!(a.ipi_lost(), b.ipi_lost());
+            }
+            if i % 7 == 0 {
+                assert_eq!(a.lock_contended(), b.lock_contended());
+            }
+        }
+        // Catch b's sites up to a's op counts before comparing logs.
+        while b.ops_at(FaultSite::Ipi) < a.ops_at(FaultSite::Ipi) {
+            b.ipi_lost();
+        }
+        assert_eq!(a.log(), b.log());
+        assert!(a.counters().injected > 0, "plan should have fired");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let plan = FaultPlan::none().with_msg_drop(0.5);
+        let mut a = FaultInjector::new(plan, 1);
+        let mut b = FaultInjector::new(plan, 2);
+        let diverged = (0..256).any(|_| a.msg_fault() != b.msg_fault());
+        assert!(diverged);
+    }
+
+    #[test]
+    fn window_gates_injection() {
+        let plan = FaultPlan::none().with_msg_drop(1.0).with_window(10, 20);
+        let mut inj = FaultInjector::new(plan, 3);
+        for op in 0..30u64 {
+            let fired = inj.msg_fault().is_some();
+            assert_eq!(fired, (10..20).contains(&op), "op {op}");
+        }
+        assert_eq!(inj.counters().injected, 10);
+        assert!(inj.log().iter().all(|e| (10..20).contains(&e.op)));
+    }
+
+    #[test]
+    fn galloc_exhaustion_is_one_shot() {
+        let plan = FaultPlan::none().with_galloc_exhaust_at(2);
+        let mut inj = FaultInjector::new(plan, 9);
+        let fires: Vec<bool> = (0..5).map(|_| inj.galloc_exhausted()).collect();
+        assert_eq!(fires, [false, false, true, false, false]);
+        assert_eq!(inj.counters().injected, 1);
+        assert_eq!(inj.log()[0].kind, FaultKind::GallocExhausted);
+    }
+
+    #[test]
+    fn cumulative_msg_probabilities_split_kinds() {
+        let plan =
+            FaultPlan::none().with_msg_drop(0.2).with_msg_corrupt(0.2).with_msg_delay(0.2, 100);
+        let mut inj = FaultInjector::new(plan, 0xabcd);
+        let mut drops = 0u32;
+        let mut corrupts = 0u32;
+        let mut delays = 0u32;
+        for _ in 0..3000 {
+            match inj.msg_fault() {
+                Some(FaultKind::MsgDrop) => drops += 1,
+                Some(FaultKind::MsgCorrupt) => corrupts += 1,
+                Some(FaultKind::MsgDelay) => delays += 1,
+                _ => {}
+            }
+        }
+        for (name, n) in [("drops", drops), ("corrupts", corrupts), ("delays", delays)] {
+            assert!((400..=800).contains(&n), "{name} = {n}, expected ≈600");
+        }
+    }
+
+    #[test]
+    fn bit_flip_draws_bit_and_severity() {
+        let mut plan = FaultPlan::none();
+        plan.double_bit = 1.0;
+        let mut inj = FaultInjector::new(plan, 4);
+        let (bit, double) = inj.bit_flip();
+        assert!(bit < 64);
+        assert!(double);
+        assert_eq!(inj.log()[0].kind, FaultKind::BitFlipDouble);
+        plan.double_bit = 0.0;
+        let mut inj = FaultInjector::new(plan, 4);
+        let (_, double) = inj.bit_flip();
+        assert!(!double);
+    }
+}

@@ -15,8 +15,14 @@
 //!   (cheap within a socket/cluster, more expensive across sockets, with
 //!   measurement jitter), used by the `fig5_6_ipi` bench.
 
+use crate::fault::SharedFaultInjector;
 use crate::rng::SimRng;
 use crate::time::{Cycles, DomainId};
+
+/// Retransmission cap for lost IPIs: with any sane loss probability the
+/// chance of this many consecutive losses is negligible, but the cap
+/// keeps pathological plans (loss = 1.0) from looping forever.
+const MAX_IPI_ATTEMPTS: u32 = 64;
 
 /// Delivery modes supported by the messaging layer (§6.2 supports both
 /// interrupt dispatching and polling).
@@ -34,13 +40,15 @@ pub enum NotifyMode {
 pub struct IpiFabric {
     latency: Cycles,
     delivered: [u64; crate::NUM_DOMAINS],
+    injector: Option<SharedFaultInjector>,
+    retries: u64,
 }
 
 impl IpiFabric {
     /// Creates a fabric with the given one-way delivery latency.
     #[must_use]
     pub fn new(latency: Cycles) -> Self {
-        IpiFabric { latency, delivered: [0; crate::NUM_DOMAINS] }
+        IpiFabric { latency, delivered: [0; crate::NUM_DOMAINS], injector: None, retries: 0 }
     }
 
     /// One-way delivery latency.
@@ -49,12 +57,44 @@ impl IpiFabric {
         self.latency
     }
 
+    /// Installs a fault injector; subsequent sends may lose deliveries
+    /// and retransmit. With no injector the fabric consumes zero RNG.
+    pub fn set_fault_injector(&mut self, injector: SharedFaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Cumulative retransmissions caused by injected IPI loss.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Sends an IPI from `from` to the other domain, returning its cost.
     /// The cost is charged to the *sender* (the receiver's handler cost
     /// is modelled by the kernel code it runs on receipt).
+    ///
+    /// If an injected fault loses the delivery, the sender's interrupt
+    /// controller re-raises it (the doorbell register stays set until
+    /// acknowledged), paying the fabric latency again per attempt; the
+    /// delivery counter only advances once the IPI actually lands.
     pub fn send(&mut self, from: DomainId) -> Cycles {
+        let mut cost = self.latency;
+        if let Some(inj) = &self.injector {
+            let mut attempts = 1u32;
+            while inj.borrow_mut().ipi_lost() && attempts < MAX_IPI_ATTEMPTS {
+                attempts += 1;
+                cost += self.latency;
+            }
+            if attempts > 1 {
+                let extra = u64::from(attempts - 1);
+                self.retries += extra;
+                let mut inj = inj.borrow_mut();
+                inj.note_retried(extra);
+                inj.note_recovered(extra);
+            }
+        }
         self.delivered[from.other().index()] += 1;
-        self.latency
+        cost
     }
 
     /// IPIs delivered *to* `domain` so far.
@@ -66,6 +106,7 @@ impl IpiFabric {
     /// Resets delivery counters (latency is preserved).
     pub fn reset(&mut self) {
         self.delivered = [0; crate::NUM_DOMAINS];
+        self.retries = 0;
     }
 }
 
@@ -266,6 +307,35 @@ mod tests {
         fabric.reset();
         assert_eq!(fabric.delivered_to(DomainId::ARM), 0);
         assert_eq!(fabric.latency().raw(), 4200);
+    }
+
+    #[test]
+    fn injected_loss_retries_until_delivered() {
+        use crate::fault::{shared_injector, FaultPlan};
+        let mut fabric = IpiFabric::new(Cycles::new(4200));
+        let inj = shared_injector(FaultPlan::none().with_ipi_loss(0.5), 0xbeef);
+        fabric.set_fault_injector(inj.clone());
+        let mut total = Cycles::ZERO;
+        for _ in 0..200 {
+            total += fabric.send(DomainId::X86);
+        }
+        // Every IPI lands exactly once despite losses…
+        assert_eq!(fabric.delivered_to(DomainId::ARM), 200);
+        // …retransmissions happened and were charged real latency.
+        assert!(fabric.retries() > 0, "50% loss must force retries");
+        assert_eq!(total.raw(), (200 + fabric.retries()) * 4200);
+        let c = inj.borrow().counters();
+        assert_eq!(c.injected, fabric.retries());
+        assert_eq!(c.recovered, fabric.retries());
+    }
+
+    #[test]
+    fn fabric_without_injector_is_cost_identical() {
+        let mut fabric = IpiFabric::new(Cycles::new(4200));
+        for _ in 0..10 {
+            assert_eq!(fabric.send(DomainId::ARM).raw(), 4200);
+        }
+        assert_eq!(fabric.retries(), 0);
     }
 
     #[test]

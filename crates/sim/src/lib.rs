@@ -15,7 +15,10 @@
 //!   memory hits, instruction counts, runtime),
 //! * an [`ipi`] module modelling cross-ISA inter-processor interrupts
 //!   (§7.2) and the IPI-latency characterisation of Figures 5 and 6,
-//! * a deterministic [`rng`] so every experiment is reproducible.
+//! * a deterministic [`rng`] so every experiment is reproducible,
+//! * a [`fault`] module scheduling deterministic, replayable fault
+//!   injection (message loss, IPI loss, bit flips, allocation failures)
+//!   for the robustness harness.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod ipi;
 pub mod perf;
 pub mod rng;
@@ -43,6 +47,10 @@ pub mod time;
 pub use config::{
     CacheConfig, CacheGeometry, CxlCosts, DomainConfig, HardwareModel, Interconnect, LatencyTable,
     SimConfig,
+};
+pub use fault::{
+    shared_injector, FaultCounters, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite,
+    SharedFaultInjector,
 };
 pub use perf::{PerfPhase, PerfSample, PerfSession};
 pub use stats::{fully_shared_estimate, DomainStats};

@@ -84,6 +84,15 @@ pub struct DomainStats {
     pub instructions: u64,
     /// Memory accesses issued.
     pub mem_accesses: u64,
+    /// Faults injected while this domain was the acting side.
+    pub faults_injected: u64,
+    /// Recovery attempts (retransmits, lock re-acquisitions, allocation
+    /// retries) this domain performed.
+    pub faults_retried: u64,
+    /// Injected faults this domain fully recovered from.
+    pub faults_recovered: u64,
+    /// Injected faults that were unrecoverable (e.g. double-bit flips).
+    pub faults_fatal: u64,
     /// Accumulated runtime (icount + memory feedback).
     pub runtime: Cycles,
 }
@@ -130,6 +139,10 @@ impl DomainStats {
         self.snoop_invalidations += other.snoop_invalidations;
         self.instructions += other.instructions;
         self.mem_accesses += other.mem_accesses;
+        self.faults_injected += other.faults_injected;
+        self.faults_retried += other.faults_retried;
+        self.faults_recovered += other.faults_recovered;
+        self.faults_fatal += other.faults_fatal;
         self.runtime += other.runtime;
     }
 
@@ -159,6 +172,10 @@ impl DomainStats {
         let _ = writeln!(s, "Remote Shared Memory Hits: {}", self.remote_shared_mem_hits);
         let _ = writeln!(s, "Number of Instructions: {}", self.instructions);
         let _ = writeln!(s, "Number of mem_access: {}", self.mem_accesses);
+        let _ = writeln!(s, "Faults Injected: {}", self.faults_injected);
+        let _ = writeln!(s, "Faults Retried: {}", self.faults_retried);
+        let _ = writeln!(s, "Faults Recovered: {}", self.faults_recovered);
+        let _ = writeln!(s, "Faults Fatal: {}", self.faults_fatal);
         let _ = writeln!(s, "Runtime: {}", self.runtime.raw());
         s
     }
@@ -244,6 +261,8 @@ mod tests {
         let r = s.report("x86");
         assert!(r.contains("Remote Memory Hits: 42"));
         assert!(r.contains("L3 Cache Hit Rate:"));
+        assert!(r.contains("Faults Injected: 0"));
+        assert!(r.contains("Faults Recovered: 0"));
         assert!(r.contains("Runtime:"));
         assert!(!format!("{s}").is_empty());
     }

@@ -327,6 +327,14 @@ pub struct KvRunResult {
     pub total: Cycles,
     /// Average cycles per request.
     pub per_request: f64,
+    /// FNV-1a fingerprint of every response length and every stored
+    /// string payload — the *functional* result of the run. Fault
+    /// injection may change `total` but must never change this.
+    pub checksum: u64,
+}
+
+fn fnv(acc: u64, byte: u8) -> u64 {
+    (acc ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3)
 }
 
 /// Runs the Figure 14 experiment for one operation: `requests` requests
@@ -371,6 +379,7 @@ pub fn run_kv(
     let server_domain = sys.current_domain(pid)?;
     let client_domain = DomainId::X86;
     let before = sys.runtime();
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
     for r in 0..requests {
         // Client → server request over the messaging layer.
         let req = Message { ty: MsgType::KvRequest, payload: payload_len };
@@ -391,6 +400,9 @@ pub fn run_kv(
         let _ = (send_c, recv_c);
         // Server processes the operation.
         let resp_len = server.process(sys, pid, op, key_of(r), &payload)?;
+        for b in resp_len.to_le_bytes() {
+            checksum = fnv(checksum, b);
+        }
         // Server → client response.
         let resp = Message { ty: MsgType::KvResponse, payload: resp_len };
         let base = sys.base_mut();
@@ -406,11 +418,22 @@ pub fn run_kv(
         base.charge(client_domain, recv_c);
     }
     let total = sys.runtime() - before;
+    // Functional sweep (untimed as far as the reported total goes):
+    // fold every stored string payload into the fingerprint so silent
+    // data corruption — not just wrong response lengths — is caught.
+    for r in 0..requests {
+        if let Some(stored) = server.fetch_string(sys, pid, key_of(r))? {
+            for b in stored {
+                checksum = fnv(checksum, b);
+            }
+        }
+    }
     Ok(KvRunResult {
         op,
         requests,
         total,
         per_request: total.raw() as f64 / requests as f64,
+        checksum,
     })
 }
 

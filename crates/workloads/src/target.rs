@@ -11,7 +11,9 @@ use stramash::StramashSystem;
 use stramash_kernel::addr::VirtAddr;
 use stramash_kernel::process::Pid;
 use stramash_kernel::system::{BaseSystem, OsError, OsSystem, VanillaSystem};
-use stramash_sim::{Cycles, DomainId, HardwareModel, SimConfig};
+use stramash_sim::{
+    shared_injector, Cycles, DomainId, FaultPlan, HardwareModel, SharedFaultInjector, SimConfig,
+};
 
 /// Which OS design to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +156,35 @@ impl TargetSystem {
         match &mut self.inner {
             Inner::Stramash(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// Installs a deterministic fault-injection plan, seeded with
+    /// `seed`, on whichever system is under test. Every workload run
+    /// with the same plan and seed observes the identical fault
+    /// sequence regardless of wall-clock timing.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.base_mut().install_fault_injector(shared_injector(plan, seed));
+    }
+
+    /// The installed fault injector, if any (for counters and the
+    /// replayable fault log).
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&SharedFaultInjector> {
+        self.base().fault_injector()
+    }
+
+    /// Runs the design-specific invariant auditor and returns every
+    /// violation found; empty means sound. Vanilla gets the base
+    /// checks (ring cursors + cache coherence), Popcorn adds DSM
+    /// directory ↔ page-table agreement, Stramash adds cross-ISA
+    /// page-table ↔ VMA ↔ frame-ownership consistency.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        match &self.inner {
+            Inner::Vanilla(s) => s.base().audit(),
+            Inner::Popcorn(s) => s.audit(),
+            Inner::Stramash(s) => s.audit(),
         }
     }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate, fully offline: release build, the whole
+# test suite, and warning-free clippy. CI runs exactly this script, so
+# a green local run means a green pipeline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Never touch the network: every dependency is in-workspace.
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify: OK"

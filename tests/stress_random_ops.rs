@@ -8,6 +8,7 @@ use stramash_repro::kernel::system::OsSystem;
 use stramash_repro::kernel::vma::VmaProt;
 use stramash_repro::prelude::*;
 use stramash_repro::sim::rng::SimRng;
+use stramash_repro::sim::FaultPlan;
 use stramash_repro::workloads::target::{SystemKind, TargetSystem};
 use std::collections::HashMap;
 
@@ -17,7 +18,14 @@ struct Region {
 }
 
 fn stress(kind: SystemKind, seed: u64, steps: u32) {
+    stress_with_plan(kind, seed, steps, None);
+}
+
+fn stress_with_plan(kind: SystemKind, seed: u64, steps: u32, plan: Option<FaultPlan>) {
     let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
+    if let Some(plan) = plan {
+        sys.install_fault_plan(plan, seed);
+    }
     let pid = sys.spawn(DomainId::X86).unwrap();
     let mut rng = SimRng::new(seed);
     // The reference model: va → value for every word ever written.
@@ -105,6 +113,18 @@ fn stress(kind: SystemKind, seed: u64, steps: u32) {
         let got = sys.load_u64(pid, VirtAddr::new(va)).unwrap();
         assert_eq!(got, expect, "{kind:?} seed {seed}: final sweep mismatch at {va:#x}");
     }
+
+    // The invariant auditor must stay silent whether or not faults were
+    // injected along the way.
+    let violations = sys.audit();
+    assert!(violations.is_empty(), "{kind:?} seed {seed}: {violations:?}");
+    if let Some(plan) = plan {
+        if !plan.is_noop() {
+            let c = sys.fault_injector().unwrap().borrow().counters();
+            assert!(c.injected > 0, "{kind:?} seed {seed}: fault schedule never fired");
+            assert_eq!(c.fatal, 0, "{kind:?} seed {seed}: injected faults must be survivable");
+        }
+    }
 }
 
 #[test]
@@ -130,5 +150,23 @@ fn stress_popcorn_tcp() {
 fn stress_stramash() {
     for seed in [31, 32, 33, 34] {
         stress(SystemKind::Stramash, seed, 600);
+    }
+}
+
+#[test]
+fn stress_under_fault_schedule() {
+    // The same randomized interleavings, now with every fault class
+    // armed at once. The reference model must still match word for
+    // word and the auditors must stay clean.
+    let plan = FaultPlan::none()
+        .with_msg_drop(0.05)
+        .with_msg_corrupt(0.02)
+        .with_msg_delay(0.05, 2_000)
+        .with_ack_drop(0.02)
+        .with_ipi_loss(0.01)
+        .with_alloc_fail(0.02)
+        .with_lock_contention(0.05);
+    for kind in [SystemKind::PopcornShm, SystemKind::Stramash] {
+        stress_with_plan(kind, 41, 600, Some(plan));
     }
 }
