@@ -7,6 +7,17 @@
 //! default tier-1 build stays free of bench-only code; the harness
 //! itself is a self-contained `Instant`-based timer with no external
 //! crates.
+//!
+//! The cache-access benchmarks run twice: once with the reference slow
+//! paths (`set_fast_paths(false)` reinstates the original modulo set
+//! indexing and multi-pass way scans) and once with the fast paths, so
+//! the fast-path win is measured against the genuine old code, not a
+//! synthetic strawman. Simulated cycles are bit-identical either way —
+//! `tests/golden_stats.rs` enforces that.
+//!
+//! Set `STRAMASH_BENCH_JSON=<path>` to also emit the results as a flat
+//! JSON object (`scripts/bench.sh` merges it into
+//! `BENCH_simulator.json`).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -19,50 +30,184 @@ use stramash_sim::{DomainId, HardwareModel, SimConfig};
 
 const WARM_UP: Duration = Duration::from_millis(500);
 const MEASURE: Duration = Duration::from_secs(2);
+const PAIR_ROUNDS: usize = 5;
+const PAIR_WINDOW: Duration = Duration::from_millis(300);
 
-/// Runs `f` repeatedly for a warm-up window and then a measurement
-/// window, printing the mean iteration time.
-fn bench_function<F: FnMut()>(name: &str, mut f: F) {
-    let warm_end = Instant::now() + WARM_UP;
-    while Instant::now() < warm_end {
-        f();
-    }
+/// One timed window: runs `f` until `window` elapses, returns ns/iter.
+fn timed_window<F: FnMut()>(f: &mut F, window: Duration) -> f64 {
     let start = Instant::now();
     let mut iters = 0u64;
-    while start.elapsed() < MEASURE {
+    while start.elapsed() < window {
         // Batches of 64 keep the clock out of the measured loop.
         for _ in 0..64 {
             f();
         }
         iters += 64;
     }
-    let total = start.elapsed();
-    let per_iter = total.as_nanos() as f64 / iters as f64;
-    println!("{name:<34} {per_iter:>12.1} ns/iter  ({iters} iters)");
+    start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-fn bench_cache_access() {
+/// Runs `f` repeatedly for a warm-up window and then a measurement
+/// window, printing and returning the mean iteration time in
+/// nanoseconds.
+fn bench_function<F: FnMut()>(name: &str, mut f: F) -> f64 {
+    let warm_end = Instant::now() + WARM_UP;
+    while Instant::now() < warm_end {
+        f();
+    }
+    let per_iter = timed_window(&mut f, MEASURE);
+    println!("{name:<34} {per_iter:>12.1} ns/iter");
+    per_iter
+}
+
+/// Measures a reference/optimised pair with interleaved windows and
+/// takes the per-variant minimum: the host clock on a shared box
+/// drifts by tens of percent between back-to-back runs, so two long
+/// sequential measurements would compare different machines. Short
+/// alternating windows see the same conditions, and the minimum is
+/// robust against contention spikes.
+fn bench_pair<F: FnMut(), G: FnMut()>(
+    name_old: &str,
+    name_new: &str,
+    mut old: F,
+    mut new: G,
+) -> (f64, f64) {
+    let warm_end = Instant::now() + WARM_UP;
+    while Instant::now() < warm_end {
+        old();
+        new();
+    }
+    let (mut best_old, mut best_new) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..PAIR_ROUNDS {
+        best_old = best_old.min(timed_window(&mut old, PAIR_WINDOW));
+        best_new = best_new.min(timed_window(&mut new, PAIR_WINDOW));
+    }
+    println!("{name_old:<34} {best_old:>12.1} ns/iter");
+    println!("{name_new:<34} {best_new:>12.1} ns/iter");
+    (best_old, best_new)
+}
+
+fn hot_access_system() -> MemorySystem {
     let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
-    let mut mem = MemorySystem::new(cfg).unwrap();
-    let mut addr = 0u64;
-    bench_function("memory_system_access_hot", || {
-        // 64 KB working set → mostly L1/L2 hits.
-        addr = (addr + 64) % (64 << 10);
+    MemorySystem::new(cfg).unwrap()
+}
+
+/// The `memory_system_access_hot` walk: the full L1-miss/L2-hit
+/// probe-and-fill pipeline (probe L1, probe L2, fill L1 with an
+/// eviction every access) over a 64 KB working set at line stride —
+/// every stage of the per-access machinery runs on every iteration.
+struct PipelineWalk {
+    addr: u64,
+}
+
+impl PipelineWalk {
+    fn step(&mut self, mem: &mut MemorySystem) {
+        self.addr = (self.addr + 64) % (64 << 10);
         let out = mem.access(
             DomainId::X86,
-            PhysAddr::new(0x10_0000 + addr),
+            PhysAddr::new(0x10_0000 + self.addr),
             Access::Read,
             AccessKind::Data,
         );
         black_box(out.cycles);
-    });
+    }
 }
 
-fn bench_cache_access_coherent() {
-    let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
-    let mut mem = MemorySystem::new(cfg).unwrap();
+/// The `memory_system_access_npb_mix` walk, shaped like the NPB runs
+/// the golden stats pin (81–86 % L1 hits): seven of every eight
+/// accesses cycle an 8 KB resident buffer (L1 hits), the eighth
+/// streams through a 1 MB region at line stride — 87.5 % L1 hits.
+#[derive(Default)]
+struct MixWalk {
+    i: u64,
+    resident: u64,
+    stream: u64,
+}
+
+impl MixWalk {
+    fn step(&mut self, mem: &mut MemorySystem) {
+        self.i += 1;
+        let addr = if self.i.is_multiple_of(8) {
+            self.stream = (self.stream + 64) % (1 << 20);
+            0x20_0000 + self.stream
+        } else {
+            self.resident = (self.resident + 64) % (8 << 10);
+            0x10_0000 + self.resident
+        };
+        let out =
+            mem.access(DomainId::X86, PhysAddr::new(addr), Access::Read, AccessKind::Data);
+        black_box(out.cycles);
+    }
+}
+
+fn access_pair(fast: bool) -> (MemorySystem, MemorySystem) {
+    let mut old = hot_access_system();
+    old.set_fast_paths(false);
+    let mut new = hot_access_system();
+    new.set_fast_paths(fast);
+    (old, new)
+}
+
+fn bench_cache_access(results: &mut Vec<(String, f64)>) {
+    let (mut mem_old, mut mem_new) = access_pair(true);
+    let (mut wo, mut wn) = (PipelineWalk { addr: 0 }, PipelineWalk { addr: 0 });
+    let (old, new) = bench_pair(
+        "memory_system_access_hot_oldpath",
+        "memory_system_access_hot",
+        || wo.step(&mut mem_old),
+        || wn.step(&mut mem_new),
+    );
+    let speedup = old / new;
+    println!(
+        "fast-path speedup: {speedup:.2}x  ({old:.1} -> {new:.1} ns/access, \
+         {:.1}M accesses/sec)",
+        1e3 / new
+    );
+    results.push(("memory_system_access_hot_oldpath".to_string(), old));
+    results.push(("memory_system_access_hot".to_string(), new));
+    results.push(("memory_system_access_hot_speedup".to_string(), speedup));
+    results.push(("memory_system_access_hot_accesses_per_sec".to_string(), 1e9 / new));
+
+    let (mut mem_old, mut mem_new) = access_pair(true);
+    let (mut wo, mut wn) = (MixWalk::default(), MixWalk::default());
+    let (old, new) = bench_pair(
+        "memory_system_access_npb_mix_oldpath",
+        "memory_system_access_npb_mix",
+        || wo.step(&mut mem_old),
+        || wn.step(&mut mem_new),
+    );
+    println!("npb-mix speedup:   {:.2}x  ({old:.1} -> {new:.1} ns/access)", old / new);
+    results.push(("memory_system_access_npb_mix_oldpath".to_string(), old));
+    results.push(("memory_system_access_npb_mix".to_string(), new));
+    results.push(("memory_system_access_npb_mix_speedup".to_string(), old / new));
+}
+
+/// One 4 KB bulk read, streaming over 1 MB page by page: the
+/// `access_range` path.
+fn read4k_step(mem: &mut MemorySystem, page: &mut u64, buf: &mut [u8; 4096]) {
+    *page = (*page + 1) % 256;
+    let c = mem.read_bytes(DomainId::X86, PhysAddr::new(0x10_0000 + *page * 4096), buf);
+    black_box(c);
+}
+
+fn bench_stream_read(results: &mut Vec<(String, f64)>) {
+    let (mut mem_old, mut mem_new) = access_pair(true);
+    let mut bufs = ([0u8; 4096], [0u8; 4096]);
+    let (mut po, mut pn) = (0u64, 0u64);
+    let (old, new) = bench_pair(
+        "memory_system_read4k_oldpath",
+        "memory_system_read4k",
+        || read4k_step(&mut mem_old, &mut po, &mut bufs.0),
+        || read4k_step(&mut mem_new, &mut pn, &mut bufs.1),
+    );
+    results.push(("memory_system_read4k_oldpath".to_string(), old));
+    results.push(("memory_system_read4k".to_string(), new));
+}
+
+fn bench_cache_access_coherent(results: &mut Vec<(String, f64)>) {
+    let mut mem = hot_access_system();
     let mut i = 0u64;
-    bench_function("memory_system_access_pingpong", || {
+    let ns = bench_function("memory_system_access_pingpong", || {
         // Alternating writers force MESI transitions every access.
         i += 1;
         let domain = if i.is_multiple_of(2) { DomainId::X86 } else { DomainId::ARM };
@@ -70,9 +215,10 @@ fn bench_cache_access_coherent() {
             mem.access(domain, PhysAddr::new(0x1_4000_0000), Access::Write, AccessKind::Data);
         black_box(out.cycles);
     });
+    results.push(("memory_system_access_pingpong".to_string(), ns));
 }
 
-fn bench_page_walk() {
+fn bench_page_walk(results: &mut Vec<(String, f64)>) {
     let cfg = SimConfig::big_pair().with_hw_model(HardwareModel::Shared);
     let mut mem = MemorySystem::new(cfg).unwrap();
     let mut frames = FrameAllocator::new();
@@ -91,46 +237,63 @@ fn bench_page_walk() {
         .unwrap();
     }
     let mut p = 0u64;
-    bench_function("software_page_walk", || {
+    let ns = bench_function("software_page_walk", || {
         p = (p + 1) % 512;
         let (res, cycles) = pt.walk(&mut mem, DomainId::ARM, VirtAddr::new(0x4000_0000 + p * 4096));
         black_box((res, cycles));
     });
+    results.push(("software_page_walk".to_string(), ns));
 }
 
-fn bench_rbtree() {
+fn bench_rbtree(results: &mut Vec<(String, f64)>) {
     use stramash_kernel::rbtree::RbTree;
     let mut tree = RbTree::new();
     for k in 0..4096u64 {
         tree.insert(k.wrapping_mul(0x9e37_79b9) % 65536, k);
     }
     let mut probe = 0u64;
-    bench_function("rbtree_floor_lookup", || {
+    let ns = bench_function("rbtree_floor_lookup", || {
         probe = probe.wrapping_add(977) % 65536;
         black_box(tree.floor(&probe));
     });
+    results.push(("rbtree_floor_lookup".to_string(), ns));
     let mut k = 0u64;
-    bench_function("rbtree_insert_remove", || {
+    let ns = bench_function("rbtree_insert_remove", || {
         k = k.wrapping_add(1);
         let key = 70_000 + (k % 1024);
         tree.insert(key, k);
         black_box(tree.remove(&key));
     });
+    results.push(("rbtree_insert_remove".to_string(), ns));
 }
 
-fn bench_buddy() {
+fn bench_buddy(results: &mut Vec<(String, f64)>) {
     use stramash_kernel::buddy::BuddyAllocator;
     let mut buddy = BuddyAllocator::new(PhysAddr::new(64 << 20), 64 << 20);
-    bench_function("buddy_alloc_free_order0", || {
+    let ns = bench_function("buddy_alloc_free_order0", || {
         let f = buddy.alloc(0).expect("space available");
         buddy.free(black_box(f)).expect("just allocated");
     });
+    results.push(("buddy_alloc_free_order0".to_string(), ns));
+}
+
+/// Serialises the results as one flat JSON object.
+fn to_json(results: &[(String, f64)]) -> String {
+    let fields: Vec<String> =
+        results.iter().map(|(name, v)| format!("  \"{name}\": {v:.1}")).collect();
+    format!("{{\n{}\n}}\n", fields.join(",\n"))
 }
 
 fn main() {
-    bench_cache_access();
-    bench_cache_access_coherent();
-    bench_page_walk();
-    bench_rbtree();
-    bench_buddy();
+    let mut results = Vec::new();
+    bench_cache_access(&mut results);
+    bench_stream_read(&mut results);
+    bench_cache_access_coherent(&mut results);
+    bench_page_walk(&mut results);
+    bench_rbtree(&mut results);
+    bench_buddy(&mut results);
+    if let Ok(path) = std::env::var("STRAMASH_BENCH_JSON") {
+        std::fs::write(&path, to_json(&results)).expect("write bench JSON");
+        println!("wrote {path}");
+    }
 }

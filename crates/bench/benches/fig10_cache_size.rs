@@ -7,7 +7,7 @@
 //! advantage narrows from ≈ 2.1× to ≈ 1.6× as Popcorn benefits from
 //! fewer write-backs.
 
-use stramash_bench::{banner, render_table};
+use stramash_bench::{banner, parallel_map, render_table};
 use stramash_sim::HardwareModel;
 use stramash_workloads::driver::{run_benchmark_with, Configuration};
 use stramash_workloads::npb::{Class, NpbKind};
@@ -24,21 +24,30 @@ fn main() {
     // (64 MB working set, minutes of host time) where the paper's IS
     // trend regime lives.
     let is_class = if std::env::var("STRAMASH_LARGE").is_ok() { Class::Large } else { Class::Small };
+    // All eight runs (2 benchmarks × 2 L3 sizes × 2 systems) are
+    // independent simulators — fan the whole grid out at once.
+    let mut grid = Vec::new();
     for (kind, class) in [(NpbKind::Is, is_class), (NpbKind::Cg, Class::Small)] {
         for l3 in [4u64 << 20, 32 << 20] {
-            let p = run_benchmark_with(shm, kind, class, Some(l3)).expect("popcorn run");
-            let s = run_benchmark_with(stra, kind, class, Some(l3)).expect("stramash run");
-            assert!(p.outcome.verified && s.outcome.verified);
-            let ratio = s.runtime.raw() as f64 / p.runtime.raw() as f64;
-            ratios.push((kind, l3, ratio));
-            rows.push(vec![
-                kind.to_string(),
-                format!("{} MB", l3 >> 20),
-                p.runtime.raw().to_string(),
-                s.runtime.raw().to_string(),
-                format!("{ratio:.3}"),
-            ]);
+            grid.push((kind, class, l3));
         }
+    }
+    let reports = parallel_map(grid, |(kind, class, l3)| {
+        let p = run_benchmark_with(shm, kind, class, Some(l3)).expect("popcorn run");
+        let s = run_benchmark_with(stra, kind, class, Some(l3)).expect("stramash run");
+        (kind, l3, p, s)
+    });
+    for (kind, l3, p, s) in reports {
+        assert!(p.outcome.verified && s.outcome.verified);
+        let ratio = s.runtime.raw() as f64 / p.runtime.raw() as f64;
+        ratios.push((kind, l3, ratio));
+        rows.push(vec![
+            kind.to_string(),
+            format!("{} MB", l3 >> 20),
+            p.runtime.raw().to_string(),
+            s.runtime.raw().to_string(),
+            format!("{ratio:.3}"),
+        ]);
     }
     println!(
         "{}",

@@ -8,7 +8,7 @@
 //! approaches Vanilla — up to 2.5× (Shared) and 4.5× (Fully Shared)
 //! faster than SHM on the cold pass, but *slower* on warm re-access.
 
-use stramash_bench::{banner, render_table};
+use stramash_bench::{banner, parallel_map, render_table};
 use stramash_sim::HardwareModel;
 use stramash_workloads::micro::{memory_access, AccessScenario};
 use stramash_workloads::target::{SystemKind, TargetSystem};
@@ -25,8 +25,9 @@ fn main() {
         ("Stramash-FullyShared".into(), SystemKind::Stramash, HardwareModel::FullyShared),
     ];
 
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
+    // Every (scenario, system) cell is an independent simulator boot —
+    // fan the full grid out across threads in one go.
+    let mut grid = Vec::new();
     for scenario in AccessScenario::ALL {
         for (label, kind, model) in &configs {
             // Vanilla only has the local scenario.
@@ -36,16 +37,21 @@ fn main() {
             if *kind != SystemKind::Vanilla && scenario == AccessScenario::Vanilla {
                 continue;
             }
-            let mut sys = TargetSystem::build(*kind, *model).expect("boot");
-            let r = memory_access(&mut sys, scenario, BYTES).expect("scenario run");
-            results.push((scenario, label.clone(), r.measured.raw()));
-            rows.push(vec![
-                scenario.label().to_string(),
-                label.clone(),
-                r.measured.raw().to_string(),
-            ]);
+            grid.push((scenario, label.clone(), *kind, *model));
         }
     }
+    let results: Vec<(AccessScenario, String, u64)> =
+        parallel_map(grid, |(scenario, label, kind, model)| {
+            let mut sys = TargetSystem::build(kind, model).expect("boot");
+            let r = memory_access(&mut sys, scenario, BYTES).expect("scenario run");
+            (scenario, label, r.measured.raw())
+        });
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(scenario, label, cycles)| {
+            vec![scenario.label().to_string(), label.clone(), cycles.to_string()]
+        })
+        .collect();
     println!("{}", render_table(&["scenario", "system", "measured cycles"], &rows));
 
     let get = |sc: AccessScenario, label: &str| {

@@ -113,6 +113,64 @@ pub fn replay_reference(cfg: &SimConfig, trace: &[TraceEntry]) -> (Cycles, Refer
     (total, refm)
 }
 
+/// The worker count [`parallel_map`] uses for a given item count: the
+/// host's available parallelism, capped by the number of items.
+#[must_use]
+pub fn sweep_workers(items: usize) -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from).min(items)
+}
+
+/// Runs `f` over `items` on scoped worker threads and returns the
+/// results in input order.
+///
+/// Figure sweeps are embarrassingly parallel: each `TargetSystem`
+/// (SystemKind × HardwareModel × workload) is fully independent
+/// simulator state, so the sweeps fan out with `std::thread::scope` and
+/// zero new dependencies. Workers are capped at the host's available
+/// parallelism ([`sweep_workers`]) and pull items from a shared atomic
+/// cursor, so heterogeneous run times (a PopcornTcp point costs ~10× a
+/// Vanilla point) balance instead of serialising behind one oversized
+/// chunk — and a single-core host runs the sweep serially rather than
+/// thrashing between dozens of threads.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = sweep_workers(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let f = &f;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("unpoisoned").take().expect("claimed once");
+                *out[i].lock().expect("unpoisoned") = Some(f(item));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("unpoisoned").expect("worker filled every claimed slot"))
+        .collect()
+}
+
 /// Relative error |a − b| / b.
 #[must_use]
 pub fn relative_error(a: f64, b: f64) -> f64 {
@@ -138,6 +196,32 @@ mod tests {
         );
         assert!(t.contains("longer-name"));
         assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let out = parallel_map((0..24u64).collect::<Vec<_>>(), |i| i * i);
+        assert_eq!(out, (0..24u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep_exactly() {
+        // The determinism contract behind the parallel figure sweeps:
+        // each simulator instance is independent state, so fanning the
+        // sweep out over threads must not change a single cycle.
+        use stramash_workloads::driver::{run_benchmark, Configuration};
+        let configs = Configuration::figure9_set();
+        let serial: Vec<_> = configs
+            .iter()
+            .map(|&c| run_benchmark(c, NpbKind::Is, Class::Tiny).expect("serial run"))
+            .collect();
+        let parallel =
+            parallel_map(configs, |c| run_benchmark(c, NpbKind::Is, Class::Tiny).expect("run"));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.runtime, p.runtime);
+            assert_eq!(s.messages, p.messages);
+            assert_eq!(s.remote_hits, p.remote_hits);
+        }
     }
 
     #[test]

@@ -513,6 +513,10 @@ pub trait OsSystem {
     ///
     /// Translation errors.
     fn read_mem(&mut self, pid: Pid, va: VirtAddr, buf: &mut [u8]) -> Result<Cycles, OsError> {
+        // The executing domain cannot change mid-call (only an explicit
+        // migrate does that), so resolve it once instead of re-probing
+        // the process table on every page chunk.
+        let domain = self.base().process(pid)?.current;
         let mut total = Cycles::ZERO;
         let mut done = 0usize;
         while done < buf.len() {
@@ -522,7 +526,6 @@ pub trait OsSystem {
             let (pa, tc) = self.translate(pid, cur, false)?;
             total += tc;
             let base = self.base_mut();
-            let domain = base.process(pid)?.current;
             let c = base.mem.read_bytes(domain, pa, &mut buf[done..done + n]);
             base.charge(domain, c);
             total += c;
@@ -537,6 +540,7 @@ pub trait OsSystem {
     ///
     /// Translation errors.
     fn write_mem(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Cycles, OsError> {
+        let domain = self.base().process(pid)?.current;
         let mut total = Cycles::ZERO;
         let mut done = 0usize;
         while done < data.len() {
@@ -546,7 +550,6 @@ pub trait OsSystem {
             let (pa, tc) = self.translate(pid, cur, true)?;
             total += tc;
             let base = self.base_mut();
-            let domain = base.process(pid)?.current;
             let c = base.mem.write_bytes(domain, pa, &data[done..done + n]);
             base.charge(domain, c);
             total += c;
@@ -561,9 +564,9 @@ pub trait OsSystem {
     ///
     /// Translation errors.
     fn load_u64(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, OsError> {
+        let domain = self.base().process(pid)?.current;
         let (pa, _) = self.translate(pid, va, false)?;
         let base = self.base_mut();
-        let domain = base.process(pid)?.current;
         let (v, c) = base.mem.read_u64(domain, pa);
         base.charge(domain, c);
         Ok(v)
@@ -575,9 +578,9 @@ pub trait OsSystem {
     ///
     /// Translation errors.
     fn store_u64(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), OsError> {
+        let domain = self.base().process(pid)?.current;
         let (pa, _) = self.translate(pid, va, true)?;
         let base = self.base_mut();
-        let domain = base.process(pid)?.current;
         let c = base.mem.write_u64(domain, pa, value);
         base.charge(domain, c);
         Ok(())

@@ -34,12 +34,153 @@ struct Way {
 const EMPTY: u64 = u64::MAX;
 
 /// A single set-associative, LRU cache level.
+///
+/// The probe/insert paths exist twice: the optimised default (power-of-
+/// two set masking, an MRU-first way check, an L0 "same line again"
+/// short circuit, and a single-pass insert scan) and the original
+/// reference implementation (`fast_paths == false`: modulo set index,
+/// straight-line scans). Both produce bit-identical LRU state, MESI
+/// state, evictions and statistics — the golden-stats tier-1 test and
+/// the `crit_simulator` harness hold them against each other.
 #[derive(Debug, Clone)]
 pub struct Cache {
     geo: CacheGeometry,
+    /// Per-way records, authoritative **only under the slow path**. The
+    /// fast path works exclusively on the dense `tags`/`states`/`perms`
+    /// arrays; toggling converts the full representation in both
+    /// directions (`rebuild_fast_state` / `materialize_sets`).
     sets: Vec<Way>,
     set_count: u64,
+    /// `set_count - 1`; valid because set counts are power-of-two
+    /// (enforced by `SimConfig::validate` / `CacheGeometry::new`).
+    set_mask: u64,
     tick: u64,
+    /// Fast-path mirror of each way's `line`, densely packed so a set's
+    /// tags share one host cache line and the match scan vectorises.
+    tags: Vec<u64>,
+    /// Fast-path mirror of each way's `state` (1 byte per way), so
+    /// probe hits never touch the 24-byte `Way` records at all.
+    states: Vec<Mesi>,
+    /// Fast-path per-set LRU order, packed 4 bits per way: nibble `r`
+    /// holds the way index at recency rank `r` (0 = MRU, `ways-1` =
+    /// LRU/victim). Replaces per-hit stamp writes with a register
+    /// permutation update; equivalent to the stamp order because both
+    /// are move-to-front on exactly the same events.
+    perms: Vec<u64>,
+    /// Fast-path per-set resident-way count. Full sets — the steady
+    /// state — skip empty-way tracking in the miss scans entirely.
+    occ: Vec<u8>,
+    /// L0 hint: the line of the last probe hit and the slot/set it
+    /// lives in. Self-validating — the tag is re-checked before use, so
+    /// no invalidation bookkeeping is needed on eviction.
+    last_line: u64,
+    last_slot: usize,
+    fast_paths: bool,
+}
+
+/// Identity LRU permutation (nibble `r` = way `r`); ranks at and above
+/// the way count are never read.
+const PERM_IDENTITY: u64 = 0xFEDC_BA98_7654_3210;
+
+/// The way index at recency rank `rank`.
+#[inline]
+fn perm_way_at(perm: u64, rank: u32) -> usize {
+    ((perm >> (4 * rank)) & 0xF) as usize
+}
+
+/// Bit offset (4 × rank) of the lowest nibble equal to `way`, found
+/// branchlessly with SWAR zero-nibble detection. `way` must be present
+/// in the low `ways` nibbles; any stale duplicate in the unused high
+/// ranks sits above the real occurrence and is never selected.
+#[inline]
+fn perm_find(perm: u64, way: u64) -> u32 {
+    let x = perm ^ (way.wrapping_mul(0x1111_1111_1111_1111));
+    let z = x.wrapping_sub(0x1111_1111_1111_1111) & !x & 0x8888_8888_8888_8888;
+    debug_assert!(z != 0, "way {way} absent from permutation {perm:#x}");
+    // trailing_zeros is 4r+3; clear the low bits to get 4r. (SWAR
+    // borrow propagation can flag nibbles above the first match, never
+    // below it, so the lowest set bit is always the true occurrence.)
+    z.trailing_zeros() & !3
+}
+
+/// Moves the `way` known to sit at bit offset `idx` (4 × its rank) to
+/// the MRU nibble, shifting the ranks it overtakes down by one.
+#[inline]
+fn perm_promote_at(perm: u64, way: u64, idx: u32) -> u64 {
+    let below = perm & ((1u64 << idx) - 1);
+    // Double shift: `idx + 4` may be 64, which a single shift forbids.
+    let above = (perm >> idx >> 4) << idx << 4;
+    above | (below << 4) | way
+}
+
+/// Moves `way` to the MRU (rank-0) nibble, shifting the ranks it
+/// overtakes down by one. No-op if it is already MRU.
+#[inline]
+fn perm_promote(perm: u64, way: usize) -> u64 {
+    let way = way as u64;
+    perm_promote_at(perm, way, perm_find(perm, way))
+}
+
+/// Scans a set's ways in LRU-recency order, starting at rank 1 (the
+/// caller has already checked the MRU way). On a hit, returns the way
+/// index and its bit offset in the permutation, so the promote needs
+/// no find. Hit/miss and the found slot are identical to a slot-order
+/// scan — a line is resident in at most one way — but temporal
+/// locality lands hits at the low ranks, where this order exits first.
+#[inline]
+fn scan_recency(tags: &[u64], base: usize, perm: u64, ways: usize, line: u64) -> Option<(usize, u32)> {
+    let mut p = perm >> 4;
+    for r in 1..ways as u32 {
+        let w = (p & 0xF) as usize;
+        if tags[base + w] == line {
+            return Some((w, 4 * r));
+        }
+        p >>= 4;
+    }
+    None
+}
+
+/// Branchless presence test over one fixed-width set: `|`-accumulated
+/// compares with no early exit, which the backend turns into SIMD
+/// compares — a *miss* (the case that must scan everything anyway)
+/// costs a couple of vector ops instead of `ways` compare-and-branch
+/// iterations.
+#[inline]
+fn contain_fixed<const N: usize>(t: &[u64], line: u64) -> bool {
+    let t: &[u64; N] = t.try_into().expect("slice length equals the way count");
+    let mut hit = false;
+    for &x in t {
+        hit |= x == line;
+    }
+    hit
+}
+
+/// Presence test over a set's packed tags, specialised for the common
+/// associativities so the compare chain vectorises.
+#[inline]
+fn tags_contain(t: &[u64], line: u64) -> bool {
+    match t.len() {
+        4 => contain_fixed::<4>(t, line),
+        8 => contain_fixed::<8>(t, line),
+        16 => contain_fixed::<16>(t, line),
+        _ => t.contains(&line),
+    }
+}
+
+/// Moves `way` to the LRU (rank `ways-1`) nibble — used when a way is
+/// invalidated, mirroring the slow path's `stamp = 0`.
+#[inline]
+fn perm_demote(perm: u64, way: usize, ways: u32) -> u64 {
+    let way64 = way as u64;
+    let last = ways - 1;
+    if perm_way_at(perm, last) == way {
+        return perm;
+    }
+    let idx = perm_find(perm, way64);
+    let below = perm & ((1u64 << idx) - 1);
+    let shifted = (perm >> idx >> 4) << idx;
+    let res = below | shifted;
+    (res & !(0xFu64 << (4 * last))) | (way64 << (4 * last))
 }
 
 /// Result of inserting a line into a level.
@@ -51,17 +192,147 @@ pub struct Eviction {
     pub state: Mesi,
 }
 
+/// Result of [`Cache::probe_or_plan`]: either a hit (identical to
+/// [`Cache::probe`]) or a miss carrying the fill slot the insert scan
+/// would choose, computed in the same pass.
+#[derive(Debug, Clone, Copy)]
+pub enum ProbeFill {
+    /// The line is resident; LRU was refreshed. (Presence only — the
+    /// streaming call sites never read the MESI state here, coherence
+    /// upgrades go through `state_of`/`set_state` at the L3.)
+    Hit,
+    /// The line is absent; `plan` pre-computes the fill.
+    Miss(FillPlan),
+}
+
+/// A pre-computed fill decision for a line that just missed: the slot
+/// the classic insert scan would pick (first empty way, else the first
+/// way with the minimal stamp). Only valid while the set is untouched
+/// between the probe and [`Cache::fill_planned`] — the caller
+/// guarantees that (upper-level fills on an L2/L3 hit; a full memory
+/// miss drops the plan because inclusive back-invalidation may edit
+/// the set).
+#[derive(Debug, Clone, Copy)]
+pub struct FillPlan {
+    /// Global way index to fill; `usize::MAX` defers to the classic
+    /// [`Cache::insert`] (the reference slow path).
+    slot: usize,
+    /// The set index (for the MRU hint update).
+    set: usize,
+    /// The slot's current LRU rank, when the probe learned it (an LRU
+    /// victim is at rank `ways-1`); `u32::MAX` when unknown (empty-way
+    /// fills), in which case the fill falls back to the SWAR find.
+    rank: u32,
+}
+
+impl FillPlan {
+    /// A plan that defers to the reference `insert` path.
+    const DEFER: FillPlan = FillPlan { slot: usize::MAX, set: 0, rank: u32::MAX };
+}
+
 impl Cache {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(geo: CacheGeometry) -> Self {
         let set_count = geo.sets();
+        assert!(
+            set_count.is_power_of_two(),
+            "cache set count must be a power of two (got {set_count}); \
+             SimConfig::validate reports this as ConfigError::NonPowerOfTwoSets"
+        );
         let ways = geo.ways as usize;
+        let slots = set_count as usize * ways;
         Cache {
             geo,
-            sets: vec![Way { line: EMPTY, stamp: 0, state: Mesi::Shared }; set_count as usize * ways],
+            sets: vec![Way { line: EMPTY, stamp: 0, state: Mesi::Shared }; slots],
             set_count,
+            set_mask: set_count - 1,
             tick: 0,
+            tags: vec![EMPTY; slots],
+            states: vec![Mesi::Shared; slots],
+            perms: vec![PERM_IDENTITY; set_count as usize],
+            occ: vec![0; set_count as usize],
+            last_line: EMPTY,
+            last_slot: 0,
+            // The packed LRU permutation holds 16 4-bit ranks; wider
+            // caches fall back to the reference path permanently.
+            fast_paths: ways <= 16,
+        }
+    }
+
+    /// Enables or disables the host-side fast paths (set masking,
+    /// MRU-first probe, L0 short circuit, packed-LRU scans). Simulated
+    /// behaviour is identical either way; the toggle exists so the
+    /// benchmark harness can measure the old path and the golden-stats
+    /// test can assert cycle identity between the two. Switching
+    /// converts the LRU representation: enabling rebuilds the tag
+    /// mirrors and packed permutations from the stamps, disabling
+    /// materialises order-preserving stamps from the permutations.
+    pub fn set_fast_paths(&mut self, enabled: bool) {
+        let enabled = enabled && self.geo.ways <= 16;
+        if enabled == self.fast_paths {
+            return;
+        }
+        if enabled {
+            self.rebuild_fast_state();
+        } else {
+            self.materialize_sets();
+        }
+        self.fast_paths = enabled;
+    }
+
+    /// Rebuilds `tags`, `states` and `perms` from the authoritative
+    /// `sets` (stamps define recency; ties — possible only among empty
+    /// ways, since every real touch writes a unique tick — break by
+    /// slot order).
+    fn rebuild_fast_state(&mut self) {
+        for (slot, w) in self.sets.iter().enumerate() {
+            self.tags[slot] = w.line;
+            self.states[slot] = w.state;
+        }
+        let ways = self.geo.ways as usize;
+        let mut order: Vec<usize> = Vec::with_capacity(ways);
+        for set in 0..self.set_count as usize {
+            let base = set * ways;
+            order.clear();
+            order.extend(0..ways);
+            order.sort_by_key(|&i| (std::cmp::Reverse(self.sets[base + i].stamp), i));
+            let mut perm = PERM_IDENTITY;
+            for (r, &i) in order.iter().enumerate() {
+                perm = (perm & !(0xFu64 << (4 * r))) | ((i as u64) << (4 * r));
+            }
+            self.perms[set] = perm;
+            self.occ[set] =
+                self.sets[base..base + ways].iter().filter(|w| w.line != EMPTY).count() as u8;
+        }
+        self.last_line = EMPTY;
+        self.last_slot = 0;
+    }
+
+    /// Rebuilds the `sets` records from the fast-path arrays: lines and
+    /// states come straight from the mirrors, and stamps are written
+    /// consistent with the packed LRU order so the slow path's
+    /// `min_by_key` picks the same victims. Only the relative stamp
+    /// order within a set is observable, never the values; empty ways
+    /// get the slow path's canonical stamp 0.
+    fn materialize_sets(&mut self) {
+        let ways = self.geo.ways as usize;
+        // Ensure rank arithmetic cannot underflow and stays below every
+        // future tick.
+        self.tick = self.tick.max(ways as u64);
+        let t = self.tick;
+        for set in 0..self.set_count as usize {
+            let base = set * ways;
+            let perm = self.perms[set];
+            for r in 0..ways {
+                let slot = base + perm_way_at(perm, r as u32);
+                let line = self.tags[slot];
+                self.sets[slot] = Way {
+                    line,
+                    stamp: if line == EMPTY { 0 } else { t - r as u64 },
+                    state: self.states[slot],
+                };
+            }
         }
     }
 
@@ -71,39 +342,248 @@ impl Cache {
         &self.geo
     }
 
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        if self.fast_paths {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.set_count) as usize
+        }
+    }
+
+    #[inline]
     fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line % self.set_count) as usize;
+        let set = self.set_of(line);
         let ways = self.geo.ways as usize;
         set * ways..(set + 1) * ways
     }
 
     /// Probes for a line; on hit, refreshes LRU and returns its state.
+    #[inline]
     pub fn probe(&mut self, line: u64) -> Option<Mesi> {
-        self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        let way = self.sets[range].iter_mut().find(|w| w.line == line)?;
-        way.stamp = tick;
-        Some(way.state)
+        if !self.fast_paths {
+            self.tick += 1;
+            let tick = self.tick;
+            let range = self.set_range(line);
+            let way = self.sets[range].iter_mut().find(|w| w.line == line)?;
+            way.stamp = tick;
+            return Some(way.state);
+        }
+        // L0: the same line probed again. The tag re-check makes the
+        // hint self-validating, so eviction needs no bookkeeping here.
+        if line == self.last_line && line != EMPTY && self.tags[self.last_slot] == line {
+            let set = (line & self.set_mask) as usize;
+            let way = self.last_slot - set * self.geo.ways as usize;
+            // Already-MRU promotes are the common case here and are
+            // identity — skipping them keeps the L0 hit store-free.
+            if (self.perms[set] & 0xF) as usize != way {
+                self.perms[set] = perm_promote(self.perms[set], way);
+            }
+            return Some(self.states[self.last_slot]);
+        }
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geo.ways as usize;
+        let base = set * ways;
+        let perm = self.perms[set];
+        // MRU-first: the way that hit or filled last usually hits again
+        // (and then the permutation needs no update at all).
+        let mru_slot = base + (perm & 0xF) as usize;
+        if self.tags[mru_slot] == line {
+            self.last_line = line;
+            self.last_slot = mru_slot;
+            return Some(self.states[mru_slot]);
+        }
+        // Rank-1 next: alternating two-line sets hit here every time,
+        // with the promote offset known statically.
+        let w1 = ((perm >> 4) & 0xF) as usize;
+        if ways > 1 && self.tags[base + w1] == line {
+            self.perms[set] = perm_promote_at(perm, w1 as u64, 4);
+            // No hint update: the line is MRU now, so a repeat access
+            // hits the MRU check (which sets the hint) — scan hits stay
+            // store-light.
+            return Some(self.states[base + w1]);
+        }
+        if tags_contain(&self.tags[base..base + ways], line) {
+            let (w, idx) = scan_recency(&self.tags, base, perm, ways, line)
+                .expect("contained line is found by the recency scan");
+            self.perms[set] = perm_promote_at(perm, w as u64, idx);
+            return Some(self.states[base + w]);
+        }
+        None
+    }
+
+    /// Presence-only probe: refreshes LRU exactly like [`Cache::probe`]
+    /// but never reads the state array — the streaming L2/L3 probes only
+    /// ask *whether* the level hit (coherence state is handled at the L3
+    /// through `state_of`/`set_state`), so the hot loop skips one array
+    /// touch per level.
+    #[inline]
+    pub fn probe_hit(&mut self, line: u64) -> bool {
+        if !self.fast_paths {
+            return self.probe(line).is_some();
+        }
+        if line == self.last_line && line != EMPTY && self.tags[self.last_slot] == line {
+            let set = (line & self.set_mask) as usize;
+            let way = self.last_slot - set * self.geo.ways as usize;
+            if (self.perms[set] & 0xF) as usize != way {
+                self.perms[set] = perm_promote(self.perms[set], way);
+            }
+            return true;
+        }
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geo.ways as usize;
+        let base = set * ways;
+        let perm = self.perms[set];
+        let mru_slot = base + (perm & 0xF) as usize;
+        if self.tags[mru_slot] == line {
+            self.last_line = line;
+            self.last_slot = mru_slot;
+            return true;
+        }
+        let w1 = ((perm >> 4) & 0xF) as usize;
+        if ways > 1 && self.tags[base + w1] == line {
+            self.perms[set] = perm_promote_at(perm, w1 as u64, 4);
+            return true;
+        }
+        if tags_contain(&self.tags[base..base + ways], line) {
+            let (w, idx) = scan_recency(&self.tags, base, perm, ways, line)
+                .expect("contained line is found by the recency scan");
+            self.perms[set] = perm_promote_at(perm, w as u64, idx);
+            return true;
+        }
+        false
+    }
+
+    /// Probes for a line like [`Cache::probe`], but on a miss also
+    /// returns the fill slot the subsequent insert scan would choose —
+    /// computed in the *same* way walk, so the hot L1-miss/L2-hit
+    /// pattern scans the set once instead of twice. The plan replicates
+    /// the classic choice exactly (first empty way, else the first way
+    /// with the minimal stamp, matching `min_by_key`), so consuming it
+    /// via [`Cache::fill_planned`] is state-identical to calling
+    /// [`Cache::insert`] — provided the set is untouched in between,
+    /// which the `MemorySystem` call sites guarantee.
+    #[inline]
+    pub fn probe_or_plan(&mut self, line: u64) -> ProbeFill {
+        if !self.fast_paths {
+            // Reference path: the original probe; a miss defers the
+            // fill to the original three-pass insert.
+            self.tick += 1;
+            let tick = self.tick;
+            let range = self.set_range(line);
+            if let Some(w) = self.sets[range].iter_mut().find(|w| w.line == line) {
+                w.stamp = tick;
+                return ProbeFill::Hit;
+            }
+            return ProbeFill::Miss(FillPlan::DEFER);
+        }
+        if line == self.last_line && line != EMPTY && self.tags[self.last_slot] == line {
+            let set = (line & self.set_mask) as usize;
+            let way = self.last_slot - set * self.geo.ways as usize;
+            if (self.perms[set] & 0xF) as usize != way {
+                self.perms[set] = perm_promote(self.perms[set], way);
+            }
+            return ProbeFill::Hit;
+        }
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geo.ways as usize;
+        let base = set * ways;
+        let perm = self.perms[set];
+        let mru_slot = base + (perm & 0xF) as usize;
+        if self.tags[mru_slot] == line {
+            self.last_line = line;
+            self.last_slot = mru_slot;
+            return ProbeFill::Hit;
+        }
+        let w1 = ((perm >> 4) & 0xF) as usize;
+        if ways > 1 && self.tags[base + w1] == line {
+            self.perms[set] = perm_promote_at(perm, w1 as u64, 4);
+            return ProbeFill::Hit;
+        }
+        if tags_contain(&self.tags[base..base + ways], line) {
+            let (w, idx) = scan_recency(&self.tags, base, perm, ways, line)
+                .expect("contained line is found by the recency scan");
+            self.perms[set] = perm_promote_at(perm, w as u64, idx);
+            return ProbeFill::Hit;
+        }
+        // The victim is the LRU rank of the packed permutation — no
+        // stamp scan needed; its rank rides along so the fill can
+        // promote without re-finding the way. Full sets (the steady
+        // state, tracked in `occ`) skip the empty-way search.
+        let (slot, rank) = if self.occ[set] == ways as u8 {
+            let last = self.geo.ways - 1;
+            (base + perm_way_at(perm, last), last)
+        } else {
+            let first_empty = self.tags[base..base + ways]
+                .iter()
+                .position(|&t| t == EMPTY)
+                .expect("occ < ways implies an empty way");
+            (base + first_empty, u32::MAX)
+        };
+        ProbeFill::Miss(FillPlan { slot, set, rank })
+    }
+
+    /// Consumes a [`FillPlan`] from [`Cache::probe_or_plan`], filling
+    /// the planned slot. Equivalent to `insert(line, state)` under the
+    /// plan's validity condition (set untouched since the probe); the
+    /// eviction, if any, is the one upper-level fills discard anyway.
+    #[inline]
+    pub fn fill_planned(&mut self, plan: FillPlan, line: u64, state: Mesi) {
+        if plan.slot == usize::MAX {
+            self.insert(line, state);
+            return;
+        }
+        let way = (plan.slot - plan.set * self.geo.ways as usize) as u64;
+        self.tags[plan.slot] = line;
+        self.states[plan.slot] = state;
+        let perm = self.perms[plan.set];
+        let idx = if plan.rank != u32::MAX {
+            4 * plan.rank
+        } else {
+            // An empty way was planned: it joins the residents.
+            self.occ[plan.set] += 1;
+            perm_find(perm, way)
+        };
+        self.perms[plan.set] = perm_promote_at(perm, way, idx);
     }
 
     /// Whether the line is present, without disturbing LRU.
     #[must_use]
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_range(line)].iter().any(|w| w.line == line)
+        let range = self.set_range(line);
+        if self.fast_paths {
+            self.tags[range].contains(&line)
+        } else {
+            self.sets[range].iter().any(|w| w.line == line)
+        }
     }
 
     /// Reads a line's state without disturbing LRU.
     #[must_use]
     pub fn state_of(&self, line: u64) -> Option<Mesi> {
-        self.sets[self.set_range(line)].iter().find(|w| w.line == line).map(|w| w.state)
+        let range = self.set_range(line);
+        if self.fast_paths {
+            let base = range.start;
+            let i = self.tags[range].iter().position(|&t| t == line)?;
+            Some(self.states[base + i])
+        } else {
+            self.sets[range].iter().find(|w| w.line == line).map(|w| w.state)
+        }
     }
 
     /// Sets the state of a resident line; returns `false` if absent.
     pub fn set_state(&mut self, line: u64, state: Mesi) -> bool {
         let range = self.set_range(line);
-        if let Some(w) = self.sets[range].iter_mut().find(|w| w.line == line) {
-            w.state = state;
+        let base = range.start;
+        if self.fast_paths {
+            if let Some(i) = self.tags[range].iter().position(|&t| t == line) {
+                self.states[base + i] = state;
+                true
+            } else {
+                false
+            }
+        } else if let Some(i) = self.sets[range].iter().position(|w| w.line == line) {
+            self.sets[base + i].state = state;
             true
         } else {
             false
@@ -112,34 +592,94 @@ impl Cache {
 
     /// Inserts a line (replacing LRU if the set is full), returning any
     /// eviction. If the line is already resident its state is updated.
+    #[inline]
     pub fn insert(&mut self, line: u64, state: Mesi) -> Option<Eviction> {
-        self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        let ways = &mut self.sets[range];
-        if let Some(w) = ways.iter_mut().find(|w| w.line == line) {
-            w.state = state;
-            w.stamp = tick;
-            return None;
+        if !self.fast_paths {
+            self.tick += 1;
+            let tick = self.tick;
+            let range = self.set_range(line);
+            let ways = &mut self.sets[range];
+            if let Some(w) = ways.iter_mut().find(|w| w.line == line) {
+                w.state = state;
+                w.stamp = tick;
+                return None;
+            }
+            if let Some(w) = ways.iter_mut().find(|w| w.line == EMPTY) {
+                *w = Way { line, stamp: tick, state };
+                return None;
+            }
+            let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("ways > 0");
+            let evicted = Eviction { line: victim.line, state: victim.state };
+            *victim = Way { line, stamp: tick, state };
+            Some(evicted)
+        } else {
+            // One pass over the packed tags finds the matching way and
+            // the first empty way; the victim is the permutation's LRU
+            // rank (equal to the first-minimal-stamp way `min_by_key`
+            // picks, since both orders are move-to-front on the same
+            // events).
+            let set = (line & self.set_mask) as usize;
+            let ways = self.geo.ways as usize;
+            let base = set * ways;
+            let perm = self.perms[set];
+            let mru_slot = base + (perm & 0xF) as usize;
+            if self.tags[mru_slot] == line {
+                self.states[mru_slot] = state;
+                self.last_line = line;
+                self.last_slot = mru_slot;
+                return None;
+            }
+            if tags_contain(&self.tags[base..base + ways], line) {
+                let (w, idx) = scan_recency(&self.tags, base, perm, ways, line)
+                    .expect("contained line is found by the recency scan");
+                self.states[base + w] = state;
+                self.perms[set] = perm_promote_at(perm, w as u64, idx);
+                return None;
+            }
+            let (slot, evicted, idx) = if self.occ[set] == ways as u8 {
+                let last = self.geo.ways - 1;
+                let slot = base + perm_way_at(perm, last);
+                let ev = Eviction { line: self.tags[slot], state: self.states[slot] };
+                (slot, Some(ev), 4 * last)
+            } else {
+                let first_empty = self.tags[base..base + ways]
+                    .iter()
+                    .position(|&t| t == EMPTY)
+                    .expect("occ < ways implies an empty way");
+                self.occ[set] += 1;
+                let way = first_empty as u64;
+                (base + first_empty, None, perm_find(perm, way))
+            };
+            self.tags[slot] = line;
+            self.states[slot] = state;
+            self.perms[set] = perm_promote_at(perm, (slot - base) as u64, idx);
+            evicted
         }
-        if let Some(w) = ways.iter_mut().find(|w| w.line == EMPTY) {
-            *w = Way { line, stamp: tick, state };
-            return None;
-        }
-        let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("ways > 0");
-        let evicted = Eviction { line: victim.line, state: victim.state };
-        *victim = Way { line, stamp: tick, state };
-        Some(evicted)
     }
 
     /// Removes a line; returns its state if it was present.
     pub fn invalidate(&mut self, line: u64) -> Option<Mesi> {
         let range = self.set_range(line);
-        let way = self.sets[range].iter_mut().find(|w| w.line == line)?;
-        let state = way.state;
-        way.line = EMPTY;
-        way.stamp = 0;
-        Some(state)
+        let base = range.start;
+        if self.fast_paths {
+            let i = self.tags[range].iter().position(|&t| t == line)?;
+            let slot = base + i;
+            let state = self.states[slot];
+            self.tags[slot] = EMPTY;
+            // Mirror the slow path's `stamp = 0`: the emptied way drops
+            // to the LRU rank.
+            let set = base / self.geo.ways as usize;
+            self.perms[set] = perm_demote(self.perms[set], i, self.geo.ways);
+            self.occ[set] -= 1;
+            Some(state)
+        } else {
+            let i = self.sets[range].iter().position(|w| w.line == line)?;
+            let slot = base + i;
+            let state = self.sets[slot].state;
+            self.sets[slot].line = EMPTY;
+            self.sets[slot].stamp = 0;
+            Some(state)
+        }
     }
 
     /// Drops every line (e.g. between experiment phases).
@@ -149,18 +689,35 @@ impl Cache {
             w.stamp = 0;
         }
         self.tick = 0;
+        self.tags.fill(EMPTY);
+        self.perms.fill(PERM_IDENTITY);
+        self.occ.fill(0);
+        self.last_line = EMPTY;
+        self.last_slot = 0;
     }
 
     /// Number of resident lines (for tests and occupancy metrics).
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.sets.iter().filter(|w| w.line != EMPTY).count()
+        if self.fast_paths {
+            self.tags.iter().filter(|&&t| t != EMPTY).count()
+        } else {
+            self.sets.iter().filter(|w| w.line != EMPTY).count()
+        }
     }
 
     /// Iterates every resident line with its state, without disturbing
     /// LRU. Used by the coherence auditor.
     pub fn lines(&self) -> impl Iterator<Item = (u64, Mesi)> + '_ {
-        self.sets.iter().filter(|w| w.line != EMPTY).map(|w| (w.line, w.state))
+        let fast = self.fast_paths;
+        (0..self.sets.len()).filter_map(move |slot| {
+            let (line, state) = if fast {
+                (self.tags[slot], self.states[slot])
+            } else {
+                (self.sets[slot].line, self.sets[slot].state)
+            };
+            (line != EMPTY).then_some((line, state))
+        })
     }
 }
 
@@ -229,6 +786,15 @@ impl CacheHierarchy {
         self.l1d.flush();
         self.l2.flush();
         self.l3.flush();
+    }
+
+    /// Toggles the host-side fast paths on every level (see
+    /// [`Cache::set_fast_paths`]).
+    pub fn set_fast_paths(&mut self, enabled: bool) {
+        self.l1i.set_fast_paths(enabled);
+        self.l1d.set_fast_paths(enabled);
+        self.l2.set_fast_paths(enabled);
+        self.l3.set_fast_paths(enabled);
     }
 }
 
@@ -337,6 +903,108 @@ mod tests {
         assert!(h.contains(100), "back-invalidation keeps the L3 copy");
         assert_eq!(h.invalidate(100), Some(Mesi::Exclusive));
         assert!(!h.contains(100));
+    }
+
+    /// Every observable (return values, LRU victims, MESI states,
+    /// residency) must be identical between the fast paths and the
+    /// reference implementation over a long deterministic op mix.
+    #[test]
+    fn fast_paths_are_bit_identical_to_reference() {
+        let mut fast = Cache::new(CacheGeometry::new(4 << 10, 4, 64)); // 16 sets
+        let mut slow = fast.clone();
+        slow.set_fast_paths(false);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64; // splitmix-style walk
+        for step in 0..20_000u64 {
+            x = x.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(step);
+            // A small line universe forces hits, conflicts and evictions.
+            let line = (x >> 17) % 96;
+            let state = match x % 3 {
+                0 => Mesi::Modified,
+                1 => Mesi::Exclusive,
+                _ => Mesi::Shared,
+            };
+            match x % 8 {
+                0 | 1 => assert_eq!(fast.probe(line), slow.probe(line), "probe @{step}"),
+                2 => {
+                    assert_eq!(fast.probe_hit(line), slow.probe_hit(line), "probe_hit @{step}");
+                }
+                3 | 4 => {
+                    assert_eq!(fast.insert(line, state), slow.insert(line, state), "insert @{step}");
+                }
+                5 => assert_eq!(fast.invalidate(line), slow.invalidate(line), "inval @{step}"),
+                6 => {
+                    // The fused streaming pair: probe, then consume the
+                    // plan immediately (its validity condition).
+                    let (fh, sh) = (fast.probe_or_plan(line), slow.probe_or_plan(line));
+                    match (fh, sh) {
+                        (ProbeFill::Hit, ProbeFill::Hit) => {}
+                        (ProbeFill::Miss(fp), ProbeFill::Miss(sp)) => {
+                            fast.fill_planned(fp, line, state);
+                            slow.fill_planned(sp, line, state);
+                        }
+                        _ => panic!("fused hit/miss diverged @{step}"),
+                    }
+                }
+                _ => {
+                    assert_eq!(fast.state_of(line), slow.state_of(line), "state @{step}");
+                    assert_eq!(fast.set_state(line, state), slow.set_state(line, state));
+                }
+            }
+            assert_eq!(fast.resident(), slow.resident(), "residency diverged @{step}");
+        }
+        let mut f: Vec<_> = fast.lines().collect();
+        let mut s: Vec<_> = slow.lines().collect();
+        f.sort_unstable_by_key(|(l, _)| *l);
+        s.sort_unstable_by_key(|(l, _)| *l);
+        assert_eq!(f, s, "final contents diverged");
+    }
+
+    /// Toggling the fast paths mid-stream converts between the stamp
+    /// and packed-permutation LRU representations; every observable
+    /// must stay identical to an untoggled run on either path.
+    #[test]
+    fn mid_run_toggling_is_equivalent() {
+        let mut fast = Cache::new(CacheGeometry::new(4 << 10, 4, 64));
+        let mut slow = fast.clone();
+        slow.set_fast_paths(false);
+        let mut toggling = fast.clone();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..20_000u64 {
+            if step % 500 == 0 {
+                toggling.set_fast_paths((step / 500) % 2 == 1);
+            }
+            x = x.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(step);
+            let line = (x >> 17) % 96;
+            let state = match x % 3 {
+                0 => Mesi::Modified,
+                1 => Mesi::Exclusive,
+                _ => Mesi::Shared,
+            };
+            match x % 5 {
+                0 | 1 => {
+                    let expect = fast.probe(line);
+                    assert_eq!(slow.probe(line), expect, "probe slow @{step}");
+                    assert_eq!(toggling.probe(line), expect, "probe toggling @{step}");
+                }
+                2 | 3 => {
+                    let expect = fast.insert(line, state);
+                    assert_eq!(slow.insert(line, state), expect, "insert slow @{step}");
+                    assert_eq!(toggling.insert(line, state), expect, "insert toggling @{step}");
+                }
+                _ => {
+                    let expect = fast.invalidate(line);
+                    assert_eq!(slow.invalidate(line), expect, "inval slow @{step}");
+                    assert_eq!(toggling.invalidate(line), expect, "inval toggling @{step}");
+                }
+            }
+        }
+        let norm = |c: &Cache| {
+            let mut v: Vec<_> = c.lines().collect();
+            v.sort_unstable_by_key(|(l, _)| *l);
+            v
+        };
+        assert_eq!(norm(&fast), norm(&slow));
+        assert_eq!(norm(&fast), norm(&toggling));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! domains — every byte written by one kernel instance is immediately
 //! visible to the other, exactly like cache-coherent shared DRAM.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use stramash_sim::DomainId;
@@ -214,13 +215,36 @@ impl Default for PhysLayout {
 const CHUNK_SHIFT: u32 = 16; // 64 KiB chunks
 const CHUNK_SIZE: usize = 1 << CHUNK_SHIFT;
 
+/// The cursor value meaning "no chunk cached". `u64::MAX` can never be
+/// a real chunk number (chunk numbers are addresses shifted right).
+const NO_CHUNK: u64 = u64::MAX;
+
 /// Sparse byte-addressable physical memory shared by both domains.
 ///
 /// Chunks materialise on first write; reads of untouched memory return
 /// zeroes, matching freshly-zeroed DRAM handed out by the allocators.
-#[derive(Debug, Default)]
+/// Storage is a hash index over a chunk arena plus a one-entry cursor
+/// memoising the last chunk touched, so streaming access (the common
+/// case: sequential lines within one 64 KiB chunk) skips the hash probe
+/// entirely.
+#[derive(Debug)]
 pub struct SparseMemory {
-    chunks: HashMap<u64, Box<[u8; CHUNK_SIZE]>>,
+    index: HashMap<u64, u32>,
+    arena: Vec<Box<[u8; CHUNK_SIZE]>>,
+    /// `(chunk number, arena slot)` of the most recently touched chunk.
+    cursor: Cell<(u64, u32)>,
+}
+
+impl Default for SparseMemory {
+    fn default() -> Self {
+        // The cursor must start *invalid*: `(0, 0)` would claim chunk 0
+        // lives at slot 0 of a still-empty arena.
+        SparseMemory {
+            index: HashMap::new(),
+            arena: Vec::new(),
+            cursor: Cell::new((NO_CHUNK, 0)),
+        }
+    }
 }
 
 impl SparseMemory {
@@ -233,7 +257,31 @@ impl SparseMemory {
     /// Number of 64 KiB chunks currently materialised.
     #[must_use]
     pub fn resident_chunks(&self) -> usize {
-        self.chunks.len()
+        self.arena.len()
+    }
+
+    /// The arena slot holding `chunk`, consulting the cursor first.
+    #[inline]
+    fn slot_of(&self, chunk: u64) -> Option<u32> {
+        let (c, s) = self.cursor.get();
+        if c == chunk {
+            return Some(s);
+        }
+        let s = *self.index.get(&chunk)?;
+        self.cursor.set((chunk, s));
+        Some(s)
+    }
+
+    /// The arena slot holding `chunk`, materialising it if absent.
+    fn slot_of_mut(&mut self, chunk: u64) -> u32 {
+        if let Some(s) = self.slot_of(chunk) {
+            return s;
+        }
+        let s = u32::try_from(self.arena.len()).expect("chunk arena overflow");
+        self.arena.push(Box::new([0u8; CHUNK_SIZE]));
+        self.index.insert(chunk, s);
+        self.cursor.set((chunk, s));
+        s
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -244,8 +292,10 @@ impl SparseMemory {
             let chunk_idx = pos >> CHUNK_SHIFT;
             let off = (pos as usize) & (CHUNK_SIZE - 1);
             let n = (CHUNK_SIZE - off).min(buf.len() - done);
-            match self.chunks.get(&chunk_idx) {
-                Some(c) => buf[done..done + n].copy_from_slice(&c[off..off + n]),
+            match self.slot_of(chunk_idx) {
+                Some(s) => {
+                    buf[done..done + n].copy_from_slice(&self.arena[s as usize][off..off + n]);
+                }
                 None => buf[done..done + n].fill(0),
             }
             done += n;
@@ -261,9 +311,8 @@ impl SparseMemory {
             let chunk_idx = pos >> CHUNK_SHIFT;
             let off = (pos as usize) & (CHUNK_SIZE - 1);
             let n = (CHUNK_SIZE - off).min(buf.len() - done);
-            let chunk =
-                self.chunks.entry(chunk_idx).or_insert_with(|| Box::new([0u8; CHUNK_SIZE]));
-            chunk[off..off + n].copy_from_slice(&buf[done..done + n]);
+            let slot = self.slot_of_mut(chunk_idx);
+            self.arena[slot as usize][off..off + n].copy_from_slice(&buf[done..done + n]);
             done += n;
             pos += n as u64;
         }

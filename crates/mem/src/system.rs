@@ -8,7 +8,7 @@
 //! hardware model, and if the *other* domain caches the line the
 //! appropriate MESI transition and CXL snoop overhead are applied.
 
-use crate::cache::{Cache, CacheHierarchy, Mesi};
+use crate::cache::{Cache, CacheHierarchy, FillPlan, Mesi, ProbeFill};
 use crate::hwmodel::{AddressMap, MemClass};
 use crate::phys::{PhysAddr, PhysLayout, SparseMemory};
 use stramash_sim::config::ConfigError;
@@ -109,6 +109,9 @@ pub struct MemorySystem {
     stats: [DomainStats; 2],
     writebacks: [u64; 2],
     line_bytes: u64,
+    /// `log2(line_bytes)` — line numbers come from a shift, not a
+    /// division, on the per-access hot path.
+    line_shift: u32,
     trace: Option<Vec<TraceEntry>>,
     /// Per-domain alias windows (§7: the fused simulator supports
     /// "memory remapping" — the single shared memory "may be mapped to
@@ -147,6 +150,7 @@ impl MemorySystem {
     pub fn with_layout(cfg: SimConfig, layout: PhysLayout) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let line_bytes = cfg.domains[0].cache.line_bytes() as u64;
+        let line_shift = line_bytes.trailing_zeros();
         let hierarchies = [
             CacheHierarchy::new(&cfg.domains[0].cache),
             CacheHierarchy::new(&cfg.domains[1].cache),
@@ -166,6 +170,7 @@ impl MemorySystem {
             stats: [DomainStats::new(), DomainStats::new()],
             writebacks: [0, 0],
             line_bytes,
+            line_shift,
             trace: None,
             aliases: Vec::new(),
             ecc_journal: Vec::new(),
@@ -255,7 +260,13 @@ impl MemorySystem {
 
     /// Resolves `addr` through `domain`'s alias windows.
     #[must_use]
+    #[inline]
     pub fn canonicalize(&self, domain: DomainId, addr: PhysAddr) -> PhysAddr {
+        // Almost every system runs without remapping; skip the window
+        // scan entirely in that case.
+        if self.aliases.is_empty() {
+            return addr;
+        }
         for w in &self.aliases {
             if w.domain == domain && addr.raw() >= w.alias_start && addr.raw() < w.alias_start + w.len
             {
@@ -380,6 +391,7 @@ impl MemorySystem {
     /// This is the plugin's per-memory-instruction feedback path: the
     /// returned latency is what the caller adds to the issuing domain's
     /// icount clock.
+    #[inline]
     pub fn access(
         &mut self,
         domain: DomainId,
@@ -388,7 +400,25 @@ impl MemorySystem {
         kind: AccessKind,
     ) -> AccessOutcome {
         let addr = self.canonicalize(domain, addr);
-        let line = addr.line(self.line_bytes);
+        self.access_line(domain, addr, access, kind)
+    }
+
+    /// Performs one timed access of at most a cache line on an address
+    /// that is **already canonical** (alias windows resolved).
+    ///
+    /// This is the streaming fast path: bulk transfers canonicalize once
+    /// and then drive the hierarchy line by line through this entry
+    /// point. Timing, stats and tracing are identical to
+    /// [`MemorySystem::access`].
+    #[inline]
+    pub fn access_line(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        access: Access,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let line = addr.raw() >> self.line_shift;
         let di = domain.index();
         let lat = self.cfg.domains[di].latency;
         let is_write = access == Access::Write;
@@ -399,45 +429,54 @@ impl MemorySystem {
             self.stats[di].mem_accesses += 1;
         }
 
-        // L1 probe.
-        let l1_hit = match kind {
-            AccessKind::Data => self.hierarchies[di].l1d.probe(line).is_some(),
-            AccessKind::Instruction => self.hierarchies[di].l1i.probe(line).is_some(),
+        // L1 probe, fused with the fill plan an upper-level hit will
+        // consume (one way scan instead of probe + insert scans).
+        let probe = match kind {
+            AccessKind::Data => self.hierarchies[di].l1d.probe_or_plan(line),
+            AccessKind::Instruction => self.hierarchies[di].l1i.probe_or_plan(line),
         };
+        let l1_hit = matches!(probe, ProbeFill::Hit);
         match kind {
             AccessKind::Data => self.stats[di].l1d.record(l1_hit),
             AccessKind::Instruction => self.stats[di].l1i.record(l1_hit),
         }
-        if l1_hit {
-            let mut cycles = Cycles::new(lat.l1 as u64);
-            let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
-            return AccessOutcome { cycles, level: HitLevel::L1, class: None, snooped };
-        }
+        let plan = match probe {
+            ProbeFill::Hit => {
+                let mut cycles = Cycles::new(lat.l1 as u64);
+                let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
+                return AccessOutcome { cycles, level: HitLevel::L1, class: None, snooped };
+            }
+            ProbeFill::Miss(plan) => plan,
+        };
 
         // L2 probe.
-        let l2_hit = self.hierarchies[di].l2.probe(line).is_some();
+        let l2_hit = self.hierarchies[di].l2.probe_hit(line);
         self.stats[di].l2.record(l2_hit);
         if l2_hit {
             let mut cycles = Cycles::new(lat.l2 as u64);
-            self.fill_upper(domain, line, kind, /*fill_l2=*/ false);
+            self.fill_l1_planned(di, line, kind, plan);
             let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
             return AccessOutcome { cycles, level: HitLevel::L2, class: None, snooped };
         }
 
         // L3 probe (private or shared).
         let l3_hit = match &mut self.shared_l3 {
-            Some(l3) => l3.probe(line).is_some(),
-            None => self.hierarchies[di].l3.probe(line).is_some(),
+            Some(l3) => l3.probe_hit(line),
+            None => self.hierarchies[di].l3.probe_hit(line),
         };
         self.stats[di].l3.record(l3_hit);
         if l3_hit {
             let mut cycles = Cycles::new(lat.l3 as u64);
-            self.fill_upper(domain, line, kind, /*fill_l2=*/ true);
+            // Same order as `fill_upper`: L2 first, then the L1 plan.
+            self.hierarchies[di].l2.insert(line, Mesi::Shared);
+            self.fill_l1_planned(di, line, kind, plan);
             let snooped = is_write && self.ensure_writable(domain, line, &mut cycles);
             return AccessOutcome { cycles, level: HitLevel::L3, class: None, snooped };
         }
 
-        // Miss everywhere: go to memory.
+        // Miss everywhere: go to memory. The fill plan is dropped here
+        // on purpose — an inclusive L3 eviction back-invalidates the
+        // upper levels, which may edit the planned set first.
         self.miss_to_memory(domain, addr, line, is_write, kind, lat)
     }
 
@@ -525,6 +564,20 @@ impl MemorySystem {
     }
 
     /// Fills the L1 (and optionally the L2) after a lower-level hit.
+    /// Fills the kind-matching L1 through a [`FillPlan`] captured by the
+    /// probe. The full-miss path must NOT use this: an inclusive L3
+    /// eviction back-invalidates the upper levels, which can edit the
+    /// planned set and invalidate the plan.
+    #[inline]
+    fn fill_l1_planned(&mut self, di: usize, line: u64, kind: AccessKind, plan: FillPlan) {
+        match kind {
+            AccessKind::Data => self.hierarchies[di].l1d.fill_planned(plan, line, Mesi::Shared),
+            AccessKind::Instruction => {
+                self.hierarchies[di].l1i.fill_planned(plan, line, Mesi::Shared);
+            }
+        }
+    }
+
     fn fill_upper(&mut self, domain: DomainId, line: u64, kind: AccessKind, fill_l2: bool) {
         let di = domain.index();
         if fill_l2 {
@@ -581,7 +634,7 @@ impl MemorySystem {
     /// touched and copies the data out of the backing store.
     pub fn read_bytes(&mut self, domain: DomainId, addr: PhysAddr, buf: &mut [u8]) -> Cycles {
         let addr = self.canonicalize(domain, addr);
-        let cycles = self.touch(domain, addr, buf.len() as u64, Access::Read);
+        let cycles = self.access_range(domain, addr, buf.len() as u64, Access::Read);
         self.store.read(addr, buf);
         cycles
     }
@@ -590,7 +643,7 @@ impl MemorySystem {
     /// bytes (visible to both domains immediately — §7.1).
     pub fn write_bytes(&mut self, domain: DomainId, addr: PhysAddr, data: &[u8]) -> Cycles {
         let addr = self.canonicalize(domain, addr);
-        let cycles = self.touch(domain, addr, data.len() as u64, Access::Write);
+        let cycles = self.access_range(domain, addr, data.len() as u64, Access::Write);
         self.store.write(addr, data);
         cycles
     }
@@ -598,14 +651,14 @@ impl MemorySystem {
     /// Timed read of a little-endian `u64`.
     pub fn read_u64(&mut self, domain: DomainId, addr: PhysAddr) -> (u64, Cycles) {
         let addr = self.canonicalize(domain, addr);
-        let cycles = self.touch(domain, addr, 8, Access::Read);
+        let cycles = self.access_range(domain, addr, 8, Access::Read);
         (self.store.read_u64(addr), cycles)
     }
 
     /// Timed write of a little-endian `u64`.
     pub fn write_u64(&mut self, domain: DomainId, addr: PhysAddr, value: u64) -> Cycles {
         let addr = self.canonicalize(domain, addr);
-        let cycles = self.touch(domain, addr, 8, Access::Write);
+        let cycles = self.access_range(domain, addr, 8, Access::Write);
         self.store.write_u64(addr, value);
         cycles
     }
@@ -624,7 +677,7 @@ impl MemorySystem {
         penalty: Cycles,
     ) -> (Result<u64, u64>, Cycles) {
         let addr = self.canonicalize(domain, addr);
-        let out = self.access(domain, addr, Access::Write, AccessKind::Data);
+        let out = self.access_line(domain, addr, Access::Write, AccessKind::Data);
         let cycles = out.cycles + penalty;
         let current = self.store.read_u64(addr);
         if current == expected {
@@ -644,7 +697,7 @@ impl MemorySystem {
         penalty: Cycles,
     ) -> (u64, Cycles) {
         let addr = self.canonicalize(domain, addr);
-        let out = self.access(domain, addr, Access::Write, AccessKind::Data);
+        let out = self.access_line(domain, addr, Access::Write, AccessKind::Data);
         let old = self.store.read_u64(addr);
         self.store.write_u64(addr, old.wrapping_add(delta));
         (old, out.cycles + penalty)
@@ -661,25 +714,48 @@ impl MemorySystem {
     ) -> Cycles {
         let src = self.canonicalize(domain, src);
         let dst = self.canonicalize(domain, dst);
-        let mut cycles = self.touch(domain, src, len, Access::Read);
-        cycles += self.touch(domain, dst, len, Access::Write);
+        let mut cycles = self.access_range(domain, src, len, Access::Read);
+        cycles += self.access_range(domain, dst, len, Access::Write);
         self.store.copy(src, dst, len);
         cycles
     }
 
     /// Charges one timed access per cache line in `[addr, addr+len)`.
-    fn touch(&mut self, domain: DomainId, addr: PhysAddr, len: u64, access: Access) -> Cycles {
+    ///
+    /// `addr` must already be canonical — this is the bulk entry point
+    /// the timed transfers (and the kernel's streaming `read_mem` /
+    /// `write_mem` path) use after canonicalizing once.
+    pub fn access_range(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        len: u64,
+        access: Access,
+    ) -> Cycles {
         if len == 0 {
             return Cycles::ZERO;
         }
-        let first = addr.line(self.line_bytes);
-        let last = PhysAddr::new(addr.raw() + len - 1).line(self.line_bytes);
+        let first = addr.raw() >> self.line_shift;
+        let last = (addr.raw() + len - 1) >> self.line_shift;
         let mut cycles = Cycles::ZERO;
         for line in first..=last {
-            let line_addr = PhysAddr::new(line * self.line_bytes);
-            cycles += self.access(domain, line_addr, access, AccessKind::Data).cycles;
+            let line_addr = PhysAddr::new(line << self.line_shift);
+            cycles += self.access_line(domain, line_addr, access, AccessKind::Data).cycles;
         }
         cycles
+    }
+
+    /// Toggles the host-side cache fast paths (set masking, MRU probe,
+    /// last-line hit) on every cache in the system. Simulated timing is
+    /// bit-identical either way; `false` reinstates the reference code
+    /// so benches and the golden tests can compare the two.
+    pub fn set_fast_paths(&mut self, enabled: bool) {
+        for h in &mut self.hierarchies {
+            h.set_fast_paths(enabled);
+        }
+        if let Some(l3) = &mut self.shared_l3 {
+            l3.set_fast_paths(enabled);
+        }
     }
 
     /// Whether `domain`'s L1/L2 hold the line containing `addr` — with

@@ -104,11 +104,14 @@ impl CacheGeometry {
         geo
     }
 
-    /// Whether the geometry is internally consistent.
+    /// Whether the geometry is internally consistent: power-of-two line
+    /// size, at least one way, whole sets, and a power-of-two set count
+    /// (the cache indexes sets with a mask, never a modulo). The total
+    /// capacity itself need not be a power of two — e.g. a 48 KB 12-way
+    /// L1 has 64 sets and is perfectly valid.
     #[must_use]
     pub fn is_valid(&self) -> bool {
         self.line_bytes.is_power_of_two()
-            && self.size_bytes.is_power_of_two()
             && self.ways > 0
             && self.size_bytes.is_multiple_of(self.line_bytes as u64 * self.ways as u64)
             && self.sets().is_power_of_two()
@@ -463,6 +466,21 @@ impl SimConfig {
                 ("L2", d.cache.l2),
                 ("L3", d.cache.l3),
             ] {
+                // A geometry that is sound except for its set count gets
+                // the specific error: the caches index sets with a
+                // power-of-two mask, so a non-power-of-two count would
+                // otherwise silently demand a modulo slow path.
+                if geo.line_bytes.is_power_of_two()
+                    && geo.ways > 0
+                    && geo.size_bytes.is_multiple_of(geo.line_bytes as u64 * geo.ways as u64)
+                    && !geo.sets().is_power_of_two()
+                {
+                    return Err(ConfigError::NonPowerOfTwoSets {
+                        machine: d.name.clone(),
+                        level: lvl,
+                        sets: geo.sets(),
+                    });
+                }
                 if !geo.is_valid() {
                     return Err(ConfigError::InvalidCache { machine: d.name.clone(), level: lvl });
                 }
@@ -502,6 +520,16 @@ pub enum ConfigError {
     },
     /// Cache levels or domains disagree on the line size.
     MismatchedLineSize(String),
+    /// A cache level has a non-power-of-two number of sets, which the
+    /// mask-indexed set lookup cannot support.
+    NonPowerOfTwoSets {
+        /// The machine whose cache is invalid.
+        machine: String,
+        /// Which level is invalid.
+        level: &'static str,
+        /// The offending set count.
+        sets: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -513,6 +541,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::MismatchedLineSize(m) => {
                 write!(f, "cache line sizes disagree for {m}")
+            }
+            ConfigError::NonPowerOfTwoSets { machine, level, sets } => {
+                write!(
+                    f,
+                    "machine {machine} {level} has {sets} sets; set counts must be a power of two"
+                )
             }
         }
     }
@@ -641,5 +675,32 @@ mod tests {
     fn config_error_display_nonempty() {
         let e = ConfigError::InvalidCache { machine: "m".into(), level: "L2" };
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_sets_with_typed_error() {
+        let mut cfg = SimConfig::big_pair();
+        // 192 KB, 2-way, 64 B lines → 1536 sets: every field is sound
+        // except the set count, so the specific error must fire.
+        cfg.domains[0].cache.l2 = CacheGeometry { size_bytes: 192 << 10, ways: 2, line_bytes: 64 };
+        match cfg.validate() {
+            Err(ConfigError::NonPowerOfTwoSets { level, sets, .. }) => {
+                assert_eq!(level, "L2");
+                assert_eq!(sets, 1536);
+            }
+            other => panic!("expected NonPowerOfTwoSets, got {other:?}"),
+        }
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("1536"), "error must name the offending count: {msg}");
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_with_power_of_two_sets_is_valid() {
+        // A 48 KB 12-way L1 (64 sets) — real Golden Cove geometry.
+        let g = CacheGeometry::new(48 << 10, 12, 64);
+        assert_eq!(g.sets(), 64);
+        let mut cfg = SimConfig::big_pair();
+        cfg.domains[0].cache.l1d = g;
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -51,6 +51,7 @@ impl LevelStats {
     }
 
     /// Records one access, a hit when `hit` is true.
+    #[inline]
     pub fn record(&mut self, hit: bool) {
         self.accesses += 1;
         self.hits += u64::from(hit);

@@ -131,11 +131,42 @@ pub fn run_benchmark_with(
     class: Class,
     l3_bytes: Option<u64>,
 ) -> Result<RunReport, OsError> {
+    run_benchmark_inner(config, kind, class, l3_bytes, true)
+}
+
+/// As [`run_benchmark`], but with the memory system's host-side fast
+/// paths disabled — every access goes through the reference cache
+/// implementation. Simulated cycles are identical either way (the
+/// golden-stats contract); this entry point exists so the perf harness
+/// can report the fast paths' *end-to-end* sweep wall-clock win
+/// against the genuine old code.
+///
+/// # Errors
+///
+/// OS or configuration errors.
+pub fn run_benchmark_oldpath(
+    config: Configuration,
+    kind: NpbKind,
+    class: Class,
+) -> Result<RunReport, OsError> {
+    run_benchmark_inner(config, kind, class, None, false)
+}
+
+fn run_benchmark_inner(
+    config: Configuration,
+    kind: NpbKind,
+    class: Class,
+    l3_bytes: Option<u64>,
+    fast_paths: bool,
+) -> Result<RunReport, OsError> {
     let mut cfg = stramash_sim::SimConfig::big_pair().with_hw_model(config.model);
     if let Some(l3) = l3_bytes {
         cfg = cfg.with_l3_size(l3);
     }
     let mut sys = TargetSystem::build_with(config.kind, cfg)?;
+    if !fast_paths {
+        sys.base_mut().mem.set_fast_paths(false);
+    }
     let pid = sys.spawn(DomainId::X86)?;
     let migrate = config.kind.migrates();
     let outcome = run_npb(kind, &mut sys, pid, class, migrate)?;

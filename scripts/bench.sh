@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Simulator performance baseline: runs the host-side microbenchmark
+# harness (crit_simulator, including the old-path vs fast-path
+# comparison) and the end-to-end parallel NPB sweep, then merges both
+# result fragments into one machine-readable BENCH_simulator.json at
+# the repo root. Non-gating: CI uploads the JSON as an artifact so the
+# repo accumulates a perf trajectory, but a slow run never fails the
+# pipeline.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+OUT="${1:-BENCH_simulator.json}"
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
+MICRO_JSON="$TMPDIR_BENCH/micro.json"
+SWEEP_JSON="$TMPDIR_BENCH/sweep.json"
+
+echo "==> cargo bench -p stramash-bench --features criterion --bench crit_simulator"
+STRAMASH_BENCH_JSON="$MICRO_JSON" \
+    cargo bench -p stramash-bench --features criterion --bench crit_simulator
+
+echo "==> cargo bench -p stramash-bench --bench sweep_parallel"
+STRAMASH_BENCH_JSON="$SWEEP_JSON" \
+    cargo bench -p stramash-bench --bench sweep_parallel
+
+# Merge the two fragments textually (no jq dependency).
+{
+    printf '{\n"micro":\n'
+    cat "$MICRO_JSON"
+    printf ',\n"npb_sweep":\n'
+    cat "$SWEEP_JSON"
+    printf '}\n'
+} >"$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"
