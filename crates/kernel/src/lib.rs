@@ -51,6 +51,7 @@ pub mod packing;
 pub mod pagetable;
 pub mod process;
 pub mod rbtree;
+pub mod session;
 pub mod system;
 pub mod vma;
 
@@ -66,5 +67,6 @@ pub use packing::{PackedRegion, PackingError, SharingClass};
 pub use pagetable::{MapError, PageTable};
 pub use process::{Pid, Process, SoftTlb};
 pub use rbtree::RbTree;
+pub use session::AccessSession;
 pub use system::{BaseSystem, OsError, OsSystem, VanillaSystem};
 pub use vma::{Vma, VmaKind, VmaProt, VmaTree};

@@ -33,6 +33,12 @@ pub struct SoftTlb {
     map: HashMap<u64, (PhysAddr, PteFlags)>,
     lookups: u64,
     misses: u64,
+    /// Bumped on every invalidation/flush; translation caches layered
+    /// above the TLB (the batched pipeline's [`AccessSession`]s) compare
+    /// generations to detect that their entries may have gone stale.
+    ///
+    /// [`AccessSession`]: crate::session::AccessSession
+    generation: u64,
 }
 
 impl SoftTlb {
@@ -52,6 +58,13 @@ impl SoftTlb {
         hit
     }
 
+    /// Looks up without touching the hit/miss counters (used by session
+    /// refills, which have already gone through the counted path).
+    #[must_use]
+    pub fn peek(&self, va: VirtAddr) -> Option<(PhysAddr, PteFlags)> {
+        self.map.get(&va.vpn()).copied()
+    }
+
     /// Installs a translation (page-granular).
     pub fn insert(&mut self, va: VirtAddr, page_pa: PhysAddr, flags: PteFlags) {
         self.map.insert(va.vpn(), (page_pa.align_down(PAGE_SIZE), flags));
@@ -59,12 +72,20 @@ impl SoftTlb {
 
     /// Drops one page's translation.
     pub fn invalidate(&mut self, va: VirtAddr) {
+        self.generation += 1;
         self.map.remove(&va.vpn());
     }
 
     /// Drops everything (migration, exec).
     pub fn flush(&mut self) {
+        self.generation += 1;
         self.map.clear();
+    }
+
+    /// The invalidation generation (see the `generation` field).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Lifetime miss ratio (diagnostics).
@@ -146,6 +167,12 @@ impl Process {
     /// The TLB of `domain`.
     pub fn tlb_mut(&mut self, domain: DomainId) -> &mut SoftTlb {
         &mut self.tlbs[domain.index()]
+    }
+
+    /// Read-only view of `domain`'s TLB.
+    #[must_use]
+    pub fn tlb(&self, domain: DomainId) -> &SoftTlb {
+        &self.tlbs[domain.index()]
     }
 
     /// Reserves `len` bytes of anonymous VA space (page-rounded) and
@@ -242,6 +269,22 @@ mod tests {
         tlb.invalidate(VirtAddr::new(0x1000));
         assert!(tlb.lookup(VirtAddr::new(0x1000)).is_none());
         assert!(tlb.lookup(VirtAddr::new(0x2000)).is_some());
+    }
+
+    #[test]
+    fn tlb_generation_tracks_invalidations() {
+        let mut tlb = SoftTlb::new();
+        assert_eq!(tlb.generation(), 0);
+        tlb.insert(VirtAddr::new(0x1000), PhysAddr::new(0x9000), PteFlags::user_data());
+        assert_eq!(tlb.generation(), 0, "inserts do not stale anything");
+        tlb.invalidate(VirtAddr::new(0x1000));
+        assert_eq!(tlb.generation(), 1);
+        tlb.flush();
+        assert_eq!(tlb.generation(), 2);
+        // peek does not count as a lookup.
+        let before = (tlb.miss_ratio() * 1000.0) as u64;
+        assert!(tlb.peek(VirtAddr::new(0x1000)).is_none());
+        assert_eq!((tlb.miss_ratio() * 1000.0) as u64, before);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Translation sessions: the kernel half of the batched memory pipeline.
+//!
+//! Every scalar `ld`/`st` pays one process-table probe and one
+//! [`SoftTlb`] lookup (`OsSystem::translate`). Inside a tight workload
+//! loop that cost dwarfs the simulated cache model itself. An
+//! [`AccessSession`] amortises it: the `(pid, domain)` resolution
+//! happens once per batch, and page→frame translations are cached in a
+//! small direct-mapped array that a loop refills at most once per page.
+//!
+//! Correctness leans on one invariant: **a session entry is always a
+//! copy of a live [`SoftTlb`] entry of the same `(process, domain)`**.
+//! Any event that could stale a TLB entry — migration (flush), `munmap`,
+//! `mprotect`, a DSM ownership transfer, a Stramash PTE reconfiguration
+//! — already goes through [`SoftTlb::invalidate`]/[`SoftTlb::flush`],
+//! which bump the TLB's generation counter. The session stores the
+//! generation it was filled under and drops *everything* the moment it
+//! observes a newer one, so it can never return a frame the TLB no
+//! longer vouches for. Timing is unchanged: a session hit corresponds
+//! exactly to a (zero-cycle) TLB hit on the scalar path, and a session
+//! miss falls back to the ordinary counted, timed `translate`.
+//!
+//! [`SoftTlb`]: crate::process::SoftTlb
+
+use crate::addr::{VirtAddr, PAGE_SIZE};
+use crate::process::{Pid, Process};
+use stramash_mem::PhysAddr;
+use stramash_sim::DomainId;
+
+/// Number of slots in the direct-mapped translation cache. 256 slots
+/// cover 1 MiB of loop working set per fill — larger than any NPB
+/// kernel's per-loop footprint at the classes the harness runs.
+const SLOTS: usize = 256;
+
+/// Sentinel VPN marking an empty slot (no real VPN is `u64::MAX`).
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct SessionEntry {
+    vpn: u64,
+    page_pa: PhysAddr,
+    writable: bool,
+}
+
+impl SessionEntry {
+    const VACANT: SessionEntry =
+        SessionEntry { vpn: EMPTY, page_pa: PhysAddr::new(0), writable: false };
+}
+
+/// A per-client translation cache over one process's software TLB.
+///
+/// Created once (it is plain state — no borrows) and revalidated at
+/// the top of every batch via `OsSystem::session_begin`; individual
+/// translations go through `OsSystem::session_translate`.
+#[derive(Debug, Clone)]
+pub struct AccessSession {
+    pid: Pid,
+    domain: DomainId,
+    generation: u64,
+    valid: bool,
+    entries: Box<[SessionEntry; SLOTS]>,
+}
+
+impl AccessSession {
+    /// Creates an (invalid) session for `pid`; the first
+    /// `session_begin` adopts the process's current domain and TLB
+    /// generation.
+    #[must_use]
+    pub fn new(pid: Pid) -> Self {
+        AccessSession {
+            pid,
+            domain: DomainId::X86,
+            generation: 0,
+            valid: false,
+            entries: Box::new([SessionEntry::VACANT; SLOTS]),
+        }
+    }
+
+    /// The process this session translates for.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The domain adopted at the last revalidation.
+    #[must_use]
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Whether the session currently holds any usable state.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Drops every cached translation.
+    pub fn clear(&mut self) {
+        self.valid = false;
+        self.entries.fill(SessionEntry::VACANT);
+    }
+
+    /// Syncs the session with `proc`'s current domain and TLB
+    /// generation, dropping all cached translations if either moved.
+    /// Returns the (possibly new) domain.
+    pub fn revalidate(&mut self, proc: &Process) -> DomainId {
+        let domain = proc.current;
+        let generation = proc.tlb(domain).generation();
+        if !self.valid || self.domain != domain || self.generation != generation {
+            self.entries.fill(SessionEntry::VACANT);
+            self.domain = domain;
+            self.generation = generation;
+            self.valid = true;
+        }
+        domain
+    }
+
+    /// Cached translation of the page containing `va`, if present and
+    /// adequate for the access (`write` requires a writable mapping).
+    #[must_use]
+    pub fn lookup(&self, va: VirtAddr, write: bool) -> Option<PhysAddr> {
+        debug_assert!(self.valid, "session used before session_begin");
+        let vpn = va.vpn();
+        let e = &self.entries[(vpn as usize) & (SLOTS - 1)];
+        if e.vpn == vpn && (!write || e.writable) {
+            Some(e.page_pa.offset(va.page_offset()))
+        } else {
+            None
+        }
+    }
+
+    /// Installs a translation copied from the live TLB.
+    pub fn insert(&mut self, va: VirtAddr, page_pa: PhysAddr, writable: bool) {
+        let vpn = va.vpn();
+        self.entries[(vpn as usize) & (SLOTS - 1)] = SessionEntry {
+            vpn,
+            page_pa: page_pa.align_down(PAGE_SIZE),
+            writable,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_respects_writability_and_slots() {
+        let mut s = AccessSession::new(Pid(1));
+        s.valid = true; // unit-test shortcut; OS layers use revalidate
+        let va = VirtAddr::new(0x4000_0123);
+        assert!(s.lookup(va, false).is_none());
+        s.insert(va, PhysAddr::new(0x55_4321), false);
+        // Page-granular, offset re-applied, write filtered.
+        assert_eq!(s.lookup(va, false).unwrap().raw(), 0x55_4000 + 0x123);
+        assert!(s.lookup(va, true).is_none());
+        s.insert(va, PhysAddr::new(0x55_4000), true);
+        assert!(s.lookup(va, true).is_some());
+        // A VPN aliasing the same slot evicts the previous entry.
+        let alias = VirtAddr::new(va.raw() + (SLOTS as u64) * PAGE_SIZE);
+        s.insert(alias, PhysAddr::new(0x99_0000), true);
+        assert!(s.lookup(va, false).is_none());
+        assert_eq!(s.lookup(alias, false).unwrap().raw(), 0x99_0123);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut s = AccessSession::new(Pid(2));
+        s.valid = true;
+        s.insert(VirtAddr::new(0x1000), PhysAddr::new(0x9000), true);
+        s.clear();
+        assert!(!s.is_valid());
+    }
+}

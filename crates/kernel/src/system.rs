@@ -22,6 +22,7 @@ use crate::kernel::KernelInstance;
 use crate::msg::MessagingLayer;
 use crate::pagetable::{MapError, PageTable};
 use crate::process::{Pid, Process};
+use crate::session::AccessSession;
 use crate::vma::{VmaError, VmaKind, VmaProt};
 use std::collections::HashMap;
 use std::fmt;
@@ -166,6 +167,11 @@ pub struct BaseSystem {
     pub pool_end: PhysAddr,
     processes: HashMap<u32, Process>,
     next_pid: u32,
+    /// Whether the workload layer's batched ops take their fast path.
+    /// With batching off every batched op delegates to the scalar
+    /// primitive — the reference execution the golden tests compare
+    /// against. Simulated cycles are identical either way.
+    batching: bool,
     /// The deterministic fault injector, shared with the messaging layer
     /// and IPI fabric once installed.
     fault_injector: Option<SharedFaultInjector>,
@@ -208,6 +214,7 @@ impl BaseSystem {
             pool_end,
             processes: HashMap::new(),
             next_pid: 1,
+            batching: true,
             fault_injector: None,
             code_base,
             code_bytes: 32 << 10,
@@ -235,6 +242,19 @@ impl BaseSystem {
             Process::new(pid, origin, pt, lock_frame, lock_frame.offset(64));
         self.processes.insert(pid.0, proc);
         Ok(pid)
+    }
+
+    /// Toggles the workload layer's batched fast path (see the
+    /// `batching` field). `false` reinstates the scalar reference
+    /// execution for comparison runs.
+    pub fn set_batching(&mut self, enabled: bool) {
+        self.batching = enabled;
+    }
+
+    /// Whether batched ops currently take their fast path.
+    #[must_use]
+    pub fn batching_enabled(&self) -> bool {
+        self.batching
     }
 
     /// Installs a deterministic fault injector, sharing it with the
@@ -382,6 +402,39 @@ pub fn protocol_round_trip(
     c_from + c_to
 }
 
+/// The single source of truth for page-chunk iteration over a process
+/// buffer: resolves the executing domain once (it cannot change
+/// mid-call — only an explicit migrate does that), translates each
+/// page-sized chunk, and hands `(base, domain, pa, done, n)` to `op`,
+/// charging whatever cycles it returns. Both the scalar
+/// `read_mem`/`write_mem` and any batched transfer share this walk, so
+/// chunking semantics cannot drift between them.
+fn walk_page_chunks<S: OsSystem + ?Sized>(
+    sys: &mut S,
+    pid: Pid,
+    va: VirtAddr,
+    len: usize,
+    write: bool,
+    op: &mut dyn FnMut(&mut BaseSystem, DomainId, PhysAddr, usize, usize) -> Cycles,
+) -> Result<Cycles, OsError> {
+    let domain = sys.base().process(pid)?.current;
+    let mut total = Cycles::ZERO;
+    let mut done = 0usize;
+    while done < len {
+        let cur = va.offset(done as u64);
+        let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+        let n = in_page.min(len - done);
+        let (pa, tc) = sys.translate(pid, cur, write)?;
+        total += tc;
+        let base = sys.base_mut();
+        let c = op(base, domain, pa, done, n);
+        base.charge(domain, c);
+        total += c;
+        done += n;
+    }
+    Ok(total)
+}
+
 /// The OS-design abstraction: policy hooks plus provided execution
 /// primitives.
 pub trait OsSystem {
@@ -459,6 +512,48 @@ pub trait OsSystem {
         Ok(proc.mmap(len, prot, VmaKind::Anon)?)
     }
 
+    /// Changes the protections of the VMA starting at `start` (whole-VMA
+    /// granularity, like [`OsSystem::munmap`]): rewrites the leaf flags
+    /// of every present PTE in every existing per-domain page table and
+    /// shoots the affected pages out of both TLBs, so a downgraded
+    /// mapping can never be reached through a stale cached translation.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Segfault`] if no VMA starts at `start`.
+    fn mprotect(&mut self, pid: Pid, start: VirtAddr, prot: VmaProt) -> Result<Cycles, OsError> {
+        let (domain, vma) = {
+            let proc = self.base_mut().process_mut(pid)?;
+            let domain = proc.current;
+            let mut vma =
+                proc.vmas.remove(start).ok_or(OsError::Segfault { pid, va: start })?;
+            vma.prot = prot;
+            proc.vmas.insert(vma)?;
+            (domain, vma)
+        };
+        let mut flags = PteFlags::user_data();
+        flags.writable = prot.write;
+        let mut total = Cycles::ZERO;
+        for d in DomainId::ALL {
+            let Some(pt) = self.base().process(pid)?.page_table(d).copied() else {
+                continue;
+            };
+            for p in 0..vma.pages() {
+                let base = self.base_mut();
+                let (_, c) = pt.protect(&mut base.mem, domain, start.offset(p * PAGE_SIZE), flags, true);
+                base.charge(domain, c);
+                total += c;
+            }
+        }
+        let proc = self.base_mut().process_mut(pid)?;
+        for d in DomainId::ALL {
+            for p in 0..vma.pages() {
+                proc.tlb_mut(d).invalidate(start.offset(p * PAGE_SIZE));
+            }
+        }
+        Ok(total)
+    }
+
     /// Translates `va` for an access, faulting once if needed. Returns
     /// the physical address and the translation cycles charged.
     ///
@@ -478,8 +573,10 @@ pub trait OsSystem {
             (domain, hit)
         };
         if let Some((page_pa, _)) = tlb_hit {
+            self.base_mut().mem.stats_mut(domain).tlb_hits += 1;
             return Ok((page_pa.offset(va.page_offset()), Cycles::ZERO));
         }
+        self.base_mut().mem.stats_mut(domain).tlb_misses += 1;
         let mut total = Cycles::ZERO;
         for attempt in 0..2 {
             let pt = {
@@ -506,6 +603,50 @@ pub trait OsSystem {
         Err(OsError::Segfault { pid, va })
     }
 
+    /// Revalidates a batch's [`AccessSession`] against the process's
+    /// current domain and TLB generation: one process-table probe per
+    /// batch instead of one per element. Returns the executing domain.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`].
+    fn session_begin(&mut self, session: &mut AccessSession) -> Result<DomainId, OsError> {
+        let proc = self.base().process(session.pid())?;
+        Ok(session.revalidate(proc))
+    }
+
+    /// Translates `va` through a validated session. A session hit is
+    /// exactly a (zero-cycle) scalar TLB hit — the session only ever
+    /// holds copies of live TLB entries, and [`OsSystem::session_begin`]
+    /// dropped it if any invalidation happened since — so the TLB
+    /// hit/miss statistics come out identical to per-element
+    /// [`OsSystem::translate`] calls. A miss falls back to `translate`
+    /// (counted, timed, may fault) and then adopts the fresh TLB entry,
+    /// resyncing first in case the fault path invalidated translations.
+    ///
+    /// # Errors
+    ///
+    /// As [`OsSystem::translate`].
+    fn session_translate(
+        &mut self,
+        session: &mut AccessSession,
+        va: VirtAddr,
+        write: bool,
+    ) -> Result<(PhysAddr, Cycles), OsError> {
+        if let Some(pa) = session.lookup(va, write) {
+            self.base_mut().mem.stats_mut(session.domain()).tlb_hits += 1;
+            return Ok((pa, Cycles::ZERO));
+        }
+        let pid = session.pid();
+        let (pa, cycles) = self.translate(pid, va, write)?;
+        let proc = self.base().process(pid)?;
+        let domain = session.revalidate(proc);
+        if let Some((page_pa, flags)) = proc.tlb(domain).peek(va) {
+            session.insert(va, page_pa, flags.writable);
+        }
+        Ok((pa, cycles))
+    }
+
     /// Reads `buf.len()` bytes from the process's address space,
     /// charging translation and memory-system costs to its domain.
     ///
@@ -513,25 +654,10 @@ pub trait OsSystem {
     ///
     /// Translation errors.
     fn read_mem(&mut self, pid: Pid, va: VirtAddr, buf: &mut [u8]) -> Result<Cycles, OsError> {
-        // The executing domain cannot change mid-call (only an explicit
-        // migrate does that), so resolve it once instead of re-probing
-        // the process table on every page chunk.
-        let domain = self.base().process(pid)?.current;
-        let mut total = Cycles::ZERO;
-        let mut done = 0usize;
-        while done < buf.len() {
-            let cur = va.offset(done as u64);
-            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
-            let n = in_page.min(buf.len() - done);
-            let (pa, tc) = self.translate(pid, cur, false)?;
-            total += tc;
-            let base = self.base_mut();
-            let c = base.mem.read_bytes(domain, pa, &mut buf[done..done + n]);
-            base.charge(domain, c);
-            total += c;
-            done += n;
-        }
-        Ok(total)
+        let len = buf.len();
+        walk_page_chunks(self, pid, va, len, false, &mut |base, domain, pa, done, n| {
+            base.mem.read_bytes(domain, pa, &mut buf[done..done + n])
+        })
     }
 
     /// Writes bytes into the process's address space.
@@ -540,22 +666,9 @@ pub trait OsSystem {
     ///
     /// Translation errors.
     fn write_mem(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Cycles, OsError> {
-        let domain = self.base().process(pid)?.current;
-        let mut total = Cycles::ZERO;
-        let mut done = 0usize;
-        while done < data.len() {
-            let cur = va.offset(done as u64);
-            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
-            let n = in_page.min(data.len() - done);
-            let (pa, tc) = self.translate(pid, cur, true)?;
-            total += tc;
-            let base = self.base_mut();
-            let c = base.mem.write_bytes(domain, pa, &data[done..done + n]);
-            base.charge(domain, c);
-            total += c;
-            done += n;
-        }
-        Ok(total)
+        walk_page_chunks(self, pid, va, data.len(), true, &mut |base, domain, pa, done, n| {
+            base.mem.write_bytes(domain, pa, &data[done..done + n])
+        })
     }
 
     /// Loads a `u64` (assumed not to straddle a page).

@@ -321,6 +321,20 @@ impl SparseMemory {
     /// Reads a little-endian `u64`.
     #[must_use]
     pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        let pos = addr.raw();
+        let off = (pos as usize) & (CHUNK_SIZE - 1);
+        if off <= CHUNK_SIZE - 8 {
+            // Word lies within one chunk: read straight out of the
+            // arena (cursor hit in the streaming common case).
+            return match self.slot_of(pos >> CHUNK_SHIFT) {
+                Some(s) => {
+                    let b: [u8; 8] =
+                        self.arena[s as usize][off..off + 8].try_into().expect("8-byte slice");
+                    u64::from_le_bytes(b)
+                }
+                None => 0,
+            };
+        }
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
@@ -328,7 +342,59 @@ impl SparseMemory {
 
     /// Writes a little-endian `u64`.
     pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        let pos = addr.raw();
+        let off = (pos as usize) & (CHUNK_SIZE - 1);
+        if off <= CHUNK_SIZE - 8 {
+            let slot = self.slot_of_mut(pos >> CHUNK_SHIFT);
+            self.arena[slot as usize][off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `words.len()` consecutive little-endian `u64`s starting at
+    /// `addr` (8-byte aligned): the chunk is resolved once per run, not
+    /// once per word. A run never crosses a chunk boundary when the
+    /// caller keeps it inside one page, but split handling is kept for
+    /// safety.
+    pub fn read_words(&self, addr: PhysAddr, words: &mut [u64]) {
+        debug_assert!(addr.is_aligned(8), "word run must be 8-byte aligned");
+        let mut pos = addr.raw();
+        let mut done = 0usize;
+        while done < words.len() {
+            let off = (pos as usize) & (CHUNK_SIZE - 1);
+            let n = ((CHUNK_SIZE - off) / 8).min(words.len() - done);
+            match self.slot_of(pos >> CHUNK_SHIFT) {
+                Some(s) => {
+                    let src = &self.arena[s as usize][off..off + n * 8];
+                    for (w, c) in words[done..done + n].iter_mut().zip(src.chunks_exact(8)) {
+                        *w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                    }
+                }
+                None => words[done..done + n].fill(0),
+            }
+            done += n;
+            pos += (n * 8) as u64;
+        }
+    }
+
+    /// Writes `words` as consecutive little-endian `u64`s starting at
+    /// `addr` (8-byte aligned), resolving the chunk once per run.
+    pub fn write_words(&mut self, addr: PhysAddr, words: &[u64]) {
+        debug_assert!(addr.is_aligned(8), "word run must be 8-byte aligned");
+        let mut pos = addr.raw();
+        let mut done = 0usize;
+        while done < words.len() {
+            let off = (pos as usize) & (CHUNK_SIZE - 1);
+            let n = ((CHUNK_SIZE - off) / 8).min(words.len() - done);
+            let slot = self.slot_of_mut(pos >> CHUNK_SHIFT);
+            let dst = &mut self.arena[slot as usize][off..off + n * 8];
+            for (w, c) in words[done..done + n].iter().zip(dst.chunks_exact_mut(8)) {
+                c.copy_from_slice(&w.to_le_bytes());
+            }
+            done += n;
+            pos += (n * 8) as u64;
+        }
     }
 
     /// Fills `len` bytes starting at `addr` with `byte`.
@@ -445,6 +511,28 @@ mod tests {
         assert_eq!(m.read_u64(PhysAddr::new(0x2ff8)), 0xabab_abab_abab_abab);
         m.copy(PhysAddr::new(0x2000), PhysAddr::new(0x9000), 4096);
         assert_eq!(m.read_u64(PhysAddr::new(0x9000)), 0xabab_abab_abab_abab);
+    }
+
+    #[test]
+    fn sparse_memory_word_runs() {
+        let mut m = SparseMemory::new();
+        let vals: Vec<u64> = (0..32).map(|i| i * 0x0101_0101).collect();
+        m.write_words(PhysAddr::new(0x8000), &vals);
+        let mut back = vec![0u64; 32];
+        m.read_words(PhysAddr::new(0x8000), &mut back);
+        assert_eq!(back, vals);
+        // Agrees with the scalar accessors.
+        assert_eq!(m.read_u64(PhysAddr::new(0x8008)), vals[1]);
+        // Runs over untouched memory read zero.
+        let mut zeros = vec![0xffu64; 4];
+        m.read_words(PhysAddr::new(0x9_0000), &mut zeros);
+        assert_eq!(zeros, vec![0u64; 4]);
+        // A run crossing a chunk boundary still round-trips.
+        let boundary = (1u64 << CHUNK_SHIFT) * 3 - 16;
+        m.write_words(PhysAddr::new(boundary), &vals[..8]);
+        let mut back = vec![0u64; 8];
+        m.read_words(PhysAddr::new(boundary), &mut back);
+        assert_eq!(back, &vals[..8]);
     }
 
     #[test]

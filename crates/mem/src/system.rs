@@ -113,6 +113,11 @@ pub struct MemorySystem {
     /// division, on the per-access hot path.
     line_shift: u32,
     trace: Option<Vec<TraceEntry>>,
+    /// Whether the host-side fast paths are enabled (see
+    /// [`MemorySystem::set_fast_paths`]). The bulk run accounting keys
+    /// off this too: with fast paths off, runs replay the reference
+    /// per-access loop.
+    fast_paths: bool,
     /// Per-domain alias windows (§7: the fused simulator supports
     /// "memory remapping" — the single shared memory "may be mapped to
     /// different addresses" on each processor, as on OpenPiton).
@@ -172,6 +177,7 @@ impl MemorySystem {
             line_bytes,
             line_shift,
             trace: None,
+            fast_paths: true,
             aliases: Vec::new(),
             ecc_journal: Vec::new(),
         })
@@ -745,17 +751,160 @@ impl MemorySystem {
         cycles
     }
 
+    /// Charges `count` identical timed accesses to the single cache line
+    /// at `line_addr` (already canonical, line-aligned).
+    ///
+    /// Cycle-identical to calling [`MemorySystem::access_line`] `count`
+    /// times: the first access runs the full pipeline (it may miss, fill
+    /// and snoop); the repeats are guaranteed L1 hits — every access
+    /// path fills the L1, a write leaves the line Modified with the peer
+    /// already snooped out, and re-touching the MRU line is idempotent —
+    /// so they are accounted in bulk (`n` L1 hits at L1 latency, `n`
+    /// trace entries) in O(1) instead of `n` pipeline walks. With the
+    /// fast paths disabled the repeats replay the reference per-access
+    /// loop, so the golden tests can compare the two.
+    pub fn access_line_run(
+        &mut self,
+        domain: DomainId,
+        line_addr: PhysAddr,
+        access: Access,
+        kind: AccessKind,
+        count: u64,
+    ) -> Cycles {
+        if count == 0 {
+            return Cycles::ZERO;
+        }
+        let mut cycles = self.access_line(domain, line_addr, access, kind).cycles;
+        let n = count - 1;
+        if n == 0 {
+            return cycles;
+        }
+        if !self.fast_paths {
+            for _ in 0..n {
+                cycles += self.access_line(domain, line_addr, access, kind).cycles;
+            }
+            return cycles;
+        }
+        let di = domain.index();
+        let lat = self.cfg.domains[di].latency;
+        if let Some(trace) = &mut self.trace {
+            for _ in 0..n {
+                trace.push(TraceEntry { domain, addr: line_addr, access, kind });
+            }
+        }
+        match kind {
+            AccessKind::Data => {
+                self.stats[di].mem_accesses += n;
+                self.stats[di].l1d.accesses += n;
+                self.stats[di].l1d.hits += n;
+            }
+            AccessKind::Instruction => {
+                self.stats[di].l1i.accesses += n;
+                self.stats[di].l1i.hits += n;
+            }
+        }
+        cycles + Cycles::new(n * lat.l1 as u64)
+    }
+
+    // ---- fused element / run transfers -------------------------------------
+    //
+    // The batched pipeline's mem-layer entry points: one dispatch per
+    // element run instead of one `access_range` walk per 8-byte word.
+
+    /// Timed read of an 8-byte-aligned `u64`: one line access plus the
+    /// arena read, skipping the generic `access_range` loop. Identical
+    /// timing/stats to [`MemorySystem::read_u64`] for aligned addresses
+    /// (an aligned word never straddles a line).
+    pub fn read_u64_aligned(&mut self, domain: DomainId, addr: PhysAddr) -> (u64, Cycles) {
+        debug_assert!(addr.is_aligned(8), "fused element reads must be 8-byte aligned");
+        let addr = self.canonicalize(domain, addr);
+        let line_addr = addr.align_down(self.line_bytes);
+        let out = self.access_line(domain, line_addr, Access::Read, AccessKind::Data);
+        (self.store.read_u64(addr), out.cycles)
+    }
+
+    /// Timed write of an 8-byte-aligned `u64`; see
+    /// [`MemorySystem::read_u64_aligned`].
+    pub fn write_u64_aligned(&mut self, domain: DomainId, addr: PhysAddr, value: u64) -> Cycles {
+        debug_assert!(addr.is_aligned(8), "fused element writes must be 8-byte aligned");
+        let addr = self.canonicalize(domain, addr);
+        let line_addr = addr.align_down(self.line_bytes);
+        let out = self.access_line(domain, line_addr, Access::Write, AccessKind::Data);
+        self.store.write_u64(addr, value);
+        out.cycles
+    }
+
+    /// Timed read of `out.len()` consecutive aligned `u64`s: canonicalize
+    /// once, charge each touched line as a run of repeats, and pull the
+    /// payload out of the arena a chunk at a time. Access order (and so
+    /// every counter) matches a per-word [`MemorySystem::read_u64`] loop.
+    pub fn read_u64_run(&mut self, domain: DomainId, addr: PhysAddr, out: &mut [u64]) -> Cycles {
+        debug_assert!(addr.is_aligned(8), "word runs must be 8-byte aligned");
+        if out.is_empty() {
+            return Cycles::ZERO;
+        }
+        let addr = self.canonicalize(domain, addr);
+        let cycles = self.run_lines(domain, addr, out.len() as u64, Access::Read);
+        self.store.read_words(addr, out);
+        cycles
+    }
+
+    /// Timed write of `words` as consecutive aligned `u64`s; see
+    /// [`MemorySystem::read_u64_run`].
+    pub fn write_u64_run(&mut self, domain: DomainId, addr: PhysAddr, words: &[u64]) -> Cycles {
+        debug_assert!(addr.is_aligned(8), "word runs must be 8-byte aligned");
+        if words.is_empty() {
+            return Cycles::ZERO;
+        }
+        let addr = self.canonicalize(domain, addr);
+        let cycles = self.run_lines(domain, addr, words.len() as u64, Access::Write);
+        self.store.write_words(addr, words);
+        cycles
+    }
+
+    /// Charges the line accesses of a `words`-long aligned word run
+    /// starting at canonical `addr`: per line touched, one
+    /// [`MemorySystem::access_line_run`] of however many of the run's
+    /// words fall in that line — exactly the per-word access sequence.
+    fn run_lines(&mut self, domain: DomainId, addr: PhysAddr, words: u64, access: Access) -> Cycles {
+        let mut cycles = Cycles::ZERO;
+        let mut pos = addr.raw();
+        let mut left = words;
+        while left > 0 {
+            let line = pos >> self.line_shift;
+            let line_end = (line + 1) << self.line_shift;
+            let n = ((line_end - pos) / 8).min(left);
+            cycles += self.access_line_run(
+                domain,
+                PhysAddr::new(line << self.line_shift),
+                access,
+                AccessKind::Data,
+                n,
+            );
+            pos += n * 8;
+            left -= n;
+        }
+        cycles
+    }
+
     /// Toggles the host-side cache fast paths (set masking, MRU probe,
     /// last-line hit) on every cache in the system. Simulated timing is
     /// bit-identical either way; `false` reinstates the reference code
     /// so benches and the golden tests can compare the two.
     pub fn set_fast_paths(&mut self, enabled: bool) {
+        self.fast_paths = enabled;
         for h in &mut self.hierarchies {
             h.set_fast_paths(enabled);
         }
         if let Some(l3) = &mut self.shared_l3 {
             l3.set_fast_paths(enabled);
         }
+    }
+
+    /// Whether the host-side fast paths are currently enabled.
+    #[must_use]
+    pub fn fast_paths(&self) -> bool {
+        self.fast_paths
     }
 
     /// Whether `domain`'s L1/L2 hold the line containing `addr` — with

@@ -85,6 +85,10 @@ pub struct DomainStats {
     pub instructions: u64,
     /// Memory accesses issued.
     pub mem_accesses: u64,
+    /// Software-TLB lookups that hit a cached translation.
+    pub tlb_hits: u64,
+    /// Software-TLB lookups that missed and took a page-table walk.
+    pub tlb_misses: u64,
     /// Faults injected while this domain was the acting side.
     pub faults_injected: u64,
     /// Recovery attempts (retransmits, lock re-acquisitions, allocation
@@ -122,6 +126,17 @@ impl DomainStats {
         self.local_mem_hits + self.remote_mem_hits + self.remote_shared_mem_hits
     }
 
+    /// Software-TLB hit rate in `[0, 1]`; zero before any lookup.
+    #[must_use]
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
+
     /// Adds another domain's counters into this one (for aggregation).
     pub fn merge(&mut self, other: &DomainStats) {
         self.l1i.accesses += other.l1i.accesses;
@@ -140,6 +155,8 @@ impl DomainStats {
         self.snoop_invalidations += other.snoop_invalidations;
         self.instructions += other.instructions;
         self.mem_accesses += other.mem_accesses;
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
         self.faults_injected += other.faults_injected;
         self.faults_retried += other.faults_retried;
         self.faults_recovered += other.faults_recovered;
@@ -173,6 +190,9 @@ impl DomainStats {
         let _ = writeln!(s, "Remote Shared Memory Hits: {}", self.remote_shared_mem_hits);
         let _ = writeln!(s, "Number of Instructions: {}", self.instructions);
         let _ = writeln!(s, "Number of mem_access: {}", self.mem_accesses);
+        let _ = writeln!(s, "TLB Hits: {}", self.tlb_hits);
+        let _ = writeln!(s, "TLB Misses: {}", self.tlb_misses);
+        let _ = writeln!(s, "TLB Hit Rate: {:.2}%", self.tlb_hit_rate() * 100.0);
         let _ = writeln!(s, "Faults Injected: {}", self.faults_injected);
         let _ = writeln!(s, "Faults Retried: {}", self.faults_retried);
         let _ = writeln!(s, "Faults Recovered: {}", self.faults_recovered);
@@ -261,6 +281,8 @@ mod tests {
         let s = DomainStats { remote_mem_hits: 42, ..DomainStats::default() };
         let r = s.report("x86");
         assert!(r.contains("Remote Memory Hits: 42"));
+        assert!(r.contains("TLB Hits: 0"));
+        assert!(r.contains("TLB Hit Rate:"));
         assert!(r.contains("L3 Cache Hit Rate:"));
         assert!(r.contains("Faults Injected: 0"));
         assert!(r.contains("Faults Recovered: 0"));

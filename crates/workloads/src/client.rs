@@ -6,8 +6,9 @@
 //! accounting, playing the role of the compiled NPB binary running on
 //! the machine.
 
-use stramash_kernel::addr::VirtAddr;
+use stramash_kernel::addr::{VirtAddr, PAGE_SIZE};
 use stramash_kernel::process::Pid;
+use stramash_kernel::session::AccessSession;
 use stramash_kernel::system::{OsError, OsSystem};
 use stramash_kernel::vma::VmaProt;
 use stramash_sim::DomainId;
@@ -105,12 +106,15 @@ pub struct MemoryClient<'a, S: OsSystem> {
     sys: &'a mut S,
     pid: Pid,
     pending_insns: u64,
+    /// Translation session backing [`MemoryClient::batch`] scopes.
+    session: AccessSession,
 }
 
 impl<'a, S: OsSystem> MemoryClient<'a, S> {
     /// Wraps a system and process.
     pub fn new(sys: &'a mut S, pid: Pid) -> Self {
-        MemoryClient { sys, pid, pending_insns: 0 }
+        let session = AccessSession::new(pid);
+        MemoryClient { sys, pid, pending_insns: 0, session }
     }
 
     /// The wrapped process id.
@@ -238,6 +242,473 @@ impl<'a, S: OsSystem> MemoryClient<'a, S> {
     pub fn domain(&self) -> Result<DomainId, OsError> {
         self.sys.current_domain(self.pid)
     }
+
+    /// Opens a batched-access scope over the client's translation
+    /// session: the `(pid, domain)` resolution and session revalidation
+    /// happen here, once, and every op on the returned scope reuses
+    /// them. Cycle-identical to issuing the equivalent scalar ops —
+    /// the golden tests pin that — but much faster on the host.
+    ///
+    /// When batching is disabled on the [`BaseSystem`], every scope op
+    /// transparently delegates to its scalar counterpart (the reference
+    /// execution).
+    ///
+    /// Nothing inside a scope may migrate or unmap: those go through
+    /// [`MemoryClient::migrate`] / the system directly, after the scope
+    /// is dropped. Page faults *inside* a scope are fine — the session
+    /// resynchronises with the TLB after every fallback translation.
+    ///
+    /// [`BaseSystem`]: stramash_kernel::system::BaseSystem
+    ///
+    /// # Errors
+    ///
+    /// Process-lookup errors.
+    pub fn batch(&mut self) -> Result<BatchScope<'_, 'a, S>, OsError> {
+        let fast = self.sys.base().batching_enabled();
+        if fast {
+            self.sys.session_begin(&mut self.session)?;
+        }
+        Ok(BatchScope { c: self, fast })
+    }
+}
+
+/// A batched-access scope; see [`MemoryClient::batch`].
+///
+/// Element ops (`ld_f64`, `st_u64`, …) mirror the scalar client ops
+/// one-for-one; slice ops issue page/flush-bounded runs whose
+/// per-element access order is exactly the scalar loop's.
+#[derive(Debug)]
+pub struct BatchScope<'c, 'a, S: OsSystem> {
+    c: &'c mut MemoryClient<'a, S>,
+    /// Whether the batched fast path is active (false = delegate to the
+    /// scalar reference ops).
+    fast: bool,
+}
+
+impl<S: OsSystem> BatchScope<'_, '_, S> {
+    /// Translates through the session and performs one fused aligned
+    /// element read.
+    fn ld_word(&mut self, va: VirtAddr) -> Result<u64, OsError> {
+        let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, false)?;
+        let domain = self.c.session.domain();
+        let base = self.c.sys.base_mut();
+        let (v, cyc) = base.mem.read_u64_aligned(domain, pa);
+        base.charge(domain, cyc);
+        Ok(v)
+    }
+
+    /// Translates through the session and performs one fused aligned
+    /// element write.
+    fn st_word(&mut self, va: VirtAddr, v: u64) -> Result<(), OsError> {
+        let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, true)?;
+        let domain = self.c.session.domain();
+        let base = self.c.sys.base_mut();
+        let cyc = base.mem.write_u64_aligned(domain, pa, v);
+        base.charge(domain, cyc);
+        Ok(())
+    }
+
+    /// Loads `a[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_f64(&mut self, a: ArrayF64, i: u64) -> Result<f64, OsError> {
+        if !self.fast {
+            return self.c.ld_f64(a, i);
+        }
+        Ok(f64::from_bits(self.ld_word(a.at(i))?))
+    }
+
+    /// Stores `a[i] = v`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_f64(&mut self, a: ArrayF64, i: u64, v: f64) -> Result<(), OsError> {
+        if !self.fast {
+            return self.c.st_f64(a, i, v);
+        }
+        self.st_word(a.at(i), v.to_bits())
+    }
+
+    /// Loads `a[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_u64(&mut self, a: ArrayU64, i: u64) -> Result<u64, OsError> {
+        if !self.fast {
+            return self.c.ld_u64(a, i);
+        }
+        self.ld_word(a.at(i))
+    }
+
+    /// Stores `a[i] = v`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_u64(&mut self, a: ArrayU64, i: u64, v: u64) -> Result<(), OsError> {
+        if !self.fast {
+            return self.c.st_u64(a, i, v);
+        }
+        self.st_word(a.at(i), v)
+    }
+
+    /// Accounts compute instructions, exactly like
+    /// [`MemoryClient::work`].
+    ///
+    /// # Errors
+    ///
+    /// Process-lookup errors on flush.
+    pub fn work(&mut self, n: u64) -> Result<(), OsError> {
+        self.c.work(n)
+    }
+
+    /// Loads the adjacent pair `a[i], a[i+1]` (`i` even — a 16-byte
+    /// aligned pair always shares one cache line and one page, so the
+    /// second element is translated and charged as the L1/TLB hit it
+    /// would be on the scalar path).
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_f64_pair(&mut self, a: ArrayF64, i: u64) -> Result<(f64, f64), OsError> {
+        if !self.fast {
+            return Ok((self.c.ld_f64(a, i)?, self.c.ld_f64(a, i + 1)?));
+        }
+        debug_assert!(i.is_multiple_of(2), "pair base must be even");
+        let va = a.at(i);
+        let _ = a.at(i + 1); // bounds check
+        let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, false)?;
+        let domain = self.c.session.domain();
+        let base = self.c.sys.base_mut();
+        let mut out = [0u64; 2];
+        let cyc = base.mem.read_u64_run(domain, pa, &mut out);
+        base.charge(domain, cyc);
+        base.mem.stats_mut(domain).tlb_hits += 1;
+        Ok((f64::from_bits(out[0]), f64::from_bits(out[1])))
+    }
+
+    /// Stores the adjacent pair `a[i] = v0, a[i+1] = v1` (`i` even).
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_f64_pair(&mut self, a: ArrayF64, i: u64, v0: f64, v1: f64) -> Result<(), OsError> {
+        if !self.fast {
+            self.c.st_f64(a, i, v0)?;
+            return self.c.st_f64(a, i + 1, v1);
+        }
+        debug_assert!(i.is_multiple_of(2), "pair base must be even");
+        let va = a.at(i);
+        let _ = a.at(i + 1); // bounds check
+        let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, true)?;
+        let domain = self.c.session.domain();
+        let base = self.c.sys.base_mut();
+        let cyc = base.mem.write_u64_run(domain, pa, &[v0.to_bits(), v1.to_bits()]);
+        base.charge(domain, cyc);
+        base.mem.stats_mut(domain).tlb_hits += 1;
+        Ok(())
+    }
+
+    /// Largest run length whose trailing `work(work_per)` calls cannot
+    /// flush before the last element — so batching the accesses ahead
+    /// of the works reorders nothing (the modelled I-fetch stream stays
+    /// put). The final element's work may flush, exactly where the
+    /// scalar loop would.
+    fn flush_cap(&self, work_per: u64) -> usize {
+        match (EXEC_FLUSH - 1 - self.c.pending_insns).checked_div(work_per) {
+            Some(runs) => (runs + 1) as usize,
+            None => usize::MAX,
+        }
+    }
+
+    /// One batched store run: at most one page, at most the flush cap.
+    /// Returns how many elements were stored.
+    fn st_run(
+        &mut self,
+        va: VirtAddr,
+        words: &[u64],
+        work_per: u64,
+    ) -> Result<usize, OsError> {
+        let in_page = ((PAGE_SIZE - va.page_offset()) / 8) as usize;
+        let n = words.len().min(in_page).min(self.flush_cap(work_per));
+        let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, true)?;
+        let domain = self.c.session.domain();
+        let base = self.c.sys.base_mut();
+        let cyc = base.mem.write_u64_run(domain, pa, &words[..n]);
+        base.charge(domain, cyc);
+        // Elements 2..n sit on the freshly-translated page: each would
+        // be a zero-cycle TLB hit on the scalar path.
+        base.mem.stats_mut(domain).tlb_hits += (n - 1) as u64;
+        for _ in 0..n {
+            self.c.work(work_per)?;
+        }
+        Ok(n)
+    }
+
+    /// One batched load run; see [`BatchScope::st_run`].
+    fn ld_run(
+        &mut self,
+        va: VirtAddr,
+        out: &mut [u64],
+        work_per: u64,
+    ) -> Result<usize, OsError> {
+        let in_page = ((PAGE_SIZE - va.page_offset()) / 8) as usize;
+        let n = out.len().min(in_page).min(self.flush_cap(work_per));
+        let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, false)?;
+        let domain = self.c.session.domain();
+        let base = self.c.sys.base_mut();
+        let cyc = base.mem.read_u64_run(domain, pa, &mut out[..n]);
+        base.charge(domain, cyc);
+        base.mem.stats_mut(domain).tlb_hits += (n - 1) as u64;
+        for _ in 0..n {
+            self.c.work(work_per)?;
+        }
+        Ok(n)
+    }
+
+    /// Stores `vals` into `a[start..]`, accounting `work_per`
+    /// instructions per element — order-identical to the scalar loop
+    /// `for k { st_u64(a, start+k, vals[k]); work(work_per) }`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_u64_slice(
+        &mut self,
+        a: ArrayU64,
+        start: u64,
+        vals: &[u64],
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        if !self.fast {
+            for (k, &v) in vals.iter().enumerate() {
+                self.c.st_u64(a, start + k as u64, v)?;
+                self.c.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if !vals.is_empty() {
+            let _ = a.at(start + vals.len() as u64 - 1); // bounds check
+        }
+        let mut k = 0usize;
+        while k < vals.len() {
+            k += self.st_run(a.at(start + k as u64), &vals[k..], work_per)?;
+        }
+        Ok(())
+    }
+
+    /// Loads `out.len()` elements from `a[start..]` with `work_per`
+    /// instructions per element; the scalar-loop equivalent of
+    /// [`BatchScope::st_u64_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_u64_slice(
+        &mut self,
+        a: ArrayU64,
+        start: u64,
+        out: &mut [u64],
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        if !self.fast {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = self.c.ld_u64(a, start + k as u64)?;
+                self.c.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if !out.is_empty() {
+            let _ = a.at(start + out.len() as u64 - 1); // bounds check
+        }
+        let mut k = 0usize;
+        while k < out.len() {
+            let va = a.at(start + k as u64);
+            let n = {
+                let rest = &mut out[k..];
+                self.ld_run(va, rest, work_per)?
+            };
+            k += n;
+        }
+        Ok(())
+    }
+
+    /// Stores `vals` into `a[start..]` (bit-for-bit `f64`s).
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn st_f64_slice(
+        &mut self,
+        a: ArrayF64,
+        start: u64,
+        vals: &[f64],
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        if !self.fast {
+            for (k, &v) in vals.iter().enumerate() {
+                self.c.st_f64(a, start + k as u64, v)?;
+                self.c.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if !vals.is_empty() {
+            let _ = a.at(start + vals.len() as u64 - 1); // bounds check
+        }
+        let bits: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        let mut k = 0usize;
+        while k < bits.len() {
+            k += self.st_run(a.at(start + k as u64), &bits[k..], work_per)?;
+        }
+        Ok(())
+    }
+
+    /// Loads `out.len()` elements from `a[start..]`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn ld_f64_slice(
+        &mut self,
+        a: ArrayF64,
+        start: u64,
+        out: &mut [f64],
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        if !self.fast {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = self.c.ld_f64(a, start + k as u64)?;
+                self.c.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if !out.is_empty() {
+            let _ = a.at(start + out.len() as u64 - 1); // bounds check
+        }
+        let mut bits = vec![0u64; out.len()];
+        let mut k = 0usize;
+        while k < bits.len() {
+            let va = a.at(start + k as u64);
+            let n = {
+                let rest = &mut bits[k..];
+                self.ld_run(va, rest, work_per)?
+            };
+            k += n;
+        }
+        for (o, b) in out.iter_mut().zip(&bits) {
+            *o = f64::from_bits(*b);
+        }
+        Ok(())
+    }
+
+    /// Fills `a[start..start+len]` with `value`, `work_per` instructions
+    /// per element — the batched form of a scalar clear loop.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn fill_u64(
+        &mut self,
+        a: ArrayU64,
+        start: u64,
+        len: u64,
+        value: u64,
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        if !self.fast {
+            for k in 0..len {
+                self.c.st_u64(a, start + k, value)?;
+                self.c.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if len > 0 {
+            let _ = a.at(start + len - 1); // bounds check
+        }
+        let buf = vec![value; (len.min(PAGE_SIZE / 8)) as usize];
+        let mut k = 0u64;
+        while k < len {
+            let n = buf.len().min((len - k) as usize);
+            let done = self.st_run(a.at(start + k), &buf[..n], work_per)?;
+            k += done as u64;
+        }
+        Ok(())
+    }
+
+    /// Gathers `a[idx[k]]` for every index, `work_per` instructions per
+    /// element. Indices are arbitrary, so each element translates
+    /// through the session individually (order-identical to the scalar
+    /// gather loop).
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn gather_f64(
+        &mut self,
+        a: ArrayF64,
+        idx: &[u64],
+        out: &mut Vec<f64>,
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        out.clear();
+        for &i in idx {
+            let v = self.ld_f64(a, i)?;
+            out.push(v);
+            self.work(work_per)?;
+        }
+        Ok(())
+    }
+
+    /// Fused dot product `Σ x[i]·y[i]`, `work_per` instructions per
+    /// element — access order `ld x[i]; ld y[i]; work` exactly like the
+    /// CG scalar loop.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn dot_f64(
+        &mut self,
+        x: ArrayF64,
+        y: ArrayF64,
+        n: u64,
+        work_per: u64,
+    ) -> Result<f64, OsError> {
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.ld_f64(x, i)?;
+            let b = self.ld_f64(y, i)?;
+            acc += a * b;
+            self.work(work_per)?;
+        }
+        Ok(acc)
+    }
+
+    /// Fused axpy `y[i] += alpha·x[i]`, access order
+    /// `ld y[i]; ld x[i]; st y[i]; work` per element.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn axpy_f64(
+        &mut self,
+        alpha: f64,
+        x: ArrayF64,
+        y: ArrayF64,
+        n: u64,
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        for i in 0..n {
+            let yv = self.ld_f64(y, i)?;
+            let xv = self.ld_f64(x, i)?;
+            self.st_f64(y, i, yv + alpha * xv)?;
+            self.work(work_per)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +757,65 @@ mod tests {
         }
         c.flush_work().unwrap();
         assert_eq!(sys.base().timebase.clock(DomainId::X86).icount(), 1000);
+    }
+
+    /// A mixed pattern exercising every scope op: slice stores/loads,
+    /// fills, pairs, element ops, the fused helpers, and interleaved
+    /// `work` — enough to cross pages, cache lines and exec flushes.
+    fn scope_pattern(sys: &mut VanillaSystem, pid: Pid) -> f64 {
+        let mut c = MemoryClient::new(sys, pid);
+        let a = c.alloc_f64(600).unwrap();
+        let b = c.alloc_f64(600).unwrap();
+        let k = c.alloc_u64(600).unwrap();
+        let mut acc = 0.0f64;
+        {
+            let mut s = c.batch().unwrap();
+            let kv: Vec<u64> = (0..600).map(|i| i * 7).collect();
+            s.st_u64_slice(k, 0, &kv, 3).unwrap();
+            let av: Vec<f64> = (0..600).map(|i| i as f64 * 0.25).collect();
+            s.st_f64_slice(a, 0, &av, 2).unwrap();
+            s.fill_u64(k, 100, 200, 9, 1).unwrap();
+            for i in 0..300 {
+                let v = s.ld_f64(a, i).unwrap();
+                s.st_f64(b, i, v + 1.0).unwrap();
+                acc += s.ld_u64(k, i).unwrap() as f64;
+                s.work(5).unwrap();
+            }
+            for i in 150..300 {
+                let (x, y) = s.ld_f64_pair(a, 2 * i).unwrap();
+                s.st_f64_pair(b, 2 * i, x + y, x - y).unwrap();
+                s.work(4).unwrap();
+            }
+            acc += s.dot_f64(a, b, 600, 4).unwrap();
+            s.axpy_f64(0.5, a, b, 600, 6).unwrap();
+            let idx: Vec<u64> = (0..100).map(|i| (i * 37) % 600).collect();
+            let mut out = Vec::new();
+            s.gather_f64(a, &idx, &mut out, 2).unwrap();
+            acc += out.iter().sum::<f64>();
+            let mut back = vec![0.0f64; 600];
+            s.ld_f64_slice(b, 0, &mut back, 3).unwrap();
+            acc += back.iter().sum::<f64>();
+        }
+        c.flush_work().unwrap();
+        acc
+    }
+
+    #[test]
+    fn batched_scope_is_cycle_identical_to_scalar() {
+        let run = |batching: bool| {
+            let (mut sys, pid) = client_env();
+            sys.base_mut().set_batching(batching);
+            let acc = scope_pattern(&mut sys, pid);
+            let clock = *sys.base().timebase.clock(DomainId::X86);
+            let stats = *sys.base().mem.stats(DomainId::X86);
+            (acc, clock, stats)
+        };
+        let (fast_acc, fast_clock, fast_stats) = run(true);
+        let (ref_acc, ref_clock, ref_stats) = run(false);
+        assert_eq!(fast_acc, ref_acc, "values must match bit-for-bit");
+        assert_eq!(fast_clock, ref_clock, "icount and memory cycles must match");
+        assert_eq!(fast_stats, ref_stats, "every stats counter must match");
+        assert!(fast_stats.tlb_hits > 0, "the pattern must exercise TLB hits");
     }
 
     #[test]

@@ -131,15 +131,16 @@ pub fn run_benchmark_with(
     class: Class,
     l3_bytes: Option<u64>,
 ) -> Result<RunReport, OsError> {
-    run_benchmark_inner(config, kind, class, l3_bytes, true)
+    run_benchmark_inner(config, kind, class, l3_bytes, true, true)
 }
 
 /// As [`run_benchmark`], but with the memory system's host-side fast
-/// paths disabled — every access goes through the reference cache
-/// implementation. Simulated cycles are identical either way (the
-/// golden-stats contract); this entry point exists so the perf harness
-/// can report the fast paths' *end-to-end* sweep wall-clock win
-/// against the genuine old code.
+/// paths *and* the client-side batching disabled — every access goes
+/// through the reference cache implementation, one scalar op at a
+/// time. Simulated cycles are identical either way (the golden-stats
+/// contract); this entry point exists so the perf harness can report
+/// the optimisations' *end-to-end* sweep wall-clock win against the
+/// genuine old code.
 ///
 /// # Errors
 ///
@@ -149,7 +150,23 @@ pub fn run_benchmark_oldpath(
     kind: NpbKind,
     class: Class,
 ) -> Result<RunReport, OsError> {
-    run_benchmark_inner(config, kind, class, None, false)
+    run_benchmark_inner(config, kind, class, None, false, false)
+}
+
+/// As [`run_benchmark`], but with client-side batching disabled while
+/// keeping the memory system's fast paths — the PR-3 state of the
+/// code. The perf harness diffs this against the batched default to
+/// isolate the batching pipeline's own end-to-end win.
+///
+/// # Errors
+///
+/// OS or configuration errors.
+pub fn run_benchmark_scalar(
+    config: Configuration,
+    kind: NpbKind,
+    class: Class,
+) -> Result<RunReport, OsError> {
+    run_benchmark_inner(config, kind, class, None, true, false)
 }
 
 fn run_benchmark_inner(
@@ -158,6 +175,7 @@ fn run_benchmark_inner(
     class: Class,
     l3_bytes: Option<u64>,
     fast_paths: bool,
+    batching: bool,
 ) -> Result<RunReport, OsError> {
     let mut cfg = stramash_sim::SimConfig::big_pair().with_hw_model(config.model);
     if let Some(l3) = l3_bytes {
@@ -166,6 +184,9 @@ fn run_benchmark_inner(
     let mut sys = TargetSystem::build_with(config.kind, cfg)?;
     if !fast_paths {
         sys.base_mut().mem.set_fast_paths(false);
+    }
+    if !batching {
+        sys.base_mut().set_batching(false);
     }
     let pid = sys.spawn(DomainId::X86)?;
     let migrate = config.kind.migrates();

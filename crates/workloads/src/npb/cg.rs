@@ -58,38 +58,42 @@ pub fn run<S: OsSystem>(
     // the origin. Column indices are sorted with the diagonal included.
     let mut rng = DataRng::new(0xC6);
     let mut pos = 0u64;
-    for i in 0..p.n {
-        c.st_u64(rowptr, i, pos)?;
-        let mut row_cols = Vec::with_capacity(p.nnz_per_row as usize);
-        row_cols.push(i);
-        while row_cols.len() < p.nnz_per_row as usize {
-            let col = rng.next_u64() % p.n;
-            if !row_cols.contains(&col) {
-                row_cols.push(col);
+    {
+        let mut s = c.batch()?;
+        for i in 0..p.n {
+            s.st_u64(rowptr, i, pos)?;
+            let mut row_cols = Vec::with_capacity(p.nnz_per_row as usize);
+            row_cols.push(i);
+            while row_cols.len() < p.nnz_per_row as usize {
+                let col = rng.next_u64() % p.n;
+                if !row_cols.contains(&col) {
+                    row_cols.push(col);
+                }
+            }
+            row_cols.sort_unstable();
+            for col in row_cols {
+                let v = if col == i {
+                    p.nnz_per_row as f64 + 1.0 // dominant diagonal
+                } else {
+                    -rng.next_f64() * 0.5
+                };
+                s.st_f64(vals, pos, v)?;
+                s.st_u64(cols, pos, col)?;
+                pos += 1;
+                s.work(10)?;
             }
         }
-        row_cols.sort_unstable();
-        for col in row_cols {
-            let v = if col == i {
-                p.nnz_per_row as f64 + 1.0 // dominant diagonal
-            } else {
-                -rng.next_f64() * 0.5
-            };
-            c.st_f64(vals, pos, v)?;
-            c.st_u64(cols, pos, col)?;
-            pos += 1;
-            c.work(10)?;
-        }
-    }
-    c.st_u64(rowptr, p.n, pos)?;
+        s.st_u64(rowptr, p.n, pos)?;
 
-    // b = 1, x = 0, r = d = b.
-    for i in 0..p.n {
-        c.st_f64(b, i, 1.0)?;
-        c.st_f64(x, i, 0.0)?;
-        c.st_f64(r, i, 1.0)?;
-        c.st_f64(d, i, 1.0)?;
-        c.work(8)?;
+        // b = 1, x = 0, r = d = b (interleaved across the four vectors,
+        // so element ops rather than slice stores).
+        for i in 0..p.n {
+            s.st_f64(b, i, 1.0)?;
+            s.st_f64(x, i, 0.0)?;
+            s.st_f64(r, i, 1.0)?;
+            s.st_f64(d, i, 1.0)?;
+            s.work(8)?;
+        }
     }
     let mut rho = p.n as f64; // r·r with r = 1-vector
     let rho0 = rho;
@@ -99,44 +103,44 @@ pub fn run<S: OsSystem>(
         let mut rho_new = 0.0f64;
         // One CG step is one offloaded procedure.
         offload(&mut c, migrate, |c| {
-            // q = A d — the load-dominated sparse matvec.
+            let mut s = c.batch()?;
+            // q = A d — the load-dominated sparse matvec. The `d[col]`
+            // gather is data-dependent, so element ops via the session.
             for i in 0..p.n {
-                let start = c.ld_u64(rowptr, i)?;
-                let end = c.ld_u64(rowptr, i + 1)?;
+                let start = s.ld_u64(rowptr, i)?;
+                let end = s.ld_u64(rowptr, i + 1)?;
                 let mut acc = 0.0f64;
                 for j in start..end {
-                    let col = c.ld_u64(cols, j)?;
-                    let v = c.ld_f64(vals, j)?;
-                    let dx = c.ld_f64(d, col)?;
+                    let col = s.ld_u64(cols, j)?;
+                    let v = s.ld_f64(vals, j)?;
+                    let dx = s.ld_f64(d, col)?;
                     acc += v * dx;
-                    c.work(6)?;
+                    s.work(6)?;
                 }
-                c.st_f64(q, i, acc)?;
+                s.st_f64(q, i, acc)?;
             }
-            // alpha = rho / (d·q).
-            let mut dq = 0.0f64;
-            for i in 0..p.n {
-                dq += c.ld_f64(d, i)? * c.ld_f64(q, i)?;
-                c.work(4)?;
-            }
+            // alpha = rho / (d·q) — the fused dot mirrors the scalar
+            // `ld d[i]; ld q[i]; work` order.
+            let dq = s.dot_f64(d, q, p.n, 4)?;
             let alpha = rho / dq;
             // x += alpha d; r -= alpha q; rho' = r·r.
             let mut acc = 0.0f64;
             for i in 0..p.n {
-                let xi = c.ld_f64(x, i)? + alpha * c.ld_f64(d, i)?;
-                c.st_f64(x, i, xi)?;
-                let ri = c.ld_f64(r, i)? - alpha * c.ld_f64(q, i)?;
-                c.st_f64(r, i, ri)?;
+                let xi = s.ld_f64(x, i)? + alpha * s.ld_f64(d, i)?;
+                s.st_f64(x, i, xi)?;
+                let ri = s.ld_f64(r, i)? - alpha * s.ld_f64(q, i)?;
+                s.st_f64(r, i, ri)?;
                 acc += ri * ri;
-                c.work(10)?;
+                s.work(10)?;
             }
             rho_new = acc;
-            // d = r + beta d.
+            // d = r + beta d (reads r before d, unlike axpy's order, so
+            // this stays per-element).
             let beta = rho_new / rho;
             for i in 0..p.n {
-                let di = c.ld_f64(r, i)? + beta * c.ld_f64(d, i)?;
-                c.st_f64(d, i, di)?;
-                c.work(5)?;
+                let di = s.ld_f64(r, i)? + beta * s.ld_f64(d, i)?;
+                s.st_f64(d, i, di)?;
+                s.work(5)?;
             }
             Ok(())
         })?;

@@ -61,14 +61,16 @@ pub fn run<S: OsSystem>(
     // Initial pseudo-random field, kept host-side for verification.
     let mut rng = DataRng::new(0xF7);
     let mut initial = Vec::with_capacity((cells * 2) as usize);
-    for i in 0..cells {
-        let re = rng.next_f64() - 0.5;
-        let im = rng.next_f64() - 0.5;
-        c.st_f64(grid.data, 2 * i, re)?;
-        c.st_f64(grid.data, 2 * i + 1, im)?;
-        initial.push(re);
-        initial.push(im);
-        c.work(10)?;
+    {
+        let mut s = c.batch()?;
+        for i in 0..cells {
+            let re = rng.next_f64() - 0.5;
+            let im = rng.next_f64() - 0.5;
+            s.st_f64_pair(grid.data, 2 * i, re, im)?;
+            initial.push(re);
+            initial.push(im);
+            s.work(10)?;
+        }
     }
 
     let mut procedures = 0;
@@ -89,14 +91,24 @@ pub fn run<S: OsSystem>(
         procedures += 1;
     }
 
-    // Checksum + end-to-end verification on the origin.
+    // Checksum + end-to-end verification on the origin: a pure
+    // sequential read, so it streams through the batch path.
     let mut checksum = 0.0f64;
     let mut max_err = 0.0f64;
-    for i in 0..cells * 2 {
-        let v = c.ld_f64(grid.data, i)?;
-        checksum += v;
-        max_err = max_err.max((v - initial[i as usize]).abs());
-        c.work(6)?;
+    {
+        let mut s = c.batch()?;
+        let mut buf = vec![0.0f64; 512];
+        let total = cells * 2;
+        let mut i = 0u64;
+        while i < total {
+            let n = (total - i).min(512) as usize;
+            s.ld_f64_slice(grid.data, i, &mut buf[..n], 6)?;
+            for (k, &v) in buf[..n].iter().enumerate() {
+                checksum += v;
+                max_err = max_err.max((v - initial[(i + k as u64) as usize]).abs());
+            }
+            i += n as u64;
+        }
     }
     c.flush_work()?;
     Ok(NpbOutcome { verified: max_err < 1e-9, checksum, procedures })
@@ -110,12 +122,11 @@ fn apply_phase<S: OsSystem>(
 ) -> Result<(), OsError> {
     let (sin, cos) = phase.sin_cos();
     let cells = g.n * g.n * g.n;
+    let mut s = c.batch()?;
     for i in 0..cells {
-        let re = c.ld_f64(g.data, 2 * i)?;
-        let im = c.ld_f64(g.data, 2 * i + 1)?;
-        c.st_f64(g.data, 2 * i, re * cos - im * sin)?;
-        c.st_f64(g.data, 2 * i + 1, re * sin + im * cos)?;
-        c.work(10)?;
+        let (re, im) = s.ld_f64_pair(g.data, 2 * i)?;
+        s.st_f64_pair(g.data, 2 * i, re * cos - im * sin, re * sin + im * cos)?;
+        s.work(10)?;
     }
     Ok(())
 }
@@ -161,6 +172,9 @@ fn fft1d<S: OsSystem>(
 ) -> Result<(), OsError> {
     let n = slots.len();
     debug_assert!(n.is_power_of_two());
+    // Every slot is a complex re index (even), so each (re, im) access
+    // runs through the batched pair ops — one translation per complex.
+    let mut s = c.batch()?;
     // Bit-reversal permutation.
     let mut j = 0usize;
     for i in 1..n {
@@ -172,15 +186,11 @@ fn fft1d<S: OsSystem>(
         j |= bit;
         if i < j {
             let (a, b) = (slots[i], slots[j]);
-            let ar = c.ld_f64(data, a)?;
-            let ai = c.ld_f64(data, a + 1)?;
-            let br = c.ld_f64(data, b)?;
-            let bi = c.ld_f64(data, b + 1)?;
-            c.st_f64(data, a, br)?;
-            c.st_f64(data, a + 1, bi)?;
-            c.st_f64(data, b, ar)?;
-            c.st_f64(data, b + 1, ai)?;
-            c.work(12)?;
+            let (ar, ai) = s.ld_f64_pair(data, a)?;
+            let (br, bi) = s.ld_f64_pair(data, b)?;
+            s.st_f64_pair(data, a, br, bi)?;
+            s.st_f64_pair(data, b, ar, ai)?;
+            s.work(12)?;
         }
     }
     // Butterflies.
@@ -196,20 +206,16 @@ fn fft1d<S: OsSystem>(
             for k in 0..len / 2 {
                 let a = slots[start + k];
                 let b = slots[start + k + len / 2];
-                let ar = c.ld_f64(data, a)?;
-                let ai = c.ld_f64(data, a + 1)?;
-                let br = c.ld_f64(data, b)?;
-                let bi = c.ld_f64(data, b + 1)?;
+                let (ar, ai) = s.ld_f64_pair(data, a)?;
+                let (br, bi) = s.ld_f64_pair(data, b)?;
                 let tr = br * wr - bi * wi;
                 let ti = br * wi + bi * wr;
-                c.st_f64(data, a, ar + tr)?;
-                c.st_f64(data, a + 1, ai + ti)?;
-                c.st_f64(data, b, ar - tr)?;
-                c.st_f64(data, b + 1, ai - ti)?;
+                s.st_f64_pair(data, a, ar + tr, ai + ti)?;
+                s.st_f64_pair(data, b, ar - tr, ai - ti)?;
                 let nwr = wr * wcos - wi * wsin;
                 wi = wr * wsin + wi * wcos;
                 wr = nwr;
-                c.work(20)?;
+                s.work(20)?;
             }
             start += len;
         }
@@ -217,12 +223,10 @@ fn fft1d<S: OsSystem>(
     }
     if inverse {
         let inv = 1.0 / n as f64;
-        for &s in slots {
-            let re = c.ld_f64(data, s)?;
-            let im = c.ld_f64(data, s + 1)?;
-            c.st_f64(data, s, re * inv)?;
-            c.st_f64(data, s + 1, im * inv)?;
-            c.work(8)?;
+        for &slot in slots {
+            let (re, im) = s.ld_f64_pair(data, slot)?;
+            s.st_f64_pair(data, slot, re * inv, im * inv)?;
+            s.work(8)?;
         }
     }
     Ok(())

@@ -45,76 +45,98 @@ pub fn run<S: OsSystem>(
     let sorted = c.alloc_u64(p.keys)?;
     let hist = c.alloc_u64(p.max_key)?;
 
-    // Key generation on the origin (the NPB driver phase).
+    // Key generation on the origin (the NPB driver phase): streamed in
+    // page-sized batches (same per-element order as the scalar loop).
     let mut rng = DataRng::new(0x15_15);
-    for i in 0..p.keys {
-        c.st_u64(keys, i, rng.next_u64() % p.max_key)?;
-        c.work(8)?;
+    {
+        let mut s = c.batch()?;
+        let mut chunk = [0u64; 512];
+        let mut i = 0u64;
+        while i < p.keys {
+            let n = (p.keys - i).min(512) as usize;
+            for v in chunk[..n].iter_mut() {
+                *v = rng.next_u64() % p.max_key;
+            }
+            s.st_u64_slice(keys, i, &chunk[..n], 8)?;
+            i += n as u64;
+        }
     }
 
     let mut procedures = 0;
     for iter in 0..p.iterations {
         // One ranking procedure, offloaded per §9.2.
         offload(&mut c, migrate, |c| {
+            let mut s = c.batch()?;
             // Clear the histogram.
-            for b in 0..p.max_key {
-                c.st_u64(hist, b, 0)?;
-                c.work(2)?;
-            }
-            // Histogram the keys (read key, read-modify-write bucket).
+            s.fill_u64(hist, 0, p.max_key, 0, 2)?;
+            // Histogram the keys (read key, read-modify-write bucket —
+            // interleaved arrays, so element ops through the session).
             for i in 0..p.keys {
-                let k = c.ld_u64(keys, i)?;
-                let n = c.ld_u64(hist, k)?;
-                c.st_u64(hist, k, n + 1)?;
-                c.work(6)?;
+                let k = s.ld_u64(keys, i)?;
+                let n = s.ld_u64(hist, k)?;
+                s.st_u64(hist, k, n + 1)?;
+                s.work(6)?;
             }
             // Exclusive prefix sum over the buckets.
             let mut acc = 0u64;
             for b in 0..p.max_key {
-                let n = c.ld_u64(hist, b)?;
-                c.st_u64(hist, b, acc)?;
+                let n = s.ld_u64(hist, b)?;
+                s.st_u64(hist, b, acc)?;
                 acc += n;
-                c.work(4)?;
+                s.work(4)?;
             }
             // Scatter: rank every key (write-heavy, random indices).
             for i in 0..p.keys {
-                let k = c.ld_u64(keys, i)?;
-                let pos = c.ld_u64(hist, k)?;
-                c.st_u64(sorted, pos, k)?;
-                c.st_u64(hist, k, pos + 1)?;
-                c.work(8)?;
+                let k = s.ld_u64(keys, i)?;
+                let pos = s.ld_u64(hist, k)?;
+                s.st_u64(sorted, pos, k)?;
+                s.st_u64(hist, k, pos + 1)?;
+                s.work(8)?;
             }
             Ok(())
         })?;
         procedures += 1;
 
         // Partial verification on the origin (as NPB does each
-        // iteration): spot-check ordering at a few positions.
+        // iteration): spot-check ordering at a few positions. The early
+        // return on failure keeps this per-element.
         let step = (p.keys / 7).max(1);
-        let mut i = step;
-        while i < p.keys {
-            let a = c.ld_u64(sorted, i - step)?;
-            let b = c.ld_u64(sorted, i)?;
-            if a > b {
-                return Ok(NpbOutcome { verified: false, checksum: iter as f64, procedures });
+        {
+            let mut s = c.batch()?;
+            let mut i = step;
+            while i < p.keys {
+                let a = s.ld_u64(sorted, i - step)?;
+                let b = s.ld_u64(sorted, i)?;
+                if a > b {
+                    return Ok(NpbOutcome { verified: false, checksum: iter as f64, procedures });
+                }
+                s.work(6)?;
+                i += step;
             }
-            c.work(6)?;
-            i += step;
         }
     }
 
-    // Full verification: the output must be a sorted permutation.
+    // Full verification: the output must be a sorted permutation. The
+    // scalar loop reads every element unconditionally, so it streams.
     let mut checksum = 0.0f64;
     let mut prev = 0u64;
     let mut verified = true;
-    for i in 0..p.keys {
-        let k = c.ld_u64(sorted, i)?;
-        if k < prev {
-            verified = false;
+    {
+        let mut s = c.batch()?;
+        let mut buf = [0u64; 512];
+        let mut i = 0u64;
+        while i < p.keys {
+            let n = (p.keys - i).min(512) as usize;
+            s.ld_u64_slice(sorted, i, &mut buf[..n], 5)?;
+            for &k in &buf[..n] {
+                if k < prev {
+                    verified = false;
+                }
+                prev = k;
+                checksum += k as f64;
+            }
+            i += n as u64;
         }
-        prev = k;
-        checksum += k as f64;
-        c.work(5)?;
     }
     c.flush_work()?;
     Ok(NpbOutcome { verified, checksum, procedures })

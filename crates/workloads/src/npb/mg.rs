@@ -71,14 +71,17 @@ pub fn run<S: OsSystem>(
     // Initial state on the origin: u = 0 everywhere; v has two point
     // charges (the classic MG test problem).
     let fine = levels[0];
-    for i in 0..fine.n * fine.n * fine.n {
-        c.st_f64(fine.u, i, 0.0)?;
-        c.st_f64(fine.v, i, 0.0)?;
-        c.work(4)?;
+    {
+        let mut s = c.batch()?;
+        for i in 0..fine.n * fine.n * fine.n {
+            s.st_f64(fine.u, i, 0.0)?;
+            s.st_f64(fine.v, i, 0.0)?;
+            s.work(4)?;
+        }
+        let q = fine.n / 4;
+        s.st_f64(fine.v, idx(fine.n, q, q, q), 1.0)?;
+        s.st_f64(fine.v, idx(fine.n, 3 * q, 3 * q, 3 * q), -1.0)?;
     }
-    let q = fine.n / 4;
-    c.st_f64(fine.v, idx(fine.n, q, q, q), 1.0)?;
-    c.st_f64(fine.v, idx(fine.n, 3 * q, 3 * q, 3 * q), -1.0)?;
 
     let initial = residual_norm(&mut c, fine)?;
     let mut procedures = 0;
@@ -98,25 +101,26 @@ pub fn run<S: OsSystem>(
 /// residual r = v − A u with the 7-point Laplacian, interior cells only.
 fn compute_residual<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Result<(), OsError> {
     let n = l.n;
+    let mut s = c.batch()?;
     for z in 0..n {
         for y in 0..n {
             for x in 0..n {
                 let i = idx(n, x, y, z);
                 if x == 0 || y == 0 || z == 0 || x == n - 1 || y == n - 1 || z == n - 1 {
-                    c.st_f64(l.r, i, 0.0)?;
+                    s.st_f64(l.r, i, 0.0)?;
                     continue;
                 }
-                let center = c.ld_f64(l.u, i)?;
-                let sum = c.ld_f64(l.u, idx(n, x - 1, y, z))?
-                    + c.ld_f64(l.u, idx(n, x + 1, y, z))?
-                    + c.ld_f64(l.u, idx(n, x, y - 1, z))?
-                    + c.ld_f64(l.u, idx(n, x, y + 1, z))?
-                    + c.ld_f64(l.u, idx(n, x, y, z - 1))?
-                    + c.ld_f64(l.u, idx(n, x, y, z + 1))?;
+                let center = s.ld_f64(l.u, i)?;
+                let sum = s.ld_f64(l.u, idx(n, x - 1, y, z))?
+                    + s.ld_f64(l.u, idx(n, x + 1, y, z))?
+                    + s.ld_f64(l.u, idx(n, x, y - 1, z))?
+                    + s.ld_f64(l.u, idx(n, x, y + 1, z))?
+                    + s.ld_f64(l.u, idx(n, x, y, z - 1))?
+                    + s.ld_f64(l.u, idx(n, x, y, z + 1))?;
                 let au = 6.0 * center - sum;
-                let v = c.ld_f64(l.v, i)?;
-                c.st_f64(l.r, i, v - au)?;
-                c.work(16)?;
+                let v = s.ld_f64(l.v, i)?;
+                s.st_f64(l.r, i, v - au)?;
+                s.work(16)?;
             }
         }
     }
@@ -127,22 +131,23 @@ fn compute_residual<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Resul
 fn smooth<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level, sweeps: u32) -> Result<(), OsError> {
     let n = l.n;
     let omega = 0.8;
+    let mut s = c.batch()?;
     for _ in 0..sweeps {
         for z in 1..n - 1 {
             for y in 1..n - 1 {
                 for x in 1..n - 1 {
                     let i = idx(n, x, y, z);
-                    let sum = c.ld_f64(l.u, idx(n, x - 1, y, z))?
-                        + c.ld_f64(l.u, idx(n, x + 1, y, z))?
-                        + c.ld_f64(l.u, idx(n, x, y - 1, z))?
-                        + c.ld_f64(l.u, idx(n, x, y + 1, z))?
-                        + c.ld_f64(l.u, idx(n, x, y, z - 1))?
-                        + c.ld_f64(l.u, idx(n, x, y, z + 1))?;
-                    let v = c.ld_f64(l.v, i)?;
-                    let old = c.ld_f64(l.u, i)?;
+                    let sum = s.ld_f64(l.u, idx(n, x - 1, y, z))?
+                        + s.ld_f64(l.u, idx(n, x + 1, y, z))?
+                        + s.ld_f64(l.u, idx(n, x, y - 1, z))?
+                        + s.ld_f64(l.u, idx(n, x, y + 1, z))?
+                        + s.ld_f64(l.u, idx(n, x, y, z - 1))?
+                        + s.ld_f64(l.u, idx(n, x, y, z + 1))?;
+                    let v = s.ld_f64(l.v, i)?;
+                    let old = s.ld_f64(l.u, i)?;
                     let jac = (v + sum) / 6.0;
-                    c.st_f64(l.u, i, old + omega * (jac - old))?;
-                    c.work(18)?;
+                    s.st_f64(l.u, i, old + omega * (jac - old))?;
+                    s.work(18)?;
                 }
             }
         }
@@ -167,26 +172,32 @@ fn v_cycle<S: OsSystem>(
     // Restrict r to the coarser grid's v (injection of even cells).
     let coarse = levels[depth + 1];
     let cn = coarse.n;
-    for z in 0..cn {
-        for y in 0..cn {
-            for x in 0..cn {
-                let r = c.ld_f64(l.r, idx(l.n, x * 2, y * 2, z * 2))?;
-                c.st_f64(coarse.v, idx(cn, x, y, z), r)?;
-                c.st_f64(coarse.u, idx(cn, x, y, z), 0.0)?;
-                c.work(8)?;
+    {
+        let mut s = c.batch()?;
+        for z in 0..cn {
+            for y in 0..cn {
+                for x in 0..cn {
+                    let r = s.ld_f64(l.r, idx(l.n, x * 2, y * 2, z * 2))?;
+                    s.st_f64(coarse.v, idx(cn, x, y, z), r)?;
+                    s.st_f64(coarse.u, idx(cn, x, y, z), 0.0)?;
+                    s.work(8)?;
+                }
             }
         }
     }
     v_cycle(c, levels, depth + 1)?;
     // Prolongate the coarse correction and add it in.
-    for z in 1..l.n - 1 {
-        for y in 1..l.n - 1 {
-            for x in 1..l.n - 1 {
-                let e = c.ld_f64(coarse.u, idx(cn, x / 2, y / 2, z / 2))?;
-                let i = idx(l.n, x, y, z);
-                let u = c.ld_f64(l.u, i)?;
-                c.st_f64(l.u, i, u + e)?;
-                c.work(8)?;
+    {
+        let mut s = c.batch()?;
+        for z in 1..l.n - 1 {
+            for y in 1..l.n - 1 {
+                for x in 1..l.n - 1 {
+                    let e = s.ld_f64(coarse.u, idx(cn, x / 2, y / 2, z / 2))?;
+                    let i = idx(l.n, x, y, z);
+                    let u = s.ld_f64(l.u, i)?;
+                    s.st_f64(l.u, i, u + e)?;
+                    s.work(8)?;
+                }
             }
         }
     }
@@ -197,11 +208,19 @@ fn v_cycle<S: OsSystem>(
 /// ‖v − A u‖₂ on the fine grid.
 fn residual_norm<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Result<f64, OsError> {
     compute_residual(c, l)?;
+    // The norm reduction reads r sequentially — a streaming batch.
     let mut acc = 0.0;
-    for i in 0..l.n * l.n * l.n {
-        let r = c.ld_f64(l.r, i)?;
-        acc += r * r;
-        c.work(4)?;
+    let mut s = c.batch()?;
+    let cells = l.n * l.n * l.n;
+    let mut buf = vec![0.0f64; 512];
+    let mut i = 0u64;
+    while i < cells {
+        let n = (cells - i).min(512) as usize;
+        s.ld_f64_slice(l.r, i, &mut buf[..n], 4)?;
+        for &r in &buf[..n] {
+            acc += r * r;
+        }
+        i += n as u64;
     }
     Ok(acc.sqrt())
 }

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Compares a freshly produced bench JSON (scripts/bench.sh output)
+# against the committed BENCH_simulator.json baseline and emits GitHub
+# `::warning` annotations for metrics that regressed beyond a relative
+# tolerance. Host wall-clock on shared CI runners is noisy, so the diff
+# is advisory: the script always exits 0 and never gates the pipeline.
+#
+# Usage: scripts/bench_compare.sh [fresh.json] [baseline.json]
+# Env:   STRAMASH_BENCH_TOLERANCE — relative slack, default 0.25 (25 %).
+set -u
+
+cd "$(dirname "$0")/.."
+FRESH="${1:-BENCH_fresh.json}"
+BASE="${2:-BENCH_simulator.json}"
+TOLERANCE="${STRAMASH_BENCH_TOLERANCE:-0.25}"
+
+if [ ! -f "$FRESH" ] || [ ! -f "$BASE" ]; then
+    echo "bench_compare: missing $FRESH or $BASE, nothing to compare"
+    exit 0
+fi
+
+python3 - "$FRESH" "$BASE" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+
+def flatten(d, prefix=""):
+    out = {}
+    for k, v in d.items():
+        key = prefix + k
+        if isinstance(v, dict):
+            out.update(flatten(v, key + "."))
+        elif isinstance(v, (int, float)):
+            out[key] = float(v)
+    return out
+
+
+f, b = flatten(fresh), flatten(base)
+# Most metrics are times (lower is better); these are the exceptions.
+HIGHER_IS_BETTER = ("speedup", "accesses_per_sec")
+SKIP = ("workers", "configs")  # machine shape, not performance
+warned = 0
+for key in sorted(b):
+    if any(s in key for s in SKIP):
+        continue
+    if key not in f:
+        print(f"::warning::bench_compare: {key} missing from fresh results")
+        warned += 1
+        continue
+    old, new = b[key], f[key]
+    if old == 0:
+        continue
+    higher_better = any(t in key for t in HIGHER_IS_BETTER)
+    delta = (old - new) / old if higher_better else (new - old) / old
+    if delta > tol:
+        direction = "dropped" if higher_better else "rose"
+        print(
+            f"::warning::bench_compare: {key} {direction} {delta * 100:.0f}% "
+            f"({old:g} -> {new:g}, tolerance {tol * 100:.0f}%)"
+        )
+        warned += 1
+if warned == 0:
+    print(f"bench_compare: all compared metrics within {tol * 100:.0f}% of the baseline")
+else:
+    print(f"bench_compare: {warned} metric(s) beyond tolerance (advisory only)")
+EOF
+
+exit 0

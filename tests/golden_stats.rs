@@ -9,8 +9,10 @@
 //! fails tier-1 here.
 //!
 //! The same workload is also run with `set_fast_paths(false)` (the
-//! reference slow paths) and must produce a byte-identical fingerprint,
-//! proving fast and slow paths are interchangeable.
+//! reference slow paths) and with `set_batching(false)` (scalar
+//! client ops instead of translation sessions + bulk cache access) and
+//! must produce a byte-identical fingerprint, proving the fast paths
+//! and the batched pipeline are interchangeable with the reference.
 //!
 //! To regenerate the goldens after an *intentional* timing-model change:
 //! `cargo test --test golden_stats -- --ignored --nocapture print_goldens`
@@ -33,12 +35,16 @@ struct Fingerprint {
     /// Per-domain `[l1i.accesses, l1i.hits, l1d.accesses, l1d.hits,
     /// l2.accesses, l2.hits, l3.accesses, l3.hits, mem_accesses]`.
     levels: [[u64; 9]; 2],
+    /// Per-domain `[tlb_hits, tlb_misses]` — the §6.4 software-TLB
+    /// counters, which the translation sessions must reproduce exactly.
+    tlb: [[u64; 2]; 2],
 }
 
 /// Runs the fixed workload on a fresh system and captures the stats.
-fn fingerprint(kind: SystemKind, fast_paths: bool) -> Fingerprint {
+fn fingerprint(kind: SystemKind, fast_paths: bool, batching: bool) -> Fingerprint {
     let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
     sys.base_mut().mem.set_fast_paths(fast_paths);
+    sys.base_mut().set_batching(batching);
     let pid = sys.spawn(DomainId::X86).unwrap();
     let npb = run_npb(NpbKind::Is, &mut sys, pid, Class::Tiny, kind.migrates()).unwrap();
     assert!(npb.verified, "{kind}: NPB IS failed verification");
@@ -57,11 +63,16 @@ fn fingerprint(kind: SystemKind, fast_paths: bool) -> Fingerprint {
             s.mem_accesses,
         ]
     });
+    let tlb = [DomainId::X86, DomainId::ARM].map(|d| {
+        let s = sys.base().mem.stats(d);
+        [s.tlb_hits, s.tlb_misses]
+    });
     Fingerprint {
         runtime: sys.runtime().raw(),
         messages: sys.base().msg.counters().total(),
         kv_checksum: kv.checksum,
         levels,
+        tlb,
     }
 }
 
@@ -77,6 +88,7 @@ fn golden(kind: SystemKind) -> Fingerprint {
                 [681, 169, 30251, 26076, 4687, 1261, 3426, 0, 30251],
                 [0, 0, 0, 0, 0, 0, 0, 0, 0],
             ],
+            tlb: [[24_406, 24], [0, 0]],
         },
         SystemKind::PopcornTcp => Fingerprint {
             runtime: 86_187_952,
@@ -86,6 +98,7 @@ fn golden(kind: SystemKind) -> Fingerprint {
                 [218, 25, 4529, 3076, 1646, 0, 1646, 0, 4529],
                 [487, 5, 24976, 22404, 3054, 1152, 1902, 0, 24976],
             ],
+            tlb: [[2_581, 9], [21_812, 28]],
         },
         SystemKind::PopcornShm => Fingerprint {
             runtime: 11_227_003,
@@ -95,6 +108,7 @@ fn golden(kind: SystemKind) -> Fingerprint {
                 [218, 25, 8963, 3599, 5557, 15, 5542, 0, 8963],
                 [487, 5, 29410, 22649, 7243, 1373, 5870, 0, 29410],
             ],
+            tlb: [[2_581, 9], [21_812, 28]],
         },
         SystemKind::Stramash => Fingerprint {
             runtime: 8_321_804,
@@ -104,6 +118,7 @@ fn golden(kind: SystemKind) -> Fingerprint {
                 [218, 25, 5367, 2889, 2671, 0, 2671, 0, 5367],
                 [487, 5, 26136, 21130, 5488, 1466, 4022, 0, 26136],
             ],
+            tlb: [[2_581, 9], [21_813, 27]],
         },
     }
 }
@@ -111,7 +126,7 @@ fn golden(kind: SystemKind) -> Fingerprint {
 #[test]
 fn simulated_timing_matches_recorded_goldens() {
     for kind in SystemKind::ALL {
-        let got = fingerprint(kind, true);
+        let got = fingerprint(kind, true, true);
         assert_eq!(got, golden(kind), "{kind}: simulated timing drifted from the golden record");
     }
 }
@@ -119,9 +134,24 @@ fn simulated_timing_matches_recorded_goldens() {
 #[test]
 fn fast_paths_do_not_change_a_single_cycle() {
     for kind in SystemKind::ALL {
-        let fast = fingerprint(kind, true);
-        let slow = fingerprint(kind, false);
+        let fast = fingerprint(kind, true, true);
+        let slow = fingerprint(kind, false, true);
         assert_eq!(fast, slow, "{kind}: fast paths must be cycle-identical to the reference");
+    }
+}
+
+#[test]
+fn batched_path_is_cycle_identical_to_scalar() {
+    // The batched pipeline (translation sessions + bulk cache access +
+    // vectorized NPB loops) against scalar client ops, on fast and on
+    // reference memory paths: four host configurations, one simulated
+    // truth.
+    for kind in SystemKind::ALL {
+        let batched = fingerprint(kind, true, true);
+        let scalar = fingerprint(kind, true, false);
+        assert_eq!(batched, scalar, "{kind}: batching must be cycle-identical to scalar ops");
+        let scalar_ref = fingerprint(kind, false, false);
+        assert_eq!(batched, scalar_ref, "{kind}: batching must match the scalar reference path");
     }
 }
 
@@ -131,12 +161,13 @@ fn fast_paths_do_not_change_a_single_cycle() {
 #[ignore = "golden regeneration helper, run manually"]
 fn print_goldens() {
     for kind in SystemKind::ALL {
-        let f = fingerprint(kind, true);
+        let f = fingerprint(kind, true, true);
         println!("SystemKind::{kind:?} => Fingerprint {{");
         println!("    runtime: {},", f.runtime);
         println!("    messages: {},", f.messages);
         println!("    kv_checksum: {:#x},", f.kv_checksum);
         println!("    levels: [{:?}, {:?}],", f.levels[0], f.levels[1]);
+        println!("    tlb: [{:?}, {:?}],", f.tlb[0], f.tlb[1]);
         println!("}},");
     }
 }
