@@ -41,7 +41,8 @@ use stramash_kernel::system::{
 };
 use stramash_kernel::BootConfig;
 use stramash_mem::PhysAddr;
-use stramash_sim::{Cycles, DomainId, SimConfig};
+use stramash_sim::trace::{FutexOp, TraceEvent, HIST_FUTEX_WAIT};
+use stramash_sim::{Cycles, DomainId, SharedTracer, SimConfig};
 
 /// Kernel handler work per origin-handled fault message.
 const ORIGIN_FAULT_HANDLER_COST: Cycles = Cycles::new(400);
@@ -153,6 +154,13 @@ impl StramashSystem {
     #[must_use]
     pub fn counters(&self) -> &StramashCounters {
         &self.counters
+    }
+
+    /// Installs a shared tracer across the whole stack (memory system,
+    /// messaging layer, IPI fabric, and the fused-OS events emitted by
+    /// this system).
+    pub fn install_tracer(&mut self, tracer: SharedTracer) {
+        self.base.install_tracer(tracer);
     }
 
     /// The fused kernel virtual address space.
@@ -576,6 +584,7 @@ impl StramashSystem {
             set.remove(&va.vpn());
         }
         self.base.process_mut(pid)?.tlb_mut(origin).invalidate(va);
+        self.base.emit(TraceEvent::TlbInvalidate { domain: origin, va: va.raw() });
         self.base.charge(origin, cycles);
         Ok(cycles)
     }
@@ -897,6 +906,10 @@ impl OsSystem for StramashSystem {
             self.base.kernels[origin.index()]
                 .futexes
                 .wait(uaddr, Waiter { thread: ThreadId(u64::from(pid.0)), domain });
+            self.base.emit(TraceEvent::Futex { domain, op: FutexOp::Wait, va: uaddr.raw() });
+            self.base.observe(HIST_FUTEX_WAIT, total);
+        } else {
+            self.base.emit(TraceEvent::Futex { domain, op: FutexOp::Acquire, va: uaddr.raw() });
         }
         Ok(total)
     }
@@ -921,6 +934,7 @@ impl OsSystem for StramashSystem {
         total += c_list;
         self.base.charge(domain, total);
         if let Some(w) = self.base.kernels[origin.index()].futexes.wake_one(uaddr) {
+            self.base.emit(TraceEvent::Futex { domain: w.domain, op: FutexOp::Wake, va: uaddr.raw() });
             if w.domain != domain {
                 // One cross-ISA IPI wakes the waiter (§6.5).
                 let c = self.base.ipi.send(domain);
@@ -957,6 +971,7 @@ impl OsSystem for StramashSystem {
                 let (old, c) = pt.unmap(&mut self.base.mem, domain, va, true);
                 self.base.charge(domain, c);
                 self.base.process_mut(pid)?.tlb_mut(d).invalidate(va);
+                self.base.emit(TraceEvent::TlbInvalidate { domain: d, va: va.raw() });
                 let Some(frame) = old else { continue };
                 if !released {
                     for owner in DomainId::ALL {

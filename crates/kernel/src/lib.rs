@@ -66,7 +66,7 @@ pub use msg::{Message, MessagingLayer, MsgCounters, MsgType, Transport};
 pub use packing::{PackedRegion, PackingError, SharingClass};
 pub use pagetable::{MapError, PageTable};
 pub use process::{Pid, Process, SoftTlb};
-pub use rbtree::RbTree;
+pub use rbtree::{RbTree, RbTreeError};
 pub use session::AccessSession;
 pub use system::{BaseSystem, OsError, OsSystem, VanillaSystem};
 pub use vma::{Vma, VmaKind, VmaProt, VmaTree};

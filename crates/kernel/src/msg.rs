@@ -14,7 +14,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use stramash_mem::{MemorySystem, PhysAddr};
 use stramash_sim::ipi::{IpiFabric, NotifyMode};
-use stramash_sim::{Cycles, DomainId, FaultKind, SharedFaultInjector};
+use stramash_sim::trace::TraceEvent;
+use stramash_sim::{Cycles, DomainId, FaultKind, SharedFaultInjector, SharedTracer};
 
 /// Retransmission cap per logical message. With sane fault plans the
 /// probability of this many consecutive losses is negligible; the cap
@@ -37,6 +38,16 @@ pub enum MsgError {
         /// The minimum length (header + one 4 KiB page).
         min: u64,
     },
+    /// The message (header + payload) does not fit the ring in one
+    /// piece. The length arithmetic is done in `u64`, so an adversarial
+    /// payload near `u32::MAX` is reported here instead of silently
+    /// wrapping the byte count.
+    Oversized {
+        /// Header + payload bytes requested.
+        bytes: u64,
+        /// The largest message the ring can carry.
+        max: u64,
+    },
 }
 
 impl fmt::Display for MsgError {
@@ -45,6 +56,9 @@ impl fmt::Display for MsgError {
             MsgError::ZeroRing => write!(f, "message ring length must be positive"),
             MsgError::RingTooSmall { ring_len, min } => {
                 write!(f, "message ring of {ring_len} B cannot hold one {min} B message")
+            }
+            MsgError::Oversized { bytes, max } => {
+                write!(f, "{bytes} B message exceeds the {max} B ring capacity")
             }
         }
     }
@@ -87,6 +101,27 @@ pub enum MsgType {
 }
 
 impl MsgType {
+    /// Short static name (used by trace events and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgType::PageRequest => "PageRequest",
+            MsgType::PageResponse => "PageResponse",
+            MsgType::PageInvalidate => "PageInvalidate",
+            MsgType::VmaRequest => "VmaRequest",
+            MsgType::VmaResponse => "VmaResponse",
+            MsgType::FutexRequest => "FutexRequest",
+            MsgType::FutexResponse => "FutexResponse",
+            MsgType::FutexWake => "FutexWake",
+            MsgType::MigrationRequest => "MigrationRequest",
+            MsgType::MigrationResponse => "MigrationResponse",
+            MsgType::OriginFaultRequest => "OriginFaultRequest",
+            MsgType::OriginFaultResponse => "OriginFaultResponse",
+            MsgType::KvRequest => "KvRequest",
+            MsgType::KvResponse => "KvResponse",
+        }
+    }
+
     /// All message kinds (for counter reports).
     pub const ALL: [MsgType; 14] = [
         MsgType::PageRequest,
@@ -294,6 +329,7 @@ pub struct MessagingLayer {
     tcp_rtt: Cycles,
     counters: MsgCounters,
     injector: Option<SharedFaultInjector>,
+    tracer: Option<SharedTracer>,
 }
 
 impl MessagingLayer {
@@ -332,6 +368,7 @@ impl MessagingLayer {
             tcp_rtt,
             counters: MsgCounters::default(),
             injector: None,
+            tracer: None,
         })
     }
 
@@ -360,6 +397,42 @@ impl MessagingLayer {
         self.injector = Some(injector);
     }
 
+    /// Installs the shared event tracer; sends, receives, retransmits
+    /// and backpressure stalls are mirrored into it from then on.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Records one event into the tracer, if installed.
+    #[inline]
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
+    }
+
+    /// The largest message (header + payload) the rings carry in one
+    /// piece.
+    #[must_use]
+    pub fn max_message_bytes(&self) -> u64 {
+        self.ring_len
+    }
+
+    /// Validates that `msg` fits the ring in one piece.
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::Oversized`] when it does not. The send path also
+    /// clamps internally, so skipping this check degrades gracefully
+    /// instead of corrupting the cursor arithmetic.
+    pub fn check_fits(&self, msg: Message) -> Result<(), MsgError> {
+        let bytes = u64::from(MSG_HEADER_BYTES) + u64::from(msg.payload);
+        if bytes > self.ring_len {
+            return Err(MsgError::Oversized { bytes, max: self.ring_len });
+        }
+        Ok(())
+    }
+
     /// Checks the layer's internal invariants, returning one line per
     /// violation (empty = clean). Run by the system auditors after every
     /// fault-injection round.
@@ -385,9 +458,11 @@ impl MessagingLayer {
     }
 
     /// The capped exponential retransmission timeout for attempt `n`
-    /// (1-based): `base × 2^min(n−1, 3)`.
+    /// (1-based): `base × 2^min(n−1, 3)`, saturating — an adversarially
+    /// large base must clamp rather than silently wrap the shift.
     fn backoff(base: Cycles, attempt: u32) -> Cycles {
-        Cycles::new(base.raw() << attempt.saturating_sub(1).min(BACKOFF_CAP))
+        let exp = attempt.saturating_sub(1).min(BACKOFF_CAP);
+        Cycles::new(base.raw().saturating_mul(1u64 << exp))
     }
 
     /// Sends `msg` from `from` to the other domain, returning the cost
@@ -410,9 +485,15 @@ impl MessagingLayer {
         msg: Message,
     ) -> Cycles {
         let to = from.other();
-        let total = MSG_HEADER_BYTES + msg.payload;
+        // Length arithmetic is u64 end to end: `MSG_HEADER_BYTES +
+        // payload` as u32 would wrap for payloads near `u32::MAX`. The
+        // on-wire size is additionally clamped to one ring's worth so an
+        // oversized message (rejected by `check_fits`) degrades to a
+        // bounded write instead of breaking the cursor invariants.
+        let total = u64::from(MSG_HEADER_BYTES) + u64::from(msg.payload);
+        let wire = total.min(self.ring_len);
         self.counters.sent[from.index()] += 1;
-        self.counters.bytes[from.index()] += u64::from(total);
+        self.counters.bytes[from.index()] += total;
         *self.counters.by_type.entry(msg.ty).or_insert(0) += 1;
         // Sequence-number the message (modelled inside the 64 B header,
         // so it adds no bytes and no extra timed accesses).
@@ -431,7 +512,7 @@ impl MessagingLayer {
                 // messages. The sender stalls (~one notify round trip)
                 // for the receiver to drain its ring, then restarts at
                 // the ring base.
-                if self.outstanding[to.index()] + u64::from(total) > self.ring_len {
+                if self.outstanding[to.index()] + wire > self.ring_len {
                     cycles += Cycles::new(ipi.latency().raw() * 2);
                     self.counters.backpressure_stalls[from.index()] += 1;
                     if let Some(inj) = &self.injector {
@@ -439,13 +520,17 @@ impl MessagingLayer {
                     }
                     self.outstanding[to.index()] = 0;
                     self.cursor[to.index()] = 0;
+                    self.emit(TraceEvent::MsgBackpressure { from });
                 }
                 let timeout_base = Cycles::new(ipi.latency().raw() * 2);
                 let mut attempt = 0u32;
                 loop {
                     attempt += 1;
-                    let addr = self.slot(to, total);
-                    let payload = vec![0u8; total as usize];
+                    if attempt > 1 {
+                        self.emit(TraceEvent::MsgRetransmit { from, ty: msg.ty.name(), attempt });
+                    }
+                    let addr = self.slot(to, wire);
+                    let payload = vec![0u8; wire_len(wire)];
                     cycles += mem.write_bytes(from, addr, &payload);
                     let fault = match &self.injector {
                         Some(inj) => inj.borrow_mut().msg_fault(),
@@ -528,9 +613,14 @@ impl MessagingLayer {
                             break;
                         }
                         ack_attempt += 1;
+                        self.emit(TraceEvent::MsgRetransmit {
+                            from,
+                            ty: msg.ty.name(),
+                            attempt: ack_attempt,
+                        });
                         cycles += Self::backoff(timeout_base, ack_attempt);
-                        let addr = self.slot(to, total);
-                        let payload = vec![0u8; total as usize];
+                        let addr = self.slot(to, wire);
+                        let payload = vec![0u8; wire_len(wire)];
                         cycles += mem.write_bytes(from, addr, &payload);
                         if let NotifyMode::Interrupt = notify {
                             cycles += ipi.send(from);
@@ -549,7 +639,7 @@ impl MessagingLayer {
                         }
                     }
                 }
-                self.outstanding[to.index()] += u64::from(total);
+                self.outstanding[to.index()] += wire;
                 cycles
             }
             // One way is half the measured 75 µs round trip; a protocol
@@ -561,6 +651,9 @@ impl MessagingLayer {
                 let mut attempt = 0u32;
                 loop {
                     attempt += 1;
+                    if attempt > 1 {
+                        self.emit(TraceEvent::MsgRetransmit { from, ty: msg.ty.name(), attempt });
+                    }
                     cycles += self.tcp_rtt / 2;
                     let fault = match &self.injector {
                         Some(inj) => inj.borrow_mut().msg_fault(),
@@ -617,6 +710,7 @@ impl MessagingLayer {
             stats.faults_recovered += recovered;
             stats.faults_fatal += fatal;
         }
+        self.emit(TraceEvent::MsgSend { from, ty: msg.ty.name(), bytes: total, cost: cycles });
         cycles
     }
 
@@ -625,8 +719,9 @@ impl MessagingLayer {
     /// additionally pays the head-word poll that discovered the message
     /// (§6.2 supports polling in place of interrupt dispatching).
     pub fn receive(&mut self, mem: &mut MemorySystem, to: DomainId, msg: Message) -> Cycles {
-        let total = MSG_HEADER_BYTES + msg.payload;
-        match self.transport {
+        let total = u64::from(MSG_HEADER_BYTES) + u64::from(msg.payload);
+        let wire = total.min(self.ring_len);
+        let cycles = match self.transport {
             Transport::Shm { notify } => {
                 let mut cycles = Cycles::ZERO;
                 if notify == NotifyMode::Polling {
@@ -635,16 +730,17 @@ impl MessagingLayer {
                 }
                 // Consuming the message frees its ring space, releasing
                 // any sender backpressure.
-                self.outstanding[to.index()] =
-                    self.outstanding[to.index()].saturating_sub(u64::from(total));
+                self.outstanding[to.index()] = self.outstanding[to.index()].saturating_sub(wire);
                 // Re-read the most recent slot of our ring.
-                let addr = self.peek_slot(to, total);
-                let mut buf = vec![0u8; total as usize];
+                let addr = self.peek_slot(to, wire);
+                let mut buf = vec![0u8; wire_len(wire)];
                 cycles + mem.read_bytes(to, addr, &mut buf)
             }
             // Receive-side copy out of the NIC; folded into the RTT.
             Transport::Tcp => Cycles::ZERO,
-        }
+        };
+        self.emit(TraceEvent::MsgReceive { to, ty: msg.ty.name(), bytes: total, cost: cycles });
+        cycles
     }
 
     /// Allocates ring space for a message to `to` and advances the
@@ -652,22 +748,28 @@ impl MessagingLayer {
     /// ring has room (see the backpressure check in
     /// [`MessagingLayer::send`]), so wrapping never overwrites an unread
     /// message.
-    fn slot(&mut self, to: DomainId, total: u32) -> PhysAddr {
+    fn slot(&mut self, to: DomainId, total: u64) -> PhysAddr {
         let ti = to.index();
-        if self.cursor[ti] + u64::from(total) > self.ring_len {
+        if self.cursor[ti] + total > self.ring_len {
             self.cursor[ti] = 0;
         }
         let addr = self.ring_base[ti].offset(self.cursor[ti]);
-        self.cursor[ti] += u64::from(total);
+        self.cursor[ti] += total;
         addr
     }
 
     /// The slot just written for `to` (receiver reads it back).
-    fn peek_slot(&self, to: DomainId, total: u32) -> PhysAddr {
+    fn peek_slot(&self, to: DomainId, total: u64) -> PhysAddr {
         let ti = to.index();
-        let start = self.cursor[ti].saturating_sub(u64::from(total));
+        let start = self.cursor[ti].saturating_sub(total);
         self.ring_base[ti].offset(start)
     }
+}
+
+/// Host-side buffer length for an on-wire byte count (already clamped
+/// to the ring length, which on any supported host fits `usize`).
+fn wire_len(bytes: u64) -> usize {
+    usize::try_from(bytes).expect("ring length exceeds the host address space")
 }
 
 #[cfg(test)]
@@ -835,6 +937,80 @@ mod tests {
         assert_eq!(mk(1024).unwrap_err(), MsgError::RingTooSmall { ring_len: 1024, min: 4160 });
         assert!(mk(4160).is_ok());
         assert!(!mk(0).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn backoff_is_capped_and_saturates() {
+        let base = Cycles::new(100);
+        assert_eq!(MessagingLayer::backoff(base, 1), Cycles::new(100));
+        assert_eq!(MessagingLayer::backoff(base, 2), Cycles::new(200));
+        assert_eq!(MessagingLayer::backoff(base, 4), Cycles::new(800));
+        // The exponent caps at 2^3 no matter how many attempts.
+        assert_eq!(MessagingLayer::backoff(base, 50), Cycles::new(800));
+        // Attempt 0 (not a real attempt number) must not underflow.
+        assert_eq!(MessagingLayer::backoff(base, 0), Cycles::new(100));
+        // A huge base saturates instead of wrapping the shift.
+        let huge = Cycles::new(u64::MAX / 2);
+        assert_eq!(MessagingLayer::backoff(huge, 16), Cycles::new(u64::MAX));
+    }
+
+    #[test]
+    fn oversized_message_is_rejected_and_send_stays_bounded() {
+        let cfg = SimConfig::big_pair();
+        let tcp = cfg.tcp_rtt;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut ipi = IpiFabric::new(Cycles::new(10));
+        let mut ml = MessagingLayer::new(
+            Transport::Shm { notify: NotifyMode::Polling },
+            [PhysAddr::new(POOL), PhysAddr::new(POOL + 8192)],
+            8192,
+            tcp,
+        )
+        .unwrap();
+        assert_eq!(ml.max_message_bytes(), 8192);
+        assert!(ml.check_fits(Message::page(MsgType::PageResponse)).is_ok());
+        // A payload at the u32 boundary: the old u32 length arithmetic
+        // would wrap `64 + u32::MAX` to 63 bytes; the u64 path reports
+        // the true size.
+        let huge = Message { ty: MsgType::KvRequest, payload: u32::MAX };
+        assert_eq!(
+            ml.check_fits(huge),
+            Err(MsgError::Oversized { bytes: 64 + u64::from(u32::MAX), max: 8192 })
+        );
+        assert!(ml.check_fits(huge).unwrap_err().to_string().contains("exceeds"));
+        // An unvalidated oversized send degrades to a ring-sized write:
+        // counters record the logical size, cursors stay in bounds.
+        let c = ml.send(&mut mem, &mut ipi, DomainId::X86, huge);
+        assert!(c.raw() > 0);
+        assert_eq!(ml.counters().total(), 1);
+        assert_eq!(ml.counters().total_bytes(), 64 + u64::from(u32::MAX));
+        assert!(ml.audit().is_empty(), "oversized send must not corrupt the cursors");
+        let r = ml.receive(&mut mem, DomainId::ARM, huge);
+        assert!(r.raw() > 0);
+        assert!(ml.audit().is_empty());
+    }
+
+    #[test]
+    fn exact_fit_message_fills_ring_without_overflow() {
+        let cfg = SimConfig::big_pair();
+        let tcp = cfg.tcp_rtt;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut ipi = IpiFabric::new(Cycles::new(10));
+        let mut ml = MessagingLayer::new(
+            Transport::Shm { notify: NotifyMode::Polling },
+            [PhysAddr::new(POOL), PhysAddr::new(POOL + 8192)],
+            8192,
+            tcp,
+        )
+        .unwrap();
+        // Exactly one ring's worth: header + (8192 - 64) payload.
+        let exact = Message { ty: MsgType::KvRequest, payload: 8192 - 64 };
+        assert!(ml.check_fits(exact).is_ok());
+        ml.send(&mut mem, &mut ipi, DomainId::X86, exact);
+        assert!(ml.audit().is_empty());
+        // One byte more no longer fits.
+        let over = Message { ty: MsgType::KvRequest, payload: 8192 - 63 };
+        assert!(matches!(ml.check_fits(over), Err(MsgError::Oversized { bytes: 8193, max: 8192 })));
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub enum PackingError {
         /// The offending object's tag.
         tag: u64,
     },
+    /// The requested length overflows the 64-bit address arithmetic
+    /// (alignment rounding or cursor advance would wrap).
+    LengthOverflow {
+        /// The requested object length in bytes.
+        len: u64,
+    },
 }
 
 impl fmt::Display for PackingError {
@@ -62,6 +68,9 @@ impl fmt::Display for PackingError {
             PackingError::WindowFull(class) => write!(f, "{class:?} packing window is full"),
             PackingError::Misplaced { tag } => {
                 write!(f, "object {tag} is outside its class window")
+            }
+            PackingError::LengthOverflow { len } => {
+                write!(f, "object length {len} overflows the packing arithmetic")
             }
         }
     }
@@ -166,7 +175,7 @@ impl PackedRegion {
         }
         let dst = self.reserve(len, class)?;
         let cycles = mem.copy_bytes(self.owner, addr, dst, len);
-        self.pages_moved += len.div_ceil(PAGE_SIZE);
+        self.pages_moved = self.pages_moved.saturating_add(len.div_ceil(PAGE_SIZE));
         self.objects.push(PackedObject { tag, addr: dst, len, class });
         Ok((dst, cycles))
     }
@@ -192,18 +201,24 @@ impl PackedRegion {
     }
 
     fn reserve(&mut self, len: u64, class: SharingClass) -> Result<PhysAddr, PackingError> {
-        let aligned = len.div_ceil(64) * 64;
+        let aligned = len
+            .div_ceil(64)
+            .checked_mul(64)
+            .ok_or(PackingError::LengthOverflow { len })?;
         let (base, cap, cursor) = match class {
             SharingClass::Shared => (self.shared_base, self.shared_len, &mut self.shared_cursor),
             SharingClass::Private => {
                 (self.private_base, self.private_len, &mut self.private_cursor)
             }
         };
-        if *cursor + aligned > cap {
+        let end = cursor
+            .checked_add(aligned)
+            .ok_or(PackingError::LengthOverflow { len })?;
+        if end > cap {
             return Err(PackingError::WindowFull(class));
         }
         let addr = base.offset(*cursor);
-        *cursor += aligned;
+        *cursor = end;
         Ok(addr)
     }
 
@@ -212,12 +227,19 @@ impl PackedRegion {
             SharingClass::Shared => (self.shared_base, self.shared_len),
             SharingClass::Private => (self.private_base, self.private_len),
         };
-        addr.raw() >= base.raw() && addr.raw() + len <= base.raw() + cap
+        // Subtraction form: `addr + len <= base + cap` wraps for lengths
+        // or addresses near u64::MAX, silently admitting objects that
+        // hang off the end of the window.
+        addr.raw() >= base.raw() && len <= cap && addr.raw() - base.raw() <= cap - len
     }
 
     fn overlaps_shared(&self, addr: PhysAddr, len: u64) -> bool {
-        addr.raw() < self.shared_base.raw() + self.shared_len
-            && self.shared_base.raw() < addr.raw() + len
+        let base = self.shared_base.raw();
+        // `[addr, addr+len)` meets `[base, base+cap)` — written so neither
+        // end computation can wrap.
+        let below_window_end = addr.raw() < base || addr.raw() - base < self.shared_len;
+        let above_window_start = base < addr.raw() || base - addr.raw() < len;
+        below_window_end && above_window_start
     }
 }
 
@@ -316,5 +338,59 @@ mod tests {
     fn error_display() {
         assert!(!PackingError::WindowFull(SharingClass::Shared).to_string().is_empty());
         assert!(!PackingError::Misplaced { tag: 3 }.to_string().is_empty());
+        assert!(!PackingError::LengthOverflow { len: u64::MAX }.to_string().is_empty());
+    }
+
+    #[test]
+    fn huge_length_is_rejected_not_wrapped() {
+        let mut p = packer();
+        // Alignment rounding of u64::MAX wraps past 2^64; before the
+        // checked arithmetic this either panicked (debug) or reserved a
+        // tiny region (release).
+        assert_eq!(
+            p.place(1, u64::MAX, SharingClass::Shared),
+            Err(PackingError::LengthOverflow { len: u64::MAX })
+        );
+        // A length that survives alignment but not the cursor bound is a
+        // plain WindowFull, not a wrap to success.
+        assert_eq!(
+            p.place(2, u64::MAX - 63, SharingClass::Shared),
+            Err(PackingError::WindowFull(SharingClass::Shared))
+        );
+        assert!(p.objects().is_empty());
+    }
+
+    #[test]
+    fn isolation_check_is_overflow_safe_near_address_top() {
+        let mut p = packer();
+        // A private object whose end would wrap past u64::MAX. The old
+        // `addr + len` comparisons overflowed here; it must simply be
+        // "not in the shared window" and "not overlapping" it.
+        p.objects.push(PackedObject {
+            tag: 1,
+            addr: PhysAddr::new(u64::MAX - 32),
+            len: 64,
+            class: SharingClass::Private,
+        });
+        p.verify_isolation().unwrap();
+        // The same object claimed as Shared must be caught as misplaced
+        // rather than wrapping into the window bounds check.
+        p.objects[0].class = SharingClass::Shared;
+        assert_eq!(p.verify_isolation(), Err(PackingError::Misplaced { tag: 1 }));
+    }
+
+    #[test]
+    fn object_ending_exactly_at_window_end_is_inside() {
+        let cfg = SimConfig::big_pair();
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let mut p = packer();
+        let tail = PhysAddr::new(0x40_0000 + (1 << 20) - 64);
+        let (addr, cycles) = p.adopt(&mut mem, 5, tail, 64, SharingClass::Shared).unwrap();
+        assert_eq!(addr, tail, "exact-fit tail object must not be copied");
+        assert_eq!(cycles, Cycles::ZERO);
+        // One byte further hangs off the end and must be moved.
+        let (moved, _) = p.adopt(&mut mem, 6, tail, 65, SharingClass::Shared).unwrap();
+        assert_ne!(moved, tail);
+        p.verify_isolation().unwrap();
     }
 }

@@ -8,6 +8,32 @@
 //! "VMA containing this address" query.
 
 use std::cmp::Ordering;
+use std::fmt;
+
+/// A structural invariant of the red-black tree did not hold during a
+/// mutation.
+///
+/// Every site that previously `panic!`ed mid-rebalance now surfaces this
+/// instead, so a corrupted VMA tree degrades a single syscall rather
+/// than unwinding through the kernel (the PR 1 recovery convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbTreeError {
+    /// The violated invariant, for diagnostics.
+    pub site: &'static str,
+}
+
+impl fmt::Display for RbTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "red-black tree invariant violated: {}", self.site)
+    }
+}
+
+impl std::error::Error for RbTreeError {}
+
+#[inline]
+fn corrupt(site: &'static str) -> RbTreeError {
+    RbTreeError { site }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Color {
@@ -166,8 +192,8 @@ impl<K: Ord, V> RbTree<K, V> {
         }
     }
 
-    fn rotate_left(&mut self, x: usize) {
-        let y = self.nodes[x].right.expect("rotate_left needs a right child");
+    fn rotate_left(&mut self, x: usize) -> Result<(), RbTreeError> {
+        let y = self.nodes[x].right.ok_or(corrupt("rotate_left needs a right child"))?;
         let y_left = self.nodes[y].left;
         self.nodes[x].right = y_left;
         if let Some(yl) = y_left {
@@ -187,10 +213,11 @@ impl<K: Ord, V> RbTree<K, V> {
         }
         self.nodes[y].left = Some(x);
         self.nodes[x].parent = Some(y);
+        Ok(())
     }
 
-    fn rotate_right(&mut self, x: usize) {
-        let y = self.nodes[x].left.expect("rotate_right needs a left child");
+    fn rotate_right(&mut self, x: usize) -> Result<(), RbTreeError> {
+        let y = self.nodes[x].left.ok_or(corrupt("rotate_right needs a left child"))?;
         let y_right = self.nodes[y].right;
         self.nodes[x].left = y_right;
         if let Some(yr) = y_right {
@@ -210,11 +237,34 @@ impl<K: Ord, V> RbTree<K, V> {
         }
         self.nodes[y].right = Some(x);
         self.nodes[x].parent = Some(y);
+        Ok(())
     }
 
     /// Inserts a key-value pair; returns the previous value for the key,
     /// if any.
+    ///
+    /// Convenience wrapper over [`RbTree::try_insert`] for callers that
+    /// treat corruption as fatal (tests, benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's internal invariants are already violated.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.try_insert(key, value) {
+            Ok(prev) => prev,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Inserts a key-value pair; returns the previous value for the key,
+    /// if any.
+    ///
+    /// # Errors
+    ///
+    /// [`RbTreeError`] if a structural invariant does not hold during
+    /// rebalancing — the tree was corrupted by an earlier fault (e.g. a
+    /// stray write through the shared window) and must not be trusted.
+    pub fn try_insert(&mut self, key: K, value: V) -> Result<Option<V>, RbTreeError> {
         // BST descent.
         let mut parent = None;
         let mut cur = self.root;
@@ -224,7 +274,7 @@ impl<K: Ord, V> RbTree<K, V> {
                 Ordering::Less => cur = self.nodes[i].left,
                 Ordering::Greater => cur = self.nodes[i].right,
                 Ordering::Equal => {
-                    return Some(std::mem::replace(&mut self.nodes[i].value, value));
+                    return Ok(Some(std::mem::replace(&mut self.nodes[i].value, value)));
                 }
             }
         }
@@ -247,20 +297,20 @@ impl<K: Ord, V> RbTree<K, V> {
             }
         }
         self.len += 1;
-        self.insert_fixup(n);
-        None
+        self.insert_fixup(n)?;
+        Ok(None)
     }
 
-    fn insert_fixup(&mut self, mut z: usize) {
+    fn insert_fixup(&mut self, mut z: usize) -> Result<(), RbTreeError> {
         while let Some(p) = self.nodes[z].parent {
             if self.nodes[p].color == Color::Black {
                 break;
             }
-            let g = self.nodes[p].parent.expect("red node has a parent");
+            let g = self.nodes[p].parent.ok_or(corrupt("red node has a parent"))?;
             if Some(p) == self.nodes[g].left {
                 let uncle = self.nodes[g].right;
                 if self.color(uncle) == Color::Red {
-                    let u = uncle.expect("red uncle exists");
+                    let u = uncle.ok_or(corrupt("red uncle exists"))?;
                     self.nodes[p].color = Color::Black;
                     self.nodes[u].color = Color::Black;
                     self.nodes[g].color = Color::Red;
@@ -268,18 +318,18 @@ impl<K: Ord, V> RbTree<K, V> {
                 } else {
                     if Some(z) == self.nodes[p].right {
                         z = p;
-                        self.rotate_left(z);
+                        self.rotate_left(z)?;
                     }
-                    let p = self.nodes[z].parent.expect("restructured parent");
-                    let g = self.nodes[p].parent.expect("restructured grandparent");
+                    let p = self.nodes[z].parent.ok_or(corrupt("restructured parent"))?;
+                    let g = self.nodes[p].parent.ok_or(corrupt("restructured grandparent"))?;
                     self.nodes[p].color = Color::Black;
                     self.nodes[g].color = Color::Red;
-                    self.rotate_right(g);
+                    self.rotate_right(g)?;
                 }
             } else {
                 let uncle = self.nodes[g].left;
                 if self.color(uncle) == Color::Red {
-                    let u = uncle.expect("red uncle exists");
+                    let u = uncle.ok_or(corrupt("red uncle exists"))?;
                     self.nodes[p].color = Color::Black;
                     self.nodes[u].color = Color::Black;
                     self.nodes[g].color = Color::Red;
@@ -287,18 +337,19 @@ impl<K: Ord, V> RbTree<K, V> {
                 } else {
                     if Some(z) == self.nodes[p].left {
                         z = p;
-                        self.rotate_right(z);
+                        self.rotate_right(z)?;
                     }
-                    let p = self.nodes[z].parent.expect("restructured parent");
-                    let g = self.nodes[p].parent.expect("restructured grandparent");
+                    let p = self.nodes[z].parent.ok_or(corrupt("restructured parent"))?;
+                    let g = self.nodes[p].parent.ok_or(corrupt("restructured grandparent"))?;
                     self.nodes[p].color = Color::Black;
                     self.nodes[g].color = Color::Red;
-                    self.rotate_left(g);
+                    self.rotate_left(g)?;
                 }
             }
         }
-        let r = self.root.expect("non-empty after insert");
+        let r = self.root.ok_or(corrupt("non-empty after insert"))?;
         self.nodes[r].color = Color::Black;
+        Ok(())
     }
 
     fn minimum(&self, mut i: usize) -> usize {
@@ -327,8 +378,28 @@ impl<K: Ord, V> RbTree<K, V> {
     }
 
     /// Removes a key, returning its value.
+    ///
+    /// Convenience wrapper over [`RbTree::try_remove`] for callers that
+    /// treat corruption as fatal (tests, benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's internal invariants are already violated.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let z = self.find(key)?;
+        match self.try_remove(key) {
+            Ok(prev) => prev,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Removes a key, returning its value.
+    ///
+    /// # Errors
+    ///
+    /// [`RbTreeError`] if a structural invariant does not hold during
+    /// rebalancing (see [`RbTree::try_insert`]).
+    pub fn try_remove(&mut self, key: &K) -> Result<Option<V>, RbTreeError> {
+        let Some(z) = self.find(key) else { return Ok(None) };
         self.len -= 1;
 
         // CLRS delete. `fix_at` is the child that replaced the spliced
@@ -346,7 +417,7 @@ impl<K: Ord, V> RbTree<K, V> {
             self.transplant(z, self.nodes[z].left);
         } else {
             // Two children: splice the successor y into z's place.
-            let y = self.minimum(self.nodes[z].right.expect("checked"));
+            let y = self.minimum(self.nodes[z].right.ok_or(corrupt("checked right child"))?);
             removed_color = self.nodes[y].color;
             fix_child = self.nodes[y].right;
             if self.nodes[y].parent == Some(z) {
@@ -370,23 +441,23 @@ impl<K: Ord, V> RbTree<K, V> {
         }
 
         if removed_color == Color::Black {
-            self.delete_fixup(fix_child, fix_parent);
+            self.delete_fixup(fix_child, fix_parent)?;
         }
 
         // The node is now unreachable from the tree; reclaim its arena
         // slot and move the value out.
         self.free.push(z);
-        let value = self.take_value(z);
-        Some(value)
+        let value = self.take_value(z)?;
+        Ok(Some(value))
     }
 
     /// Moves the value out of a dead arena slot (already unreachable
     /// from the tree): the slot is swapped with the arena's last node,
     /// whose links are patched, and the dead node is popped.
-    fn take_value(&mut self, i: usize) -> V {
+    fn take_value(&mut self, i: usize) -> Result<V, RbTreeError> {
         if i + 1 == self.nodes.len() {
             self.free.retain(|&f| f != i);
-            return self.nodes.pop().expect("arena non-empty").value;
+            return Ok(self.nodes.pop().ok_or(corrupt("arena non-empty"))?.value);
         }
         // Swap with the last node and patch that node's links.
         let last = self.nodes.len() - 1;
@@ -417,19 +488,24 @@ impl<K: Ord, V> RbTree<K, V> {
             self.nodes[r].parent = Some(i);
         }
         self.free.retain(|&f| f != i);
-        self.nodes.pop().expect("arena non-empty").value
+        Ok(self.nodes.pop().ok_or(corrupt("arena non-empty"))?.value)
     }
 
-    fn delete_fixup(&mut self, mut x: Option<usize>, mut parent: Option<usize>) {
+    fn delete_fixup(
+        &mut self,
+        mut x: Option<usize>,
+        mut parent: Option<usize>,
+    ) -> Result<(), RbTreeError> {
         while x != self.root && self.color(x) == Color::Black {
             let Some(p) = parent else { break };
             if x == self.nodes[p].left {
-                let mut w = self.nodes[p].right.expect("sibling exists in valid RB tree");
+                let mut w =
+                    self.nodes[p].right.ok_or(corrupt("sibling exists in valid RB tree"))?;
                 if self.nodes[w].color == Color::Red {
                     self.nodes[w].color = Color::Black;
                     self.nodes[p].color = Color::Red;
-                    self.rotate_left(p);
-                    w = self.nodes[p].right.expect("sibling after rotation");
+                    self.rotate_left(p)?;
+                    w = self.nodes[p].right.ok_or(corrupt("sibling after rotation"))?;
                 }
                 if self.color(self.nodes[w].left) == Color::Black
                     && self.color(self.nodes[w].right) == Color::Black
@@ -443,25 +519,26 @@ impl<K: Ord, V> RbTree<K, V> {
                             self.nodes[wl].color = Color::Black;
                         }
                         self.nodes[w].color = Color::Red;
-                        self.rotate_right(w);
-                        w = self.nodes[p].right.expect("sibling after rotation");
+                        self.rotate_right(w)?;
+                        w = self.nodes[p].right.ok_or(corrupt("sibling after rotation"))?;
                     }
                     self.nodes[w].color = self.nodes[p].color;
                     self.nodes[p].color = Color::Black;
                     if let Some(wr) = self.nodes[w].right {
                         self.nodes[wr].color = Color::Black;
                     }
-                    self.rotate_left(p);
+                    self.rotate_left(p)?;
                     x = self.root;
                     parent = None;
                 }
             } else {
-                let mut w = self.nodes[p].left.expect("sibling exists in valid RB tree");
+                let mut w =
+                    self.nodes[p].left.ok_or(corrupt("sibling exists in valid RB tree"))?;
                 if self.nodes[w].color == Color::Red {
                     self.nodes[w].color = Color::Black;
                     self.nodes[p].color = Color::Red;
-                    self.rotate_right(p);
-                    w = self.nodes[p].left.expect("sibling after rotation");
+                    self.rotate_right(p)?;
+                    w = self.nodes[p].left.ok_or(corrupt("sibling after rotation"))?;
                 }
                 if self.color(self.nodes[w].right) == Color::Black
                     && self.color(self.nodes[w].left) == Color::Black
@@ -475,15 +552,15 @@ impl<K: Ord, V> RbTree<K, V> {
                             self.nodes[wr].color = Color::Black;
                         }
                         self.nodes[w].color = Color::Red;
-                        self.rotate_left(w);
-                        w = self.nodes[p].left.expect("sibling after rotation");
+                        self.rotate_left(w)?;
+                        w = self.nodes[p].left.ok_or(corrupt("sibling after rotation"))?;
                     }
                     self.nodes[w].color = self.nodes[p].color;
                     self.nodes[p].color = Color::Black;
                     if let Some(wl) = self.nodes[w].left {
                         self.nodes[wl].color = Color::Black;
                     }
-                    self.rotate_right(p);
+                    self.rotate_right(p)?;
                     x = self.root;
                     parent = None;
                 }
@@ -492,6 +569,7 @@ impl<K: Ord, V> RbTree<K, V> {
         if let Some(x) = x {
             self.nodes[x].color = Color::Black;
         }
+        Ok(())
     }
 
     /// Checks every red-black invariant (tests and debug assertions):
@@ -655,6 +733,23 @@ mod tests {
         let tree_items: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
         let model_items: Vec<(u64, u64)> = model.into_iter().collect();
         assert_eq!(tree_items, model_items);
+    }
+
+    #[test]
+    fn corruption_is_reported_not_panicked() {
+        let mut t = RbTree::new();
+        for k in [2u64, 1, 3] {
+            t.insert(k, ());
+        }
+        // Forge corruption as a stray shared-window write might: orphan
+        // the red leaf holding key 3 (its parent link cleared while the
+        // root still points at it).
+        let i = t.find(&3).unwrap();
+        t.nodes[i].color = Color::Red;
+        t.nodes[i].parent = None;
+        let err = t.try_insert(4, ()).unwrap_err();
+        assert_eq!(err.site, "red node has a parent");
+        assert!(err.to_string().contains("invariant"));
     }
 
     #[test]

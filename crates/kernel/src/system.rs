@@ -30,7 +30,10 @@ use stramash_isa::PteFlags;
 use stramash_mem::{MemorySystem, PhysAddr, PhysLayout};
 use stramash_sim::config::ConfigError;
 use stramash_sim::ipi::IpiFabric;
-use stramash_sim::{Cycles, DomainId, SharedFaultInjector, SimConfig, Timebase};
+use stramash_sim::trace::{FutexOp, TraceEvent, HIST_FAULT_SERVICE, HIST_MSG_ROUND_TRIP};
+use stramash_sim::{
+    Cycles, DomainId, SharedFaultInjector, SharedTracer, SimConfig, Timebase,
+};
 
 /// Trap entry/exit plus generic fault-path bookkeeping, charged for
 /// every page fault regardless of how it is resolved.
@@ -175,6 +178,9 @@ pub struct BaseSystem {
     /// The deterministic fault injector, shared with the messaging layer
     /// and IPI fabric once installed.
     fault_injector: Option<SharedFaultInjector>,
+    /// The shared event tracer, wired through every simulated layer once
+    /// installed. Emission is passive: it never adds a simulated cycle.
+    tracer: Option<SharedTracer>,
     /// Per-domain code region base for instruction-fetch modelling.
     code_base: [PhysAddr; 2],
     /// Modelled code working-set bytes.
@@ -216,6 +222,7 @@ impl BaseSystem {
             next_pid: 1,
             batching: true,
             fault_injector: None,
+            tracer: None,
             code_base,
             code_bytes: 32 << 10,
             ifetch_interval: 64,
@@ -272,6 +279,39 @@ impl BaseSystem {
         self.fault_injector.as_ref()
     }
 
+    /// Installs the shared event tracer, wiring it through the memory
+    /// system, the messaging layer and the IPI fabric so every layer of
+    /// the stack records into the same bounded ring.
+    pub fn install_tracer(&mut self, tracer: SharedTracer) {
+        self.mem.set_tracer(tracer.clone());
+        self.msg.set_tracer(tracer.clone());
+        self.ipi.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Records one event into the tracer, if installed.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
+    }
+
+    /// Records a latency sample into a named registry histogram, if a
+    /// tracer is installed.
+    #[inline]
+    pub fn observe(&self, hist: &'static str, cycles: Cycles) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().metrics_mut().observe(hist, cycles);
+        }
+    }
+
     /// Iterates every live process (for the invariant auditors, which
     /// must inspect all address spaces without timing side effects).
     pub fn processes(&self) -> impl Iterator<Item = &Process> {
@@ -309,11 +349,17 @@ impl BaseSystem {
     /// Charges `cycles` of kernel/memory overhead to `domain`'s clock.
     pub fn charge(&mut self, domain: DomainId, cycles: Cycles) {
         self.timebase.clock_mut(domain).add_memory(cycles);
+        if cycles.raw() != 0 {
+            self.emit(TraceEvent::Charge { domain, cost: cycles });
+        }
     }
 
     /// Retires `insns` instructions on `domain`, modelling periodic
     /// instruction fetches over a small code working set.
     pub fn retire(&mut self, domain: DomainId, insns: u64) {
+        if insns != 0 {
+            self.emit(TraceEvent::Retire { domain, insns });
+        }
         self.timebase.clock_mut(domain).retire(insns);
         self.mem.stats_mut(domain).instructions += insns;
         let fetches = insns / self.ifetch_interval;
@@ -361,6 +407,7 @@ impl BaseSystem {
     pub fn record_migration(&mut self, from: DomainId, to: DomainId) {
         let label = format!("migrate {from}->{to}");
         self.perf.sample(label, &self.timebase);
+        self.emit(TraceEvent::Migration { from, to });
     }
 
     /// Copies each domain's accumulated runtime into its statistics
@@ -399,7 +446,9 @@ pub fn protocol_round_trip(
     c_from += base.msg.receive(&mut base.mem, from, resp);
     base.charge(from, c_from);
     base.charge(to, c_to);
-    c_from + c_to
+    let total = c_from + c_to;
+    base.observe(HIST_MSG_ROUND_TRIP, total);
+    total
 }
 
 /// The single source of truth for page-chunk iteration over a process
@@ -545,10 +594,21 @@ pub trait OsSystem {
                 total += c;
             }
         }
-        let proc = self.base_mut().process_mut(pid)?;
+        {
+            let proc = self.base_mut().process_mut(pid)?;
+            for d in DomainId::ALL {
+                for p in 0..vma.pages() {
+                    proc.tlb_mut(d).invalidate(start.offset(p * PAGE_SIZE));
+                }
+            }
+        }
+        let base = self.base();
         for d in DomainId::ALL {
             for p in 0..vma.pages() {
-                proc.tlb_mut(d).invalidate(start.offset(p * PAGE_SIZE));
+                base.emit(TraceEvent::TlbInvalidate {
+                    domain: d,
+                    va: start.offset(p * PAGE_SIZE).raw(),
+                });
             }
         }
         Ok(total)
@@ -573,10 +633,10 @@ pub trait OsSystem {
             (domain, hit)
         };
         if let Some((page_pa, _)) = tlb_hit {
-            self.base_mut().mem.stats_mut(domain).tlb_hits += 1;
+            self.base_mut().mem.note_tlb_hit(domain);
             return Ok((page_pa.offset(va.page_offset()), Cycles::ZERO));
         }
-        self.base_mut().mem.stats_mut(domain).tlb_misses += 1;
+        self.base_mut().mem.note_tlb_miss(domain);
         let mut total = Cycles::ZERO;
         for attempt in 0..2 {
             let pt = {
@@ -597,7 +657,11 @@ pub trait OsSystem {
                 }
             }
             if attempt == 0 {
-                total += self.handle_fault(pid, va, write)?;
+                let fault_cost = self.handle_fault(pid, va, write)?;
+                total += fault_cost;
+                let base = self.base();
+                base.emit(TraceEvent::PageFault { domain, va: va.raw(), write, cost: fault_cost });
+                base.observe(HIST_FAULT_SERVICE, fault_cost);
             }
         }
         Err(OsError::Segfault { pid, va })
@@ -634,7 +698,8 @@ pub trait OsSystem {
         write: bool,
     ) -> Result<(PhysAddr, Cycles), OsError> {
         if let Some(pa) = session.lookup(va, write) {
-            self.base_mut().mem.stats_mut(session.domain()).tlb_hits += 1;
+            let domain = session.domain();
+            self.base_mut().mem.note_tlb_hit(domain);
             return Ok((pa, Cycles::ZERO));
         }
         let pid = session.pid();
@@ -824,6 +889,7 @@ impl OsSystem for VanillaSystem {
         let (_, c) = self.base.mem.cas_u64(domain, pa, 0, 1, penalty);
         self.base.kernels[domain.index()].counters.futex_ops += 1;
         self.base.charge(domain, c);
+        self.base.emit(TraceEvent::Futex { domain, op: FutexOp::Acquire, va: uaddr.raw() });
         Ok(c)
     }
 
@@ -862,6 +928,7 @@ impl OsSystem for VanillaSystem {
                 freed[domain.index()] += 1;
             }
             self.base.process_mut(pid)?.tlb_mut(domain).invalidate(va);
+            self.base.emit(TraceEvent::TlbInvalidate { domain, va: va.raw() });
         }
         Ok(freed)
     }

@@ -10,7 +10,7 @@
 //! in simulated shared memory and is taken with a cross-ISA CAS.
 
 use crate::addr::{VirtAddr, PAGE_SIZE};
-use crate::rbtree::RbTree;
+use crate::rbtree::{RbTree, RbTreeError};
 use std::fmt;
 
 /// Access protections of a VMA.
@@ -116,6 +116,9 @@ pub enum VmaError {
     BadRange,
     /// The new area overlaps an existing one.
     Overlap(VirtAddr),
+    /// The backing red-black tree is structurally corrupt; the address
+    /// space can no longer be mutated safely.
+    Corrupt(RbTreeError),
 }
 
 impl fmt::Display for VmaError {
@@ -123,6 +126,7 @@ impl fmt::Display for VmaError {
         match self {
             VmaError::BadRange => f.write_str("VMA bounds must be page-aligned and non-empty"),
             VmaError::Overlap(va) => write!(f, "VMA overlaps existing area at {va}"),
+            VmaError::Corrupt(e) => write!(f, "VMA tree corrupt: {e}"),
         }
     }
 }
@@ -168,7 +172,9 @@ impl VmaTree {
     /// # Errors
     ///
     /// [`VmaError::BadRange`] for unaligned/empty areas,
-    /// [`VmaError::Overlap`] when intersecting an existing VMA.
+    /// [`VmaError::Overlap`] when intersecting an existing VMA,
+    /// [`VmaError::Corrupt`] if the tree's invariants fail during
+    /// rebalancing (surfaced instead of unwinding through the kernel).
     pub fn insert(&mut self, vma: Vma) -> Result<(), VmaError> {
         if !vma.start.is_page_aligned() || !vma.end.is_page_aligned() || vma.end <= vma.start {
             return Err(VmaError::BadRange);
@@ -180,7 +186,7 @@ impl VmaTree {
                 return Err(VmaError::Overlap(prev.start));
             }
         }
-        self.map.insert(vma.start.raw(), vma);
+        self.map.try_insert(vma.start.raw(), vma).map_err(VmaError::Corrupt)?;
         Ok(())
     }
 

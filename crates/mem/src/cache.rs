@@ -571,22 +571,21 @@ impl Cache {
         }
     }
 
-    /// Sets the state of a resident line; returns `false` if absent.
-    pub fn set_state(&mut self, line: u64, state: Mesi) -> bool {
+    /// Sets the state of a resident line, returning the *previous*
+    /// state so callers can observe the transition (`None` if absent).
+    pub fn set_state(&mut self, line: u64, state: Mesi) -> Option<Mesi> {
         let range = self.set_range(line);
         let base = range.start;
         if self.fast_paths {
-            if let Some(i) = self.tags[range].iter().position(|&t| t == line) {
-                self.states[base + i] = state;
-                true
-            } else {
-                false
-            }
-        } else if let Some(i) = self.sets[range].iter().position(|w| w.line == line) {
-            self.sets[base + i].state = state;
-            true
+            let i = self.tags[range].iter().position(|&t| t == line)?;
+            let old = self.states[base + i];
+            self.states[base + i] = state;
+            Some(old)
         } else {
-            false
+            let i = self.sets[range].iter().position(|w| w.line == line)?;
+            let old = self.sets[base + i].state;
+            self.sets[base + i].state = state;
+            Some(old)
         }
     }
 
@@ -862,11 +861,11 @@ mod tests {
     }
 
     #[test]
-    fn set_state_on_missing_line_is_false() {
+    fn set_state_on_missing_line_is_none() {
         let mut c = tiny();
-        assert!(!c.set_state(1, Mesi::Shared));
+        assert_eq!(c.set_state(1, Mesi::Shared), None);
         c.insert(1, Mesi::Exclusive);
-        assert!(c.set_state(1, Mesi::Shared));
+        assert_eq!(c.set_state(1, Mesi::Shared), Some(Mesi::Exclusive));
         assert_eq!(c.state_of(1), Some(Mesi::Shared));
     }
 

@@ -12,7 +12,37 @@ use crate::cache::{Cache, CacheHierarchy, FillPlan, Mesi, ProbeFill};
 use crate::hwmodel::{AddressMap, MemClass};
 use crate::phys::{PhysAddr, PhysLayout, SparseMemory};
 use stramash_sim::config::ConfigError;
-use stramash_sim::{Cycles, DomainId, DomainStats, HardwareModel, SimConfig};
+use stramash_sim::trace::{TraceEvent, TraceLevel, TraceMemClass, TraceMesi};
+use stramash_sim::{Cycles, DomainId, DomainStats, HardwareModel, SharedTracer, SimConfig};
+
+/// Maps a [`HitLevel`] to its trace-event counterpart.
+fn trace_level(level: HitLevel) -> TraceLevel {
+    match level {
+        HitLevel::L1 => TraceLevel::L1,
+        HitLevel::L2 => TraceLevel::L2,
+        HitLevel::L3 => TraceLevel::L3,
+        HitLevel::Memory => TraceLevel::Memory,
+    }
+}
+
+/// Maps a [`MemClass`] to its trace-event counterpart.
+fn trace_class(class: MemClass) -> TraceMemClass {
+    match class {
+        MemClass::Local => TraceMemClass::Local,
+        MemClass::Remote => TraceMemClass::Remote,
+        MemClass::RemoteShared => TraceMemClass::RemoteShared,
+    }
+}
+
+/// Maps a cache [`Mesi`] state to its trace-event counterpart (the
+/// cache model has no explicit Invalid state — absence is invalid).
+fn trace_mesi(state: Mesi) -> TraceMesi {
+    match state {
+        Mesi::Modified => TraceMesi::Modified,
+        Mesi::Exclusive => TraceMesi::Exclusive,
+        Mesi::Shared => TraceMesi::Shared,
+    }
+}
 
 /// Read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +154,11 @@ pub struct MemorySystem {
     aliases: Vec<AliasWindow>,
     /// Injected-but-unscrubbed ECC faults.
     ecc_journal: Vec<EccFault>,
+    /// Observability sink: every timed access, snoop, eviction and MESI
+    /// transition is mirrored here as a typed event. Emission is
+    /// passive — it never costs a simulated cycle, so the golden
+    /// fingerprints are identical with tracing on or off.
+    tracer: Option<SharedTracer>,
 }
 
 /// One per-domain physical alias: `domain` sees
@@ -180,7 +215,23 @@ impl MemorySystem {
             fast_paths: true,
             aliases: Vec::new(),
             ecc_journal: Vec::new(),
+            tracer: None,
         })
+    }
+
+    /// Installs the shared event tracer. Cache accesses, snoops,
+    /// evictions, MESI transitions and TLB lookups are mirrored into it
+    /// from this point on, without perturbing any simulated cycle.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Records one event into the tracer, if installed.
+    #[inline]
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
     }
 
     /// The configuration in force.
@@ -216,6 +267,38 @@ impl MemorySystem {
     #[must_use]
     pub fn writebacks(&self, domain: DomainId) -> u64 {
         self.writebacks[domain.index()]
+    }
+
+    // ---- software-TLB accounting -------------------------------------------
+    //
+    // The OS layers keep their translation caches, but every lookup is
+    // recorded here so the counter bump and the trace event can never
+    // drift apart.
+
+    /// Records one software-TLB hit for `domain`.
+    #[inline]
+    pub fn note_tlb_hit(&mut self, domain: DomainId) {
+        self.note_tlb_hits(domain, 1);
+    }
+
+    /// Records `n` software-TLB hits for `domain` (the batched client
+    /// pipeline counts a whole page run at once; the trace still carries
+    /// one event per lookup so batched and scalar streams agree).
+    pub fn note_tlb_hits(&mut self, domain: DomainId, n: u64) {
+        self.stats[domain.index()].tlb_hits += n;
+        if let Some(t) = &self.tracer {
+            let mut t = t.borrow_mut();
+            for _ in 0..n {
+                t.record(TraceEvent::TlbLookup { domain, hit: true });
+            }
+        }
+    }
+
+    /// Records one software-TLB miss for `domain`.
+    #[inline]
+    pub fn note_tlb_miss(&mut self, domain: DomainId) {
+        self.stats[domain.index()].tlb_misses += 1;
+        self.emit(TraceEvent::TlbLookup { domain, hit: false });
     }
 
     /// Zeroes all statistics (cache contents are preserved).
@@ -424,6 +507,34 @@ impl MemorySystem {
         access: Access,
         kind: AccessKind,
     ) -> AccessOutcome {
+        let out = self.access_line_inner(domain, addr, access, kind);
+        if self.tracer.is_some() {
+            // Sub-events (snoops, evictions, MESI transitions) were
+            // emitted inside the pipeline; the summarising access event
+            // comes last, keyed to the line-aligned address.
+            self.emit(TraceEvent::CacheAccess {
+                domain,
+                addr: (addr.raw() >> self.line_shift) << self.line_shift,
+                write: access == Access::Write,
+                ifetch: kind == AccessKind::Instruction,
+                level: trace_level(out.level),
+                class: out.class.map(trace_class),
+                snooped: out.snooped,
+                cost: out.cycles,
+            });
+        }
+        out
+    }
+
+    /// The untraced access pipeline behind [`MemorySystem::access_line`].
+    #[inline]
+    fn access_line_inner(
+        &mut self,
+        domain: DomainId,
+        addr: PhysAddr,
+        access: Access,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         let line = addr.raw() >> self.line_shift;
         let di = domain.index();
         let lat = self.cfg.domains[di].latency;
@@ -498,6 +609,7 @@ impl MemorySystem {
     ) -> AccessOutcome {
         let di = domain.index();
         let oi = domain.other().index();
+        let line_addr = line << self.line_shift;
         let class = self.map.classify(domain, addr);
         let mut cycles = self.map.dram_latency(&lat, class);
         match class {
@@ -519,15 +631,27 @@ impl MemorySystem {
                         self.writebacks[oi] += 1;
                     }
                     self.stats[di].snoop_invalidations += 1;
+                    self.emit(TraceEvent::Snoop { domain, addr: line_addr, invalidate: true });
                 } else {
                     cycles += Cycles::new(self.cfg.cxl.snoop_data as u64);
                     // Demote the peer's copy Exclusive/Modified → Shared.
                     if self.hierarchies[oi].state_of(line) == Some(Mesi::Modified) {
                         self.writebacks[oi] += 1;
                     }
-                    self.hierarchies[oi].l3.set_state(line, Mesi::Shared);
+                    let old = self.hierarchies[oi].l3.set_state(line, Mesi::Shared);
                     self.stats[di].snoop_data_hits += 1;
                     new_state = Mesi::Shared;
+                    self.emit(TraceEvent::Snoop { domain, addr: line_addr, invalidate: false });
+                    if let Some(old) = old {
+                        if old != Mesi::Shared {
+                            self.emit(TraceEvent::MesiTransition {
+                                domain: domain.other(),
+                                addr: line_addr,
+                                from: trace_mesi(old),
+                                to: TraceMesi::Shared,
+                            });
+                        }
+                    }
                 }
             }
         } else if is_write && self.hierarchies[oi].in_upper_levels(line) {
@@ -536,6 +660,7 @@ impl MemorySystem {
             cycles += Cycles::new(self.cfg.cxl.onchip_snoop as u64);
             self.hierarchies[oi].back_invalidate_upper(line);
             self.stats[di].snoop_invalidations += 1;
+            self.emit(TraceEvent::Snoop { domain, addr: line_addr, invalidate: true });
         }
 
         // Fill the LLC, handling inclusive evictions.
@@ -543,7 +668,20 @@ impl MemorySystem {
             Some(l3) => l3.insert(line, new_state),
             None => self.hierarchies[di].l3.insert(line, new_state),
         };
+        // The fill itself is an Invalid → new-state transition at the
+        // coherence point (the line just missed the LLC probe).
+        self.emit(TraceEvent::MesiTransition {
+            domain,
+            addr: line_addr,
+            from: TraceMesi::Invalid,
+            to: trace_mesi(new_state),
+        });
         if let Some(ev) = eviction {
+            self.emit(TraceEvent::CacheEvict {
+                domain,
+                addr: ev.line << self.line_shift,
+                dirty: ev.state == Mesi::Modified,
+            });
             if ev.state == Mesi::Modified {
                 self.writebacks[di] += 1;
                 // Dirty evictions drain through the write buffer; under
@@ -602,11 +740,17 @@ impl MemorySystem {
         let oi = domain.other().index();
         match &mut self.shared_l3 {
             Some(l3) => {
-                l3.set_state(line, Mesi::Modified);
+                let old = l3.set_state(line, Mesi::Modified);
+                self.emit_upgrade(domain, line, old);
                 if self.hierarchies[oi].in_upper_levels(line) {
                     *cycles += Cycles::new(self.cfg.cxl.onchip_snoop as u64);
                     self.hierarchies[oi].back_invalidate_upper(line);
                     self.stats[di].snoop_invalidations += 1;
+                    self.emit(TraceEvent::Snoop {
+                        domain,
+                        addr: line << self.line_shift,
+                        invalidate: true,
+                    });
                     return true;
                 }
                 false
@@ -614,7 +758,10 @@ impl MemorySystem {
             None => {
                 let state = self.hierarchies[di].l3.state_of(line);
                 if state == Some(Mesi::Modified) || state == Some(Mesi::Exclusive) {
-                    self.hierarchies[di].l3.set_state(line, Mesi::Modified);
+                    let old = self.hierarchies[di].l3.set_state(line, Mesi::Modified);
+                    if state == Some(Mesi::Exclusive) {
+                        self.emit_upgrade(domain, line, old);
+                    }
                     return false;
                 }
                 // Shared (or L1-resident without L3 state after an odd
@@ -626,10 +773,35 @@ impl MemorySystem {
                         self.writebacks[oi] += 1;
                     }
                     self.stats[di].snoop_invalidations += 1;
+                    self.emit(TraceEvent::Snoop {
+                        domain,
+                        addr: line << self.line_shift,
+                        invalidate: true,
+                    });
                     snooped = true;
                 }
-                self.hierarchies[di].l3.set_state(line, Mesi::Modified);
+                let old = self.hierarchies[di].l3.set_state(line, Mesi::Modified);
+                self.emit_upgrade(domain, line, old);
                 snooped
+            }
+        }
+    }
+
+    /// Emits the MESI transition for a write upgrade to Modified, if the
+    /// line was resident in a different state.
+    #[inline]
+    fn emit_upgrade(&self, domain: DomainId, line: u64, old: Option<Mesi>) {
+        if self.tracer.is_none() {
+            return;
+        }
+        if let Some(old) = old {
+            if old != Mesi::Modified {
+                self.emit(TraceEvent::MesiTransition {
+                    domain,
+                    addr: line << self.line_shift,
+                    from: trace_mesi(old),
+                    to: TraceMesi::Modified,
+                });
             }
         }
     }
@@ -801,6 +973,26 @@ impl MemorySystem {
             AccessKind::Instruction => {
                 self.stats[di].l1i.accesses += n;
                 self.stats[di].l1i.hits += n;
+            }
+        }
+        if let Some(t) = &self.tracer {
+            // The repeats are guaranteed L1 hits; a replayed scalar loop
+            // would emit exactly this event `n` times (a repeated write
+            // finds the line already Modified, so no snoop, no MESI
+            // transition, and the cost stays at the L1 latency).
+            let event = TraceEvent::CacheAccess {
+                domain,
+                addr: (line_addr.raw() >> self.line_shift) << self.line_shift,
+                write: access == Access::Write,
+                ifetch: kind == AccessKind::Instruction,
+                level: TraceLevel::L1,
+                class: None,
+                snooped: false,
+                cost: Cycles::new(lat.l1 as u64),
+            };
+            let mut t = t.borrow_mut();
+            for _ in 0..n {
+                t.record(event);
             }
         }
         cycles + Cycles::new(n * lat.l1 as u64)

@@ -20,7 +20,8 @@ use stramash_kernel::system::{
 };
 use stramash_kernel::BootConfig;
 use stramash_mem::PhysAddr;
-use stramash_sim::{Cycles, DomainId, SimConfig};
+use stramash_sim::trace::{FutexOp, TraceEvent, HIST_DSM_TRANSFER};
+use stramash_sim::{Cycles, DomainId, SharedTracer, SimConfig};
 
 /// Kernel-side work to service one received protocol message.
 pub const HANDLER_COST: Cycles = Cycles::new(400);
@@ -90,6 +91,13 @@ impl PopcornSystem {
     #[must_use]
     pub fn transport(&self) -> Transport {
         self.base.msg.transport()
+    }
+
+    /// Installs a shared tracer across the whole stack (memory system,
+    /// messaging layer, IPI fabric, and the DSM protocol events emitted
+    /// by this system).
+    pub fn install_tracer(&mut self, tracer: SharedTracer) {
+        self.base.install_tracer(tracer);
     }
 
     /// DSM replication count for `pid` (Table 3).
@@ -353,7 +361,15 @@ impl PopcornSystem {
         base.charge(requester, c_write);
         // The actual bytes move so later reads see real data.
         base.mem.store_mut().copy(src_frame, dst_frame, PAGE_SIZE);
-        c_read + c_write + total
+        let cost = c_read + c_write + total;
+        self.base.emit(TraceEvent::DsmTransfer {
+            from: holder,
+            to: requester,
+            bytes: PAGE_SIZE,
+            cost,
+        });
+        self.base.observe(HIST_DSM_TRANSFER, cost);
+        cost
     }
 }
 
@@ -416,6 +432,10 @@ impl OsSystem for PopcornSystem {
                         total += self.map_into(pid, domain, va, local_frame, false)?;
                         total += self.map_into(pid, origin, va, origin_frame, false)?;
                     }
+                    self.base.emit(TraceEvent::DsmReplicate {
+                        to: domain,
+                        page_va: va.page_base().raw(),
+                    });
                     self.base.kernels[domain.index()].counters.replicated_pages += 1;
                     self.base.kernels[domain.index()].counters.origin_handled_faults += 1;
                 }
@@ -450,6 +470,10 @@ impl OsSystem for PopcornSystem {
                             DsmPageState::SharedBoth
                         };
                     }
+                    self.base.emit(TraceEvent::DsmReplicate {
+                        to: domain,
+                        page_va: va.page_base().raw(),
+                    });
                     self.base.kernels[domain.index()].counters.replicated_pages += 1;
                     if write {
                         total += self.map_into(pid, domain, va, dst, true)?;
@@ -496,6 +520,10 @@ impl OsSystem for PopcornSystem {
                             ))?;
                             p.state = DsmPageState::Exclusive(domain);
                         }
+                        self.base.emit(TraceEvent::DsmInvalidate {
+                            to: peer,
+                            page_va: va.page_base().raw(),
+                        });
                         self.base.kernels[domain.other().index()].counters.dsm_invalidations += 1;
                         total += self.map_into(pid, domain, va, frame, true)?;
                     } else {
@@ -557,6 +585,7 @@ impl OsSystem for PopcornSystem {
         let (_, c) = self.base.mem.cas_u64(origin, pa, 0, 1, penalty);
         self.base.charge(origin, c);
         total += c;
+        self.base.emit(TraceEvent::Futex { domain, op: FutexOp::Acquire, va: uaddr.raw() });
         Ok(total)
     }
 
@@ -584,6 +613,7 @@ impl OsSystem for PopcornSystem {
         // Wake a waiter if one exists; cross-domain waiters need a wake
         // message.
         if let Some(w) = self.base.kernels[origin.index()].futexes.wake_one(uaddr) {
+            self.base.emit(TraceEvent::Futex { domain: w.domain, op: FutexOp::Wake, va: uaddr.raw() });
             if w.domain != origin {
                 let base = &mut self.base;
                 let c = base.msg.send(

@@ -18,6 +18,7 @@
 use crate::fault::SharedFaultInjector;
 use crate::rng::SimRng;
 use crate::time::{Cycles, DomainId};
+use crate::trace::{SharedTracer, TraceEvent};
 
 /// Retransmission cap for lost IPIs: with any sane loss probability the
 /// chance of this many consecutive losses is negligible, but the cap
@@ -42,13 +43,20 @@ pub struct IpiFabric {
     delivered: [u64; crate::NUM_DOMAINS],
     injector: Option<SharedFaultInjector>,
     retries: u64,
+    tracer: Option<SharedTracer>,
 }
 
 impl IpiFabric {
     /// Creates a fabric with the given one-way delivery latency.
     #[must_use]
     pub fn new(latency: Cycles) -> Self {
-        IpiFabric { latency, delivered: [0; crate::NUM_DOMAINS], injector: None, retries: 0 }
+        IpiFabric {
+            latency,
+            delivered: [0; crate::NUM_DOMAINS],
+            injector: None,
+            retries: 0,
+            tracer: None,
+        }
     }
 
     /// One-way delivery latency.
@@ -61,6 +69,12 @@ impl IpiFabric {
     /// and retransmit. With no injector the fabric consumes zero RNG.
     pub fn set_fault_injector(&mut self, injector: SharedFaultInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Installs a tracer; every delivered IPI is recorded as a passive
+    /// [`TraceEvent::Ipi`] (no cost, no RNG).
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Cumulative retransmissions caused by injected IPI loss.
@@ -94,6 +108,9 @@ impl IpiFabric {
             }
         }
         self.delivered[from.other().index()] += 1;
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(TraceEvent::Ipi { from, cost });
+        }
         cost
     }
 

@@ -18,7 +18,10 @@
 //! * a deterministic [`rng`] so every experiment is reproducible,
 //! * a [`fault`] module scheduling deterministic, replayable fault
 //!   injection (message loss, IPI loss, bit flips, allocation failures)
-//!   for the robustness harness.
+//!   for the robustness harness,
+//! * a [`trace`] module with the deterministic observability layer: a
+//!   bounded typed-event ring and a metrics registry wired through
+//!   every layer of the stack without costing a simulated cycle.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod perf;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use config::{
     CacheConfig, CacheGeometry, CxlCosts, DomainConfig, HardwareModel, Interconnect, LatencyTable,
@@ -53,8 +57,11 @@ pub use fault::{
     SharedFaultInjector,
 };
 pub use perf::{PerfPhase, PerfSample, PerfSession};
-pub use stats::{fully_shared_estimate, DomainStats};
+pub use stats::{fully_shared_estimate, DomainStats, StatsError};
 pub use time::{Clock, Cycles, DomainId, Timebase};
+pub use trace::{
+    shared_tracer, EventClass, MetricsRegistry, SharedTracer, TraceEvent, Tracer,
+};
 
 /// Number of simulated ISA domains. The paper's prototype fuses exactly two
 /// kernel instances (x86-64 and AArch64); scalability beyond a pair is

@@ -10,6 +10,48 @@ use crate::config::LatencyTable;
 use crate::time::Cycles;
 use std::fmt;
 
+/// Errors from statistics derivations on degenerate inputs.
+///
+/// These were previously *silently clamped* (`saturating_sub` to zero),
+/// which produced a plausible-looking but meaningless Fully-Shared
+/// estimate; the typed error makes the bad input visible instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The latency table claims remote DRAM is not slower than local
+    /// DRAM, so the remote-vs-local differential is undefined.
+    InvertedLatencyTable {
+        /// Local DRAM latency.
+        mem: u32,
+        /// Remote DRAM latency (≤ `mem`, which is the defect).
+        remote_mem: u32,
+    },
+    /// The subtracted term exceeds the measured runtime — the counters
+    /// and the runtime cannot belong to the same run.
+    EstimateUnderflow {
+        /// The measured runtime.
+        runtime: u64,
+        /// The remote-hit adjustment that exceeds it.
+        adjustment: u64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvertedLatencyTable { mem, remote_mem } => write!(
+                f,
+                "latency table is inverted: remote_mem {remote_mem} is not above mem {mem}"
+            ),
+            StatsError::EstimateUnderflow { runtime, adjustment } => write!(
+                f,
+                "fully-shared adjustment {adjustment} exceeds runtime {runtime}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// The artifact's Fully-Shared runtime derivation (Appendix A.5):
 ///
 /// ```text
@@ -20,14 +62,35 @@ use std::fmt;
 /// term is `remote_hits × 0.455 × remote`; expressed against a
 /// [`LatencyTable`] it is simply the remote-vs-local differential per
 /// remote DRAM hit.
-#[must_use]
+///
+/// # Errors
+///
+/// [`StatsError::InvertedLatencyTable`] when `remote_mem ≤ mem` with
+/// remote hits present (the differential would be negative), and
+/// [`StatsError::EstimateUnderflow`] when the adjustment exceeds the
+/// runtime — both cases previously clamped silently to `Cycles::ZERO`.
 pub fn fully_shared_estimate(
     runtime: Cycles,
     remote_hits: u64,
     table: &LatencyTable,
-) -> Cycles {
-    let differential = u64::from(table.remote_mem.saturating_sub(table.mem));
-    runtime.saturating_sub(Cycles::new(remote_hits * differential))
+) -> Result<Cycles, StatsError> {
+    if remote_hits == 0 {
+        return Ok(runtime);
+    }
+    if table.remote_mem <= table.mem {
+        return Err(StatsError::InvertedLatencyTable {
+            mem: table.mem,
+            remote_mem: table.remote_mem,
+        });
+    }
+    let differential = u64::from(table.remote_mem - table.mem);
+    let adjustment = remote_hits.checked_mul(differential).ok_or(
+        StatsError::EstimateUnderflow { runtime: runtime.raw(), adjustment: u64::MAX },
+    )?;
+    let estimate = runtime.raw().checked_sub(adjustment).ok_or(
+        StatsError::EstimateUnderflow { runtime: runtime.raw(), adjustment },
+    )?;
+    Ok(Cycles::new(estimate))
 }
 
 /// Counters for one cache level.
@@ -220,14 +283,49 @@ mod tests {
             Cycles::new(1_000_000),
             1000,
             &LatencyTable::XEON_GOLD,
-        );
+        )
+        .unwrap();
         assert_eq!(est.raw(), 1_000_000 - 1000 * 340);
-        // Saturates instead of underflowing.
-        let est = fully_shared_estimate(Cycles::new(10), 1000, &LatencyTable::XEON_GOLD);
-        assert_eq!(est, Cycles::ZERO);
+        // No remote hits: the runtime passes through untouched, even
+        // with a degenerate table (nothing is subtracted).
+        let flat = LatencyTable { l1: 4, l2: 14, l3: 50, mem: 360, remote_mem: 360 };
+        assert_eq!(
+            fully_shared_estimate(Cycles::new(42), 0, &flat).unwrap(),
+            Cycles::new(42)
+        );
         // The AE constants give the paper's 0.455 ratio.
         let ae = LatencyTable { l1: 4, l2: 14, l3: 50, mem: 360, remote_mem: 660 };
         assert!((ae.remote_differential_ratio() - 0.455).abs() < 0.01);
+    }
+
+    #[test]
+    fn fully_shared_rejects_degenerate_inputs() {
+        // Underflow: 1000 remote hits cannot fit in a 10-cycle runtime.
+        // This used to clamp silently to Cycles::ZERO.
+        assert_eq!(
+            fully_shared_estimate(Cycles::new(10), 1000, &LatencyTable::XEON_GOLD),
+            Err(StatsError::EstimateUnderflow { runtime: 10, adjustment: 1000 * 340 })
+        );
+        // Inverted table: remote DRAM "faster" than local DRAM. This
+        // used to clamp the differential to 0 and return the runtime.
+        let inverted = LatencyTable { l1: 4, l2: 14, l3: 50, mem: 660, remote_mem: 360 };
+        let err =
+            fully_shared_estimate(Cycles::new(1_000_000), 5, &inverted).unwrap_err();
+        assert_eq!(err, StatsError::InvertedLatencyTable { mem: 660, remote_mem: 360 });
+        // Equal latencies are just as undefined as inverted ones.
+        let flat = LatencyTable { l1: 4, l2: 14, l3: 50, mem: 360, remote_mem: 360 };
+        assert!(fully_shared_estimate(Cycles::new(1_000_000), 5, &flat).is_err());
+        // Multiplication overflow is reported, not wrapped.
+        let wide = LatencyTable { l1: 4, l2: 14, l3: 50, mem: 0, remote_mem: u32::MAX };
+        assert!(matches!(
+            fully_shared_estimate(Cycles::new(u64::MAX), u64::MAX, &wide),
+            Err(StatsError::EstimateUnderflow { .. })
+        ));
+        // Errors render for diagnostics.
+        assert!(!err.to_string().is_empty());
+        assert!(!StatsError::EstimateUnderflow { runtime: 1, adjustment: 2 }
+            .to_string()
+            .is_empty());
     }
 
     #[test]

@@ -387,7 +387,7 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
         let mut out = [0u64; 2];
         let cyc = base.mem.read_u64_run(domain, pa, &mut out);
         base.charge(domain, cyc);
-        base.mem.stats_mut(domain).tlb_hits += 1;
+        base.mem.note_tlb_hit(domain);
         Ok((f64::from_bits(out[0]), f64::from_bits(out[1])))
     }
 
@@ -409,7 +409,7 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
         let base = self.c.sys.base_mut();
         let cyc = base.mem.write_u64_run(domain, pa, &[v0.to_bits(), v1.to_bits()]);
         base.charge(domain, cyc);
-        base.mem.stats_mut(domain).tlb_hits += 1;
+        base.mem.note_tlb_hit(domain);
         Ok(())
     }
 
@@ -442,7 +442,7 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
         base.charge(domain, cyc);
         // Elements 2..n sit on the freshly-translated page: each would
         // be a zero-cycle TLB hit on the scalar path.
-        base.mem.stats_mut(domain).tlb_hits += (n - 1) as u64;
+        base.mem.note_tlb_hits(domain, (n - 1) as u64);
         for _ in 0..n {
             self.c.work(work_per)?;
         }
@@ -463,7 +463,7 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
         let base = self.c.sys.base_mut();
         let cyc = base.mem.read_u64_run(domain, pa, &mut out[..n]);
         base.charge(domain, cyc);
-        base.mem.stats_mut(domain).tlb_hits += (n - 1) as u64;
+        base.mem.note_tlb_hits(domain, (n - 1) as u64);
         for _ in 0..n {
             self.c.work(work_per)?;
         }

@@ -95,12 +95,16 @@ impl RunReport {
     pub fn ae_fully_shared_estimate(&self, cfg: &stramash_sim::SimConfig) -> Cycles {
         let mut estimate = self.runtime;
         for d in DomainId::ALL {
-            let saved = stramash_sim::fully_shared_estimate(
+            // A degenerate table or an underflowing adjustment means the
+            // derivation is meaningless for this run; keep the measured
+            // runtime rather than fabricating a clamped estimate.
+            if let Ok(saved) = stramash_sim::fully_shared_estimate(
                 estimate,
                 self.remote_hits_by_domain[d.index()],
                 &cfg.domain(d).latency,
-            );
-            estimate = saved;
+            ) {
+                estimate = saved;
+            }
         }
         estimate
     }

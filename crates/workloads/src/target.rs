@@ -174,6 +174,19 @@ impl TargetSystem {
         self.base().fault_injector()
     }
 
+    /// Installs a shared tracer on whichever system is under test: every
+    /// layer (memory hierarchy, messaging, IPIs, OS protocols) records
+    /// its events into the same deterministic stream.
+    pub fn install_tracer(&mut self, tracer: stramash_sim::SharedTracer) {
+        self.base_mut().install_tracer(tracer);
+    }
+
+    /// The installed tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&stramash_sim::SharedTracer> {
+        self.base().tracer()
+    }
+
     /// Runs the design-specific invariant auditor and returns every
     /// violation found; empty means sound. Vanilla gets the base
     /// checks (ring cursors + cache coherence), Popcorn adds DSM

@@ -3,7 +3,12 @@
 # against the committed BENCH_simulator.json baseline and emits GitHub
 # `::warning` annotations for metrics that regressed beyond a relative
 # tolerance. Host wall-clock on shared CI runners is noisy, so the diff
-# is advisory: the script always exits 0 and never gates the pipeline.
+# is advisory — CI consumes it with continue-on-error — but failure
+# modes are distinguishable instead of silently exiting 0:
+#
+#   0  comparison ran (regressions, if any, were emitted as warnings)
+#   3  a baseline or fresh-results file is missing
+#   4  an input file is not valid JSON
 #
 # Usage: scripts/bench_compare.sh [fresh.json] [baseline.json]
 # Env:   STRAMASH_BENCH_TOLERANCE — relative slack, default 0.25 (25 %).
@@ -14,17 +19,24 @@ FRESH="${1:-BENCH_fresh.json}"
 BASE="${2:-BENCH_simulator.json}"
 TOLERANCE="${STRAMASH_BENCH_TOLERANCE:-0.25}"
 
-if [ ! -f "$FRESH" ] || [ ! -f "$BASE" ]; then
-    echo "bench_compare: missing $FRESH or $BASE, nothing to compare"
-    exit 0
+missing=""
+[ -f "$FRESH" ] || missing="$FRESH"
+[ -f "$BASE" ] || missing="${missing:+$missing }$BASE"
+if [ -n "$missing" ]; then
+    echo "::warning::bench_compare: missing input file(s): $missing — comparison skipped"
+    exit 3
 fi
 
 python3 - "$FRESH" "$BASE" "$TOLERANCE" <<'EOF'
 import json
 import sys
 
-fresh = json.load(open(sys.argv[1]))
-base = json.load(open(sys.argv[2]))
+try:
+    fresh = json.load(open(sys.argv[1]))
+    base = json.load(open(sys.argv[2]))
+except json.JSONDecodeError as e:
+    print(f"::warning::bench_compare: malformed JSON input: {e} — comparison skipped")
+    sys.exit(4)
 tol = float(sys.argv[3])
 
 
@@ -68,5 +80,7 @@ if warned == 0:
 else:
     print(f"bench_compare: {warned} metric(s) beyond tolerance (advisory only)")
 EOF
+status=$?
+[ "$status" -eq 0 ] || exit "$status"
 
 exit 0

@@ -7,6 +7,7 @@
 //! stramash-cli sweep cg --class tiny
 //! stramash-cli kv get --requests 200
 //! stramash-cli ipi
+//! stramash-cli trace is --system stramash --json /tmp/trace.json
 //! ```
 
 use stramash_repro::kernel::system::OsSystem;
@@ -27,7 +28,9 @@ fn usage() -> ExitCode {
                                     [--class <tiny|small|large>] [--report]
   stramash-cli sweep <is|cg|mg|ft|ep> [--class <tiny|small|large>]
   stramash-cli kv <get|set|lpush|rpush|lpop|rpop|sadd|mset> [--requests N]
-  stramash-cli ipi"
+  stramash-cli ipi
+  stramash-cli trace <is|cg|mg|ft|ep> [--system <...>] [--model <...>] [--class <...>]
+                                      [--json <path>]"
     );
     ExitCode::FAILURE
 }
@@ -166,6 +169,62 @@ fn cmd_kv(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_trace(args: &[String]) -> ExitCode {
+    use stramash_repro::sim::trace::{
+        chrome_trace_json, reconstruct_domain_stats, render_phase_report, shared_tracer,
+    };
+    let Some(kind) = args.first().and_then(|a| parse_kind(a)) else {
+        return usage();
+    };
+    let system = match flag(args, "--system").as_deref() {
+        Some(s) => match parse_system(s) {
+            Some(k) => k,
+            None => return usage(),
+        },
+        None => SystemKind::Stramash,
+    };
+    let model = match flag(args, "--model").as_deref() {
+        Some(s) => match parse_model(s) {
+            Some(m) => m,
+            None => return usage(),
+        },
+        None => HardwareModel::Shared,
+    };
+    let class = match flag(args, "--class").as_deref() {
+        Some("small") => Class::Small,
+        Some("large") => Class::Large,
+        _ => Class::Tiny,
+    };
+    let mut sys = TargetSystem::build(system, model).expect("boot");
+    let tracer = shared_tracer(1 << 20);
+    sys.install_tracer(tracer.clone());
+    let pid = sys.spawn(DomainId::X86).expect("spawn");
+    let out =
+        stramash_repro::workloads::npb::run_npb(kind, &mut sys, pid, class, system.migrates())
+            .expect("run");
+    sys.base_mut().sync_runtime_stats();
+
+    let t = tracer.borrow();
+    let events = t.events();
+    println!("{kind} on {system} ({model}) — verified: {}", out.verified);
+    println!("{} events recorded, {} dropped by the bounded ring\n", t.recorded(), t.dropped());
+    print!("{}", render_phase_report(&events));
+
+    // The report's per-domain totals, rebuilt purely from the stream.
+    println!("\nper-domain stats reconstructed from the event stream:");
+    let rebuilt = reconstruct_domain_stats(&events);
+    for d in DomainId::ALL {
+        println!("{}", rebuilt[d.index()].report(&d.to_string()));
+    }
+    println!("metrics:");
+    print!("{}", t.metrics().render());
+    if let Some(path) = flag(args, "--json") {
+        std::fs::write(&path, chrome_trace_json(&events)).expect("write trace json");
+        println!("chrome trace written to {path} (open via chrome://tracing or Perfetto)");
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_ipi() -> ExitCode {
     for (name, topo, freq) in [
         ("big_Arm", IpiTopology::big_arm(), 2_000_000_000u64),
@@ -189,6 +248,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("kv") => cmd_kv(&args[1..]),
         Some("ipi") => cmd_ipi(),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }
