@@ -128,6 +128,46 @@ impl GlobalAllocator {
         self.block_size
     }
 
+    /// Serializes the mutable allocator state (per-block owners; block
+    /// starts and geometry are derived from the boot configuration).
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4741_4c43); // "GALC"
+        e.u64(self.block_size);
+        e.u64(self.blocks.len() as u64);
+        for b in &self.blocks {
+            e.u8(match b.owner {
+                None => 2,
+                Some(d) => d.index() as u8,
+            });
+        }
+    }
+
+    /// Restores ownership written by [`GlobalAllocator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// `ConfigMismatch` when the block geometry disagrees; decoding
+    /// errors otherwise.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4741_4c43)?;
+        if d.u64()? != self.block_size || d.u64()? != self.blocks.len() as u64 {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        for b in &mut self.blocks {
+            b.owner = match d.u8()? {
+                0 => Some(DomainId::X86),
+                1 => Some(DomainId::ARM),
+                2 => None,
+                _ => return Err(CheckpointError::Malformed("bad block owner code")),
+            };
+        }
+        Ok(())
+    }
+
     /// Number of unowned blocks.
     #[must_use]
     pub fn free_blocks(&self) -> usize {

@@ -187,6 +187,69 @@ impl StramashSystem {
         self.base.kernels.iter().map(|k| k.counters.replicated_pages).sum()
     }
 
+    /// Serializes the whole system — base machine, global-allocator
+    /// ownership, fused-OS counters and the pending remote-format PTE
+    /// sets — into a checkpoint section. The fused VAS windows are boot
+    /// configuration and are rebuilt, not stored.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x5354_524d); // "STRM"
+        self.base.save_state(e);
+        self.galloc.save_state(e);
+        let c = &self.counters;
+        for v in [
+            c.direct_remote_faults,
+            c.ptl_acquisitions,
+            c.remote_vma_walks,
+            c.pte_reconfigurations,
+            c.futex_wake_ipis,
+            c.blocks_granted,
+            c.blocks_evicted,
+        ] {
+            e.u64(v);
+        }
+        let mut pids: Vec<u32> = self.remote_fmt_ptes.keys().copied().collect();
+        pids.sort_unstable();
+        e.u64(pids.len() as u64);
+        for pid in pids {
+            e.u32(pid);
+            let vpns: Vec<u64> = self.remote_fmt_ptes[&pid].iter().copied().collect();
+            e.u64s(&vpns);
+        }
+    }
+
+    /// Restores state written by [`StramashSystem::save_state`] into
+    /// this freshly booted system (same boot configuration required).
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; geometry mismatches surface as `ConfigMismatch`.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        d.tag(0x5354_524d)?;
+        self.base.load_state(d)?;
+        self.galloc.load_state(d)?;
+        self.counters = StramashCounters {
+            direct_remote_faults: d.u64()?,
+            ptl_acquisitions: d.u64()?,
+            remote_vma_walks: d.u64()?,
+            pte_reconfigurations: d.u64()?,
+            futex_wake_ipis: d.u64()?,
+            blocks_granted: d.u64()?,
+            blocks_evicted: d.u64()?,
+        };
+        let n = d.len()?;
+        let mut remote_fmt = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pid = d.u32()?;
+            let vpns: std::collections::BTreeSet<u64> = d.u64s()?.into_iter().collect();
+            remote_fmt.insert(pid, vpns);
+        }
+        self.remote_fmt_ptes = remote_fmt;
+        Ok(())
+    }
+
     /// Audits the fused-kernel invariants without timing side effects:
     /// ring-cursor sanity and MESI directory agreement (via
     /// [`BaseSystem::audit`]), plus for every VMA page the §6.4

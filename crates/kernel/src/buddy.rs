@@ -225,6 +225,63 @@ impl BuddyAllocator {
         let covered: u64 = blocks.iter().map(|&(_, l)| l).sum();
         assert_eq!(covered, self.total_pages, "blocks must tile the region");
     }
+
+    /// Serializes the allocator's mutable state (free lists, allocated
+    /// map, allocation count) into a checkpoint section. `BTreeSet` and
+    /// the sorted allocated map give a canonical byte stream.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4244_4459); // "BDDY"
+        e.u64(self.base);
+        e.u64(self.total_pages);
+        for list in &self.free_lists {
+            let v: Vec<u64> = list.iter().copied().collect();
+            e.u64s(&v);
+        }
+        let mut allocs: Vec<(u64, u32)> = self.allocated.iter().map(|(&i, &o)| (i, o)).collect();
+        allocs.sort_unstable();
+        e.u64(allocs.len() as u64);
+        for (idx, order) in allocs {
+            e.u64(idx);
+            e.u32(order);
+        }
+        e.u64(self.allocated_pages);
+    }
+
+    /// Restores mutable state written by [`BuddyAllocator::save_state`]
+    /// into this allocator.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; `ConfigMismatch` if the section was written for
+    /// a region with a different base or size.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4244_4459)?;
+        if d.u64()? != self.base || d.u64()? != self.total_pages {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        let mut free_lists = Vec::with_capacity((MAX_ORDER + 1) as usize);
+        for _ in 0..=MAX_ORDER {
+            free_lists.push(d.u64s()?.into_iter().collect::<BTreeSet<u64>>());
+        }
+        let n = d.len()?;
+        let mut allocated = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = d.u64()?;
+            let order = d.u32()?;
+            if order > MAX_ORDER || idx >= self.total_pages {
+                return Err(CheckpointError::Malformed("buddy allocation out of range"));
+            }
+            allocated.insert(idx, order);
+        }
+        self.free_lists = free_lists;
+        self.allocated = allocated;
+        self.allocated_pages = d.u64()?;
+        Ok(())
+    }
 }
 
 /// The smallest order whose block covers `pages` pages.

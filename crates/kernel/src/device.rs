@@ -215,6 +215,47 @@ impl DeviceRegistry {
             Cycles::new(LOCAL_MMIO_COST + FORWARD_COST)
         }
     }
+
+    /// Serializes the registry's mutable state (register values in
+    /// address order, forwarding counters) into a checkpoint section.
+    /// The device list itself is platform configuration and is rebuilt,
+    /// not restored.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4445_5653); // "DEVS"
+        let mut addrs: Vec<u64> = self.regs.keys().copied().collect();
+        addrs.sort_unstable();
+        e.u64(addrs.len() as u64);
+        for a in addrs {
+            e.u64(a);
+            e.u64(self.regs[&a]);
+        }
+        e.u64s(&self.forwarded);
+    }
+
+    /// Restores state written by [`DeviceRegistry::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4445_5653)?;
+        let n = d.len()?;
+        let mut regs = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let a = d.u64()?;
+            regs.insert(a, d.u64()?);
+        }
+        self.regs = regs;
+        self.forwarded = d
+            .u64s()?
+            .try_into()
+            .map_err(|_| CheckpointError::Malformed("expected a per-domain pair"))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -252,6 +252,49 @@ impl FrameAllocator {
     pub fn owns(&self, pa: PhysAddr) -> bool {
         self.regions.iter().any(|r| pa.raw() >= r.start && pa.raw() < r.start + r.len)
     }
+
+    /// Serializes the full region list (bounds, online flag and buddy
+    /// state) into a checkpoint section. The whole list is written —
+    /// not just per-region deltas — because the §6.3 grow/evict paths
+    /// add and remove regions at runtime.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4652_4d53); // "FRMS"
+        e.u64(self.regions.len() as u64);
+        for r in &self.regions {
+            e.u64(r.start);
+            e.u64(r.len);
+            e.bool(r.online);
+            r.buddy.save_state(e);
+        }
+    }
+
+    /// Replaces this allocator's regions with the checkpointed set.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4652_4d53)?;
+        let n = d.len()?;
+        let mut regions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = d.u64()?;
+            let len = d.u64()?;
+            let online = d.bool()?;
+            if start % PAGE_SIZE != 0 || len == 0 || len % PAGE_SIZE != 0 {
+                return Err(CheckpointError::Malformed("frame region bounds unaligned"));
+            }
+            let mut buddy = BuddyAllocator::new(PhysAddr::new(start), len);
+            buddy.load_state(d)?;
+            regions.push(Region { start, len, buddy, online });
+        }
+        self.regions = regions;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

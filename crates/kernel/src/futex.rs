@@ -102,6 +102,89 @@ impl FutexTable {
     pub fn total_wakes(&self) -> u64 {
         self.wakes
     }
+
+    /// Removes every waiter sleeping on the dead domain and returns the
+    /// *surviving* waiters that were queued behind them, per futex — the
+    /// watchdog wakes these with `OwnerDied` so a lock word owned by the
+    /// crashed domain cannot block the survivor forever.
+    ///
+    /// Returned pairs are sorted by futex address for determinism.
+    pub fn drain_domain(&mut self, dead: DomainId) -> Vec<(u64, Waiter)> {
+        let mut orphaned = Vec::new();
+        let mut empty = Vec::new();
+        let mut addrs: Vec<u64> = self.queues.keys().copied().collect();
+        addrs.sort_unstable();
+        for uaddr in addrs {
+            let q = self.queues.get_mut(&uaddr).expect("key just listed");
+            let had_dead = q.iter().any(|w| w.domain == dead);
+            q.retain(|w| w.domain != dead);
+            if had_dead {
+                // Survivors on a poisoned futex get woken with OwnerDied.
+                orphaned.extend(q.drain(..).map(|w| (uaddr, w)));
+            }
+            if q.is_empty() {
+                empty.push(uaddr);
+            }
+        }
+        for uaddr in empty {
+            self.queues.remove(&uaddr);
+        }
+        orphaned
+    }
+
+    /// Serializes the table (queues in futex-address order, counters)
+    /// into a checkpoint section.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4654_5851); // "FTXQ"
+        let mut addrs: Vec<u64> = self.queues.keys().copied().collect();
+        addrs.sort_unstable();
+        e.u64(addrs.len() as u64);
+        for uaddr in addrs {
+            e.u64(uaddr);
+            let q = &self.queues[&uaddr];
+            e.u64(q.len() as u64);
+            for w in q {
+                e.u64(w.thread.0);
+                e.u8(w.domain.index() as u8);
+            }
+        }
+        e.u64(self.waits);
+        e.u64(self.wakes);
+    }
+
+    /// Restores a table written by [`FutexTable::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4654_5851)?;
+        let n = d.len()?;
+        let mut queues = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let uaddr = d.u64()?;
+            let m = d.len()?;
+            let mut q = VecDeque::with_capacity(m);
+            for _ in 0..m {
+                let thread = ThreadId(d.u64()?);
+                let domain = match d.u8()? {
+                    0 => DomainId::X86,
+                    1 => DomainId::ARM,
+                    _ => return Err(CheckpointError::Malformed("bad futex waiter domain")),
+                };
+                q.push_back(Waiter { thread, domain });
+            }
+            queues.insert(uaddr, q);
+        }
+        self.queues = queues;
+        self.waits = d.u64()?;
+        self.wakes = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,57 @@ impl KernelInstance {
     pub fn reset_counters(&mut self) {
         self.counters = KernelCounters::default();
     }
+
+    /// Serializes the kernel's mutable state (frames, futexes,
+    /// counters) into a checkpoint section. Namespaces, atomics and
+    /// consistency are boot configuration and are rebuilt, not restored.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4b52_4e4c); // "KRNL"
+        e.u8(self.domain.index() as u8);
+        self.frames.save_state(e);
+        self.futexes.save_state(e);
+        let c = &self.counters;
+        for v in [
+            c.local_faults,
+            c.remote_pt_inserts,
+            c.origin_handled_faults,
+            c.replicated_pages,
+            c.dsm_invalidations,
+            c.futex_ops,
+            c.migrations_in,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restores state written by [`KernelInstance::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; `KindMismatch` if the section belongs to the
+    /// other domain's kernel.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4b52_4e4c)?;
+        if d.u8()? != self.domain.index() as u8 {
+            return Err(CheckpointError::KindMismatch);
+        }
+        self.frames.load_state(d)?;
+        self.futexes.load_state(d)?;
+        self.counters = KernelCounters {
+            local_faults: d.u64()?,
+            remote_pt_inserts: d.u64()?,
+            origin_handled_faults: d.u64()?,
+            replicated_pages: d.u64()?,
+            dsm_invalidations: d.u64()?,
+            futex_ops: d.u64()?,
+            migrations_in: d.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

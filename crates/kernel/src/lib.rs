@@ -54,6 +54,7 @@ pub mod rbtree;
 pub mod session;
 pub mod system;
 pub mod vma;
+pub mod watchdog;
 
 pub use addr::{VirtAddr, PAGE_SIZE};
 pub use boot::{boot_pair, BootConfig, BootStage, BootTimeline, BootedPlatform};
@@ -70,3 +71,4 @@ pub use rbtree::{RbTree, RbTreeError};
 pub use session::AccessSession;
 pub use system::{BaseSystem, OsError, OsSystem, VanillaSystem};
 pub use vma::{Vma, VmaKind, VmaProt, VmaTree};
+pub use watchdog::{Watchdog, WatchdogReport};

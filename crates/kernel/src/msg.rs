@@ -98,6 +98,9 @@ pub enum MsgType {
     KvRequest,
     /// Network-service response.
     KvResponse,
+    /// Watchdog liveness beacon. Only sent when the watchdog is armed,
+    /// so fault-free runs without one stay byte- and cycle-identical.
+    Heartbeat,
 }
 
 impl MsgType {
@@ -119,11 +122,12 @@ impl MsgType {
             MsgType::OriginFaultResponse => "OriginFaultResponse",
             MsgType::KvRequest => "KvRequest",
             MsgType::KvResponse => "KvResponse",
+            MsgType::Heartbeat => "Heartbeat",
         }
     }
 
     /// All message kinds (for counter reports).
-    pub const ALL: [MsgType; 14] = [
+    pub const ALL: [MsgType; 15] = [
         MsgType::PageRequest,
         MsgType::PageResponse,
         MsgType::PageInvalidate,
@@ -138,6 +142,7 @@ impl MsgType {
         MsgType::OriginFaultResponse,
         MsgType::KvRequest,
         MsgType::KvResponse,
+        MsgType::Heartbeat,
     ];
 }
 
@@ -763,6 +768,82 @@ impl MessagingLayer {
         let ti = to.index();
         let start = self.cursor[ti].saturating_sub(total);
         self.ring_base[ti].offset(start)
+    }
+
+    /// Quarantines a crashed domain: drops every unconsumed message in
+    /// its ring (the dead kernel will never drain them) and resets the
+    /// producer cursor, so post-recovery sends to a restarted kernel
+    /// start from a clean ring. Returns the number of in-flight bytes
+    /// discarded.
+    pub fn quarantine(&mut self, dead: DomainId) -> u64 {
+        let di = dead.index();
+        let dropped = self.outstanding[di];
+        self.outstanding[di] = 0;
+        self.cursor[di] = 0;
+        dropped
+    }
+
+    /// Serializes the layer's mutable state (cursors, outstanding
+    /// bytes, sequence numbers, counters) into a checkpoint section.
+    /// Transport, ring placement and RTT are config-derived; only the
+    /// ring length is written, as a geometry cross-check.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4d53_474c); // "MSGL"
+        e.u64(self.ring_len);
+        e.u64s(&self.cursor);
+        e.u64s(&self.outstanding);
+        e.u64s(&self.next_seq);
+        e.u64s(&self.counters.sent);
+        e.u64s(&self.counters.bytes);
+        e.u64(self.counters.by_type.len() as u64);
+        for (&ty, &n) in &self.counters.by_type {
+            let code = MsgType::ALL.iter().position(|&t| t == ty).expect("ALL is exhaustive");
+            e.u8(code as u8);
+            e.u64(n);
+        }
+        e.u64s(&self.counters.retransmits);
+        e.u64s(&self.counters.timeouts);
+        e.u64s(&self.counters.dup_delivered);
+        e.u64s(&self.counters.backpressure_stalls);
+    }
+
+    /// Restores state written by [`MessagingLayer::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; `ConfigMismatch` on a different ring length.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4d53_474c)?;
+        if d.u64()? != self.ring_len {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        let pair = |v: Vec<u64>| -> Result<[u64; 2], CheckpointError> {
+            v.try_into().map_err(|_| CheckpointError::Malformed("expected a per-domain pair"))
+        };
+        self.cursor = pair(d.u64s()?)?;
+        self.outstanding = pair(d.u64s()?)?;
+        self.next_seq = pair(d.u64s()?)?;
+        self.counters.sent = pair(d.u64s()?)?;
+        self.counters.bytes = pair(d.u64s()?)?;
+        let n = d.len()?;
+        let mut by_type = BTreeMap::new();
+        for _ in 0..n {
+            let code = d.u8()? as usize;
+            let ty = *MsgType::ALL
+                .get(code)
+                .ok_or(CheckpointError::Malformed("unknown message type code"))?;
+            by_type.insert(ty, d.u64()?);
+        }
+        self.counters.by_type = by_type;
+        self.counters.retransmits = pair(d.u64s()?)?;
+        self.counters.timeouts = pair(d.u64s()?)?;
+        self.counters.dup_delivered = pair(d.u64s()?)?;
+        self.counters.backpressure_stalls = pair(d.u64s()?)?;
+        Ok(())
     }
 }
 

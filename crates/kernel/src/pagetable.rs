@@ -96,6 +96,14 @@ impl PageTable {
         Ok(PageTable { isa, root })
     }
 
+    /// Rebinds a handle to an existing root table — the restore path:
+    /// the table *contents* live in (already-restored) simulated memory,
+    /// so a checkpointed page table is just this pair.
+    #[must_use]
+    pub fn from_existing(isa: IsaKind, root: PhysAddr) -> Self {
+        PageTable { isa, root }
+    }
+
     /// The table's ISA format.
     #[must_use]
     pub fn isa(&self) -> IsaKind {

@@ -103,6 +103,58 @@ impl SoftTlb {
     pub fn entries(&self) -> usize {
         self.map.len()
     }
+
+    /// Serializes the TLB (entries in VPN order, counters, generation)
+    /// into a checkpoint section.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x544c_4253); // "TLBS"
+        let mut vpns: Vec<u64> = self.map.keys().copied().collect();
+        vpns.sort_unstable();
+        e.u64(vpns.len() as u64);
+        for vpn in vpns {
+            let (pa, fl) = self.map[&vpn];
+            e.u64(vpn);
+            e.u64(pa.raw());
+            for b in [fl.present, fl.writable, fl.user, fl.accessed, fl.dirty, fl.no_exec] {
+                e.bool(b);
+            }
+        }
+        e.u64(self.lookups);
+        e.u64(self.misses);
+        e.u64(self.generation);
+    }
+
+    /// Restores a TLB written by [`SoftTlb::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        d.tag(0x544c_4253)?;
+        let n = d.len()?;
+        let mut map = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = d.u64()?;
+            let pa = PhysAddr::new(d.u64()?);
+            let flags = PteFlags {
+                present: d.bool()?,
+                writable: d.bool()?,
+                user: d.bool()?,
+                accessed: d.bool()?,
+                dirty: d.bool()?,
+                no_exec: d.bool()?,
+            };
+            map.insert(vpn, (pa, flags));
+        }
+        self.map = map;
+        self.lookups = d.u64()?;
+        self.misses = d.u64()?;
+        self.generation = d.u64()?;
+        Ok(())
+    }
 }
 
 /// Base of the mmap area used by the bump allocator.
@@ -202,6 +254,87 @@ impl Process {
     pub fn switch_domain(&mut self, to: DomainId) {
         self.tlbs[self.current.index()].flush();
         self.current = to;
+    }
+
+    /// Serializes the process into a checkpoint section. Page-table
+    /// *contents* live in simulated memory (serialized separately); only
+    /// the `(isa, root)` handles are written here.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x5052_4f43); // "PROC"
+        e.u32(self.pid.0);
+        e.u8(self.origin.index() as u8);
+        e.u8(self.current.index() as u8);
+        self.vmas.save_state(e);
+        for pt in &self.page_tables {
+            match pt {
+                Some(pt) => {
+                    e.bool(true);
+                    e.u8(match pt.isa() {
+                        stramash_isa::IsaKind::X86_64 => 0,
+                        stramash_isa::IsaKind::Aarch64 => 1,
+                    });
+                    e.u64(pt.root().raw());
+                }
+                None => e.bool(false),
+            }
+        }
+        for tlb in &self.tlbs {
+            tlb.save_state(e);
+        }
+        e.u64(self.vma_lock.raw());
+        e.u64(self.page_table_lock.raw());
+        e.u64(self.mmap_cursor);
+    }
+
+    /// Reconstructs a process from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<Self, stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        let domain = |code: u8| match code {
+            0 => Ok(DomainId::X86),
+            1 => Ok(DomainId::ARM),
+            _ => Err(CheckpointError::Malformed("bad domain code")),
+        };
+        d.tag(0x5052_4f43)?;
+        let pid = Pid(d.u32()?);
+        let origin = domain(d.u8()?)?;
+        let current = domain(d.u8()?)?;
+        let vmas = VmaTree::load_state(d)?;
+        let mut page_tables = [None, None];
+        for slot in &mut page_tables {
+            if d.bool()? {
+                let isa = match d.u8()? {
+                    0 => stramash_isa::IsaKind::X86_64,
+                    1 => stramash_isa::IsaKind::Aarch64,
+                    _ => return Err(CheckpointError::Malformed("bad ISA code")),
+                };
+                let root = PhysAddr::new(d.u64()?);
+                *slot = Some(crate::pagetable::PageTable::from_existing(isa, root));
+            }
+        }
+        let mut tlbs = [SoftTlb::new(), SoftTlb::new()];
+        for tlb in &mut tlbs {
+            tlb.load_state(d)?;
+        }
+        let vma_lock = PhysAddr::new(d.u64()?);
+        let page_table_lock = PhysAddr::new(d.u64()?);
+        let mmap_cursor = d.u64()?;
+        Ok(Process {
+            pid,
+            origin,
+            current,
+            vmas,
+            page_tables,
+            tlbs,
+            vma_lock,
+            page_table_lock,
+            mmap_cursor,
+        })
     }
 }
 

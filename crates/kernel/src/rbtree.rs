@@ -616,6 +616,93 @@ impl<K: Ord, V> RbTree<K, V> {
     }
 }
 
+/// Checkpoint section tag: `"RBTR"`.
+const RBTREE_TAG: u32 = 0x5242_5452;
+
+impl<K: Ord, V> RbTree<K, V> {
+    /// Serializes the tree into a checkpoint section.
+    ///
+    /// The *exact arena layout* is written — node slots in arena order
+    /// (key, value, color, parent/left/right links), the root index,
+    /// the free list and the entry count — not just the key/value pairs.
+    /// [`RbTree::try_remove`] compacts the arena by swapping with the
+    /// last slot, so future mutations depend on slot positions; a
+    /// key-order rebuild would diverge from the original tree on the
+    /// first post-restore removal.
+    pub fn save_state(
+        &self,
+        e: &mut stramash_sim::checkpoint::Encoder,
+        mut put_key: impl FnMut(&mut stramash_sim::checkpoint::Encoder, &K),
+        mut put_value: impl FnMut(&mut stramash_sim::checkpoint::Encoder, &V),
+    ) {
+        e.tag(RBTREE_TAG);
+        e.u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            put_key(e, &n.key);
+            put_value(e, &n.value);
+            e.bool(n.color == Color::Red);
+            e.opt_u64(n.parent.map(|i| i as u64));
+            e.opt_u64(n.left.map(|i| i as u64));
+            e.opt_u64(n.right.map(|i| i as u64));
+        }
+        e.opt_u64(self.root.map(|i| i as u64));
+        let free: Vec<u64> = self.free.iter().map(|&i| i as u64).collect();
+        e.u64s(&free);
+        e.u64(self.len as u64);
+    }
+
+    /// Reconstructs a tree from a checkpoint section written by
+    /// [`RbTree::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; `Malformed` if any link, root or free-list
+    /// index is out of range or the entry count is inconsistent.
+    pub fn load_state(
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+        mut get_key: impl FnMut(
+            &mut stramash_sim::checkpoint::Decoder<'_>,
+        ) -> Result<K, stramash_sim::checkpoint::CheckpointError>,
+        mut get_value: impl FnMut(
+            &mut stramash_sim::checkpoint::Decoder<'_>,
+        ) -> Result<V, stramash_sim::checkpoint::CheckpointError>,
+    ) -> Result<Self, stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(RBTREE_TAG)?;
+        let count = d.len()?;
+        let link = |v: Option<u64>| -> Result<Option<usize>, CheckpointError> {
+            match v {
+                None => Ok(None),
+                Some(i) if (i as usize) < count => Ok(Some(i as usize)),
+                Some(_) => Err(CheckpointError::Malformed("rbtree index out of range")),
+            }
+        };
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = get_key(d)?;
+            let value = get_value(d)?;
+            let color = if d.bool()? { Color::Red } else { Color::Black };
+            let parent = link(d.opt_u64()?)?;
+            let left = link(d.opt_u64()?)?;
+            let right = link(d.opt_u64()?)?;
+            nodes.push(Node { key, value, color, parent, left, right });
+        }
+        let root = link(d.opt_u64()?)?;
+        let mut free = Vec::new();
+        for i in d.u64s()? {
+            if (i as usize) >= count {
+                return Err(CheckpointError::Malformed("rbtree free index out of range"));
+            }
+            free.push(i as usize);
+        }
+        let len = d.u64()? as usize;
+        if len + free.len() != count {
+            return Err(CheckpointError::Malformed("rbtree length inconsistent"));
+        }
+        Ok(RbTree { nodes, root, free, len })
+    }
+}
+
 /// In-order iterator over an [`RbTree`].
 #[derive(Debug)]
 pub struct Iter<'a, K, V> {

@@ -19,18 +19,21 @@ use crate::boot::{boot_pair, BootConfig, BootedPlatform};
 use crate::device::{DeviceError, DeviceRegistry};
 use crate::frame::FrameError;
 use crate::kernel::KernelInstance;
-use crate::msg::MessagingLayer;
+use crate::msg::{Message, MessagingLayer, MsgType};
 use crate::pagetable::{MapError, PageTable};
 use crate::process::{Pid, Process};
 use crate::session::AccessSession;
 use crate::vma::{VmaError, VmaKind, VmaProt};
+use crate::watchdog::{Watchdog, WatchdogReport};
 use std::collections::HashMap;
 use std::fmt;
 use stramash_isa::PteFlags;
 use stramash_mem::{MemorySystem, PhysAddr, PhysLayout};
 use stramash_sim::config::ConfigError;
 use stramash_sim::ipi::IpiFabric;
-use stramash_sim::trace::{FutexOp, TraceEvent, HIST_FAULT_SERVICE, HIST_MSG_ROUND_TRIP};
+use stramash_sim::trace::{
+    FutexOp, TraceEvent, CTR_WATCHDOG_DEATHS, HIST_FAULT_SERVICE, HIST_MSG_ROUND_TRIP,
+};
 use stramash_sim::{
     Cycles, DomainId, SharedFaultInjector, SharedTracer, SimConfig, Timebase,
 };
@@ -86,6 +89,16 @@ pub enum OsError {
     /// A kernel invariant that should always hold was violated — the
     /// typed replacement for what used to be a panic site.
     InvariantViolation(&'static str),
+    /// The operation needed a domain whose kernel the watchdog has
+    /// declared dead.
+    DomainDead(DomainId),
+    /// A lock operation found its futex poisoned: the holder's domain
+    /// died while holding it, and the waiter is woken instead of
+    /// blocking forever (the robust-futex `EOWNERDEAD` contract).
+    OwnerDied,
+    /// A checkpoint artifact could not be decoded or did not match the
+    /// running configuration.
+    Checkpoint(stramash_sim::checkpoint::CheckpointError),
 }
 
 impl fmt::Display for OsError {
@@ -109,7 +122,16 @@ impl fmt::Display for OsError {
                 write!(f, "uncorrectable memory fault at {pa}")
             }
             OsError::InvariantViolation(what) => write!(f, "kernel invariant violated: {what}"),
+            OsError::DomainDead(d) => write!(f, "domain {d} was declared dead by the watchdog"),
+            OsError::OwnerDied => f.write_str("futex owner died; lock is poisoned"),
+            OsError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e}"),
         }
+    }
+}
+
+impl From<stramash_sim::checkpoint::CheckpointError> for OsError {
+    fn from(e: stramash_sim::checkpoint::CheckpointError) -> Self {
+        OsError::Checkpoint(e)
     }
 }
 
@@ -188,6 +210,8 @@ pub struct BaseSystem {
     /// One modelled I-fetch per this many retired instructions.
     ifetch_interval: u64,
     ip: u64,
+    /// Domain-failure detector (inert until armed).
+    watchdog: Watchdog,
 }
 
 impl BaseSystem {
@@ -227,6 +251,7 @@ impl BaseSystem {
             code_bytes: 32 << 10,
             ifetch_interval: 64,
             ip: 0,
+            watchdog: Watchdog::new(),
         })
     }
 
@@ -424,6 +449,165 @@ impl BaseSystem {
     #[must_use]
     pub fn total_runtime(&self) -> Cycles {
         self.timebase.total_runtime()
+    }
+
+    /// Arms the domain watchdog: from now on every
+    /// [`BaseSystem::watchdog_tick`] runs a heartbeat round, and a
+    /// domain silent for `threshold` consecutive rounds is declared
+    /// dead. Disarmed systems pay nothing (see [`crate::watchdog`]).
+    pub fn enable_watchdog(&mut self, threshold: u32) {
+        self.watchdog.arm(threshold);
+    }
+
+    /// The domain-failure detector.
+    #[must_use]
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Mutable detector access (the recovery supervisor clears its
+    /// flags after a successful restart).
+    pub fn watchdog_mut(&mut self) -> &mut Watchdog {
+        &mut self.watchdog
+    }
+
+    /// Whether `domain`'s kernel is still running (not halted by an
+    /// injected fail-stop and not declared dead).
+    #[must_use]
+    pub fn domain_alive(&self, domain: DomainId) -> bool {
+        !self.watchdog.is_halted(domain)
+    }
+
+    /// One supervisor step of the failure protocol: fires any injected
+    /// fail-stop that is due at `step`, runs the heartbeat round (each
+    /// live kernel beacons its peer over the messaging layer), and —
+    /// when a domain crosses the missed-beat threshold — declares it
+    /// dead and quarantines it. Returns the death report, produced at
+    /// most once per crash.
+    ///
+    /// Quarantine drops the dead domain's unconsumed ring messages and
+    /// drains both futex tables: the dead domain's waiters vanish with
+    /// it, and survivors queued behind its lock holders are returned in
+    /// the report so the OS can wake them with [`OsError::OwnerDied`].
+    pub fn watchdog_tick(&mut self, step: u64) -> Option<WatchdogReport> {
+        if !self.watchdog.is_armed() {
+            return None;
+        }
+        if let Some(inj) = &self.fault_injector {
+            let due = inj.borrow_mut().crash_due(step);
+            if let Some(idx) = due {
+                let d = if idx == 0 { DomainId::X86 } else { DomainId::ARM };
+                self.watchdog.mark_crashed(d);
+            }
+        }
+        let mut beat = [false; 2];
+        for d in DomainId::ALL {
+            if self.watchdog.is_halted(d) {
+                continue;
+            }
+            beat[d.index()] = true;
+            // Beacon the peer; a halted peer never consumes it, so the
+            // round is skipped rather than stalling the ring.
+            if !self.watchdog.is_halted(d.other()) {
+                let hb = Message::control(MsgType::Heartbeat);
+                let c_send = self.msg.send(&mut self.mem, &mut self.ipi, d, hb);
+                self.charge(d, c_send);
+                let c_recv = self.msg.receive(&mut self.mem, d.other(), hb);
+                self.charge(d.other(), c_recv);
+            }
+        }
+        let (dead, missed) = self.watchdog.observe(beat)?;
+        let dropped_msg_bytes = self.msg.quarantine(dead);
+        let mut orphaned_waiters: [Vec<_>; 2] = [Vec::new(), Vec::new()];
+        for k in &mut self.kernels {
+            orphaned_waiters[k.domain.index()] = k.futexes.drain_domain(dead);
+        }
+        self.emit(TraceEvent::Watchdog { domain: dead, missed });
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().metrics_mut().inc(CTR_WATCHDOG_DEATHS);
+        }
+        Some(WatchdogReport { dead, missed, dropped_msg_bytes, orphaned_waiters })
+    }
+
+    /// Serializes every piece of mutable machine state — simulated
+    /// memory, clocks, IPI fabric, message rings, perf samples, both
+    /// kernels, devices, the process table, the watchdog, and (when
+    /// installed) the fault injector's stream positions — into a
+    /// checkpoint section. Structure derived from the boot
+    /// configuration (layout, transports, namespaces, code regions) is
+    /// rebuilt by [`BaseSystem::new`], not stored.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4241_5345); // "BASE"
+        self.mem.save_state(e);
+        self.timebase.save_state(e);
+        self.ipi.save_state(e);
+        self.msg.save_state(e);
+        self.perf.save_state(e);
+        for k in &self.kernels {
+            k.save_state(e);
+        }
+        self.devices.save_state(e);
+        let mut pids: Vec<u32> = self.processes.keys().copied().collect();
+        pids.sort_unstable();
+        e.u64(pids.len() as u64);
+        for pid in pids {
+            self.processes[&pid].save_state(e);
+        }
+        e.u32(self.next_pid);
+        e.bool(self.batching);
+        e.u64(self.ip);
+        self.watchdog.save_state(e);
+        match &self.fault_injector {
+            Some(inj) => {
+                e.bool(true);
+                inj.borrow().save_state(e);
+            }
+            None => e.bool(false),
+        }
+    }
+
+    /// Restores state written by [`BaseSystem::save_state`] into this
+    /// freshly booted system. The boot configuration must match the one
+    /// the checkpoint was taken under.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; `ConfigMismatch` when the platform geometry
+    /// disagrees with the checkpoint.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4241_5345)?;
+        self.mem.load_state(d)?;
+        self.timebase.load_state(d)?;
+        self.ipi.load_state(d)?;
+        self.msg.load_state(d)?;
+        self.perf.load_state(d)?;
+        for k in &mut self.kernels {
+            k.load_state(d)?;
+        }
+        self.devices.load_state(d)?;
+        let n = d.len()?;
+        let mut processes = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let proc = Process::load_state(d)?;
+            processes.insert(proc.pid.0, proc);
+        }
+        self.processes = processes;
+        self.next_pid = d.u32()?;
+        self.batching = d.bool()?;
+        self.ip = d.u64()?;
+        self.watchdog.load_state(d)?;
+        if d.bool()? {
+            let inj = self
+                .fault_injector
+                .as_ref()
+                .ok_or(CheckpointError::Malformed("checkpoint carries injector state but none is installed"))?;
+            inj.borrow_mut().restore_state(d)?;
+        }
+        Ok(())
     }
 }
 

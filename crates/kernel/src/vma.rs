@@ -224,6 +224,47 @@ impl VmaTree {
     pub fn mapped_bytes(&self) -> u64 {
         self.map.iter().map(|(_, v)| v.len()).sum()
     }
+
+    /// Serializes the tree (exact arena layout, see
+    /// [`RbTree::save_state`]) into a checkpoint section.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        self.map.save_state(e, |e, k| e.u64(*k), |e, v| {
+            e.u64(v.start.raw());
+            e.u64(v.end.raw());
+            e.bool(v.prot.read);
+            e.bool(v.prot.write);
+            e.bool(v.prot.exec);
+            e.u8(match v.kind {
+                VmaKind::Anon => 0,
+                VmaKind::Stack => 1,
+                VmaKind::Image => 2,
+            });
+        });
+    }
+
+    /// Restores a tree from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<Self, stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        let map = RbTree::load_state(d, |d| d.u64(), |d| {
+            let start = VirtAddr::new(d.u64()?);
+            let end = VirtAddr::new(d.u64()?);
+            let prot = VmaProt { read: d.bool()?, write: d.bool()?, exec: d.bool()? };
+            let kind = match d.u8()? {
+                0 => VmaKind::Anon,
+                1 => VmaKind::Stack,
+                2 => VmaKind::Image,
+                _ => return Err(CheckpointError::Malformed("unknown VMA kind")),
+            };
+            Ok(Vma { start, end, prot, kind })
+        })?;
+        Ok(VmaTree { map })
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,25 @@ struct Way {
 
 const EMPTY: u64 = u64::MAX;
 
+/// Checkpoint wire code for a MESI state.
+fn mesi_code(m: Mesi) -> u8 {
+    match m {
+        Mesi::Modified => 0,
+        Mesi::Exclusive => 1,
+        Mesi::Shared => 2,
+    }
+}
+
+/// Inverse of [`mesi_code`].
+fn mesi_from_code(b: u8) -> Result<Mesi, stramash_sim::checkpoint::CheckpointError> {
+    match b {
+        0 => Ok(Mesi::Modified),
+        1 => Ok(Mesi::Exclusive),
+        2 => Ok(Mesi::Shared),
+        _ => Err(stramash_sim::checkpoint::CheckpointError::Malformed("MESI state code")),
+    }
+}
+
 /// A single set-associative, LRU cache level.
 ///
 /// The probe/insert paths exist twice: the optimised default (power-of-
@@ -705,6 +724,94 @@ impl Cache {
         }
     }
 
+    /// Serializes the mutable cache state into a checkpoint section.
+    ///
+    /// Only the *authoritative* LRU representation for the current mode
+    /// is written (packed permutations under the fast paths, stamp
+    /// records under the reference path) — the toggle machinery already
+    /// knows how to rebuild the other side, so restore reuses it.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4343_4845); // "CCHE"
+        e.bool(self.fast_paths);
+        e.u64(self.tick);
+        if self.fast_paths {
+            e.u64s(&self.tags);
+            let states: Vec<u8> = self.states.iter().map(|&s| mesi_code(s)).collect();
+            e.bytes(&states);
+            e.u64s(&self.perms);
+            e.bytes(&self.occ);
+            e.u64(self.last_line);
+            e.u64(self.last_slot as u64);
+        } else {
+            e.u64(self.sets.len() as u64);
+            for w in &self.sets {
+                e.u64(w.line);
+                e.u64(w.stamp);
+                e.u8(mesi_code(w.state));
+            }
+        }
+    }
+
+    /// Restores the cache from a checkpoint section taken on an
+    /// identically-configured cache.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors, or [`CheckpointError::ConfigMismatch`] when the
+    /// artifact's slot count does not match this cache's geometry.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4343_4845)?;
+        let saved_fast = d.bool()?;
+        self.tick = d.u64()?;
+        if saved_fast {
+            let tags = d.u64s()?;
+            if tags.len() != self.tags.len() {
+                return Err(CheckpointError::ConfigMismatch);
+            }
+            self.tags = tags;
+            let states = d.bytes()?;
+            if states.len() != self.states.len() {
+                return Err(CheckpointError::ConfigMismatch);
+            }
+            for (dst, &b) in self.states.iter_mut().zip(states) {
+                *dst = mesi_from_code(b)?;
+            }
+            let perms = d.u64s()?;
+            if perms.len() != self.perms.len() {
+                return Err(CheckpointError::ConfigMismatch);
+            }
+            self.perms = perms;
+            let occ = d.bytes()?;
+            if occ.len() != self.occ.len() {
+                return Err(CheckpointError::ConfigMismatch);
+            }
+            self.occ.copy_from_slice(occ);
+            self.last_line = d.u64()?;
+            self.last_slot = d.u64()? as usize;
+            if self.last_slot >= self.tags.len() && self.last_line != EMPTY {
+                return Err(CheckpointError::Malformed("cache MRU hint slot"));
+            }
+            self.last_slot = self.last_slot.min(self.tags.len().saturating_sub(1));
+            self.fast_paths = true;
+        } else {
+            let n = d.u64()? as usize;
+            if n != self.sets.len() {
+                return Err(CheckpointError::ConfigMismatch);
+            }
+            for w in &mut self.sets {
+                w.line = d.u64()?;
+                w.stamp = d.u64()?;
+                w.state = mesi_from_code(d.u8()?)?;
+            }
+            self.fast_paths = false;
+        }
+        Ok(())
+    }
+
     /// Iterates every resident line with its state, without disturbing
     /// LRU. Used by the coherence auditor.
     pub fn lines(&self) -> impl Iterator<Item = (u64, Mesi)> + '_ {
@@ -794,6 +901,32 @@ impl CacheHierarchy {
         self.l1d.set_fast_paths(enabled);
         self.l2.set_fast_paths(enabled);
         self.l3.set_fast_paths(enabled);
+    }
+
+    /// Serializes all four levels into a checkpoint section.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4348_4945); // "CHIE"
+        self.l1i.save_state(e);
+        self.l1d.save_state(e);
+        self.l2.save_state(e);
+        self.l3.save_state(e);
+    }
+
+    /// Restores all four levels from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        d.tag(0x4348_4945)?;
+        self.l1i.load_state(d)?;
+        self.l1d.load_state(d)?;
+        self.l2.load_state(d)?;
+        self.l3.load_state(d)?;
+        Ok(())
     }
 }
 

@@ -426,6 +426,51 @@ impl SparseMemory {
         let word = self.read_u64(addr);
         self.write_u64(addr, word ^ mask);
     }
+
+    /// Serializes every materialised chunk into a checkpoint section,
+    /// in sorted chunk order so identical memory always yields an
+    /// identical byte stream regardless of materialisation order.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x53_504d45); // "SPME"
+        let mut chunks: Vec<u64> = self.index.keys().copied().collect();
+        chunks.sort_unstable();
+        e.u64(chunks.len() as u64);
+        for c in chunks {
+            e.u64(c);
+            let slot = self.index[&c] as usize;
+            e.bytes(&self.arena[slot][..]);
+        }
+    }
+
+    /// Restores the memory contents from a checkpoint section,
+    /// replacing everything currently materialised. The streaming
+    /// cursor restarts invalid.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x53_504d45)?;
+        let n = d.len()?;
+        self.index.clear();
+        self.arena.clear();
+        self.cursor.set((NO_CHUNK, 0));
+        for slot in 0..n {
+            let chunk = d.u64()?;
+            let data = d.bytes()?;
+            let data: &[u8; CHUNK_SIZE] =
+                data.try_into().map_err(|_| CheckpointError::Malformed("chunk size"))?;
+            if self.index.insert(chunk, slot as u32).is_some() {
+                return Err(CheckpointError::Malformed("duplicate memory chunk"));
+            }
+            self.arena.push(Box::new(*data));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1099,6 +1099,104 @@ impl MemorySystem {
         self.fast_paths
     }
 
+    /// Serializes the mutable memory-system state into a checkpoint
+    /// section: both hierarchies, the shared LLC (if the model has one),
+    /// the backing store, per-domain stats, writeback counters, alias
+    /// windows and the ECC journal. Config-derived structure (geometry,
+    /// address map, latencies) is never written; the debug access trace
+    /// and the tracer handle are host-side and excluded.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4d_454d53); // "MEMS"
+        e.bool(self.fast_paths);
+        for h in &self.hierarchies {
+            h.save_state(e);
+        }
+        match &self.shared_l3 {
+            Some(l3) => {
+                e.bool(true);
+                l3.save_state(e);
+            }
+            None => e.bool(false),
+        }
+        self.store.save_state(e);
+        for s in &self.stats {
+            s.save_state(e);
+        }
+        e.u64(self.writebacks[0]);
+        e.u64(self.writebacks[1]);
+        e.u64(self.aliases.len() as u64);
+        for w in &self.aliases {
+            e.u8(w.domain.index() as u8);
+            e.u64(w.alias_start);
+            e.u64(w.len);
+            e.u64(w.canon_start);
+        }
+        e.u64(self.ecc_journal.len() as u64);
+        for f in &self.ecc_journal {
+            e.u64(f.addr.raw());
+            e.u64(f.mask);
+            e.bool(f.double);
+        }
+    }
+
+    /// Restores the mutable memory-system state from a checkpoint
+    /// section taken on an identically-configured system.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors, or [`ConfigMismatch`]
+    /// (\[`stramash_sim::checkpoint::CheckpointError::ConfigMismatch`\])
+    /// when the artifact's shared-LLC presence disagrees with this
+    /// system's hardware model.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4d_454d53)?;
+        self.fast_paths = d.bool()?;
+        for h in &mut self.hierarchies {
+            h.load_state(d)?;
+        }
+        let has_shared = d.bool()?;
+        match (&mut self.shared_l3, has_shared) {
+            (Some(l3), true) => l3.load_state(d)?,
+            (None, false) => {}
+            _ => return Err(CheckpointError::ConfigMismatch),
+        }
+        self.store.load_state(d)?;
+        for s in &mut self.stats {
+            s.load_state(d)?;
+        }
+        self.writebacks[0] = d.u64()?;
+        self.writebacks[1] = d.u64()?;
+        let n = d.len()?;
+        self.aliases.clear();
+        for _ in 0..n {
+            let domain = match d.u8()? {
+                0 => DomainId::X86,
+                1 => DomainId::ARM,
+                _ => return Err(CheckpointError::Malformed("alias domain")),
+            };
+            self.aliases.push(AliasWindow {
+                domain,
+                alias_start: d.u64()?,
+                len: d.u64()?,
+                canon_start: d.u64()?,
+            });
+        }
+        let n = d.len()?;
+        self.ecc_journal.clear();
+        for _ in 0..n {
+            self.ecc_journal.push(EccFault {
+                addr: PhysAddr::new(d.u64()?),
+                mask: d.u64()?,
+                double: d.bool()?,
+            });
+        }
+        Ok(())
+    }
+
     /// Whether `domain`'s L1/L2 hold the line containing `addr` — with
     /// inclusive LLCs this implies [`MemorySystem::caches_line`], an
     /// invariant the property tests check.
@@ -1474,6 +1572,66 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.contains("missing from inclusive LLC")),
             "inclusivity break must be reported, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_bit_identically() {
+        for model in [HardwareModel::Separated, HardwareModel::Shared, HardwareModel::FullyShared]
+        {
+            let mut m = sys(model);
+            // Warm up with mixed cross-domain traffic and a pending
+            // ECC fault so every serialized section is non-trivial.
+            for i in 0..96u64 {
+                m.access(DomainId::X86, POOL.offset(i * 64), Access::Write, AccessKind::Data);
+                m.access(DomainId::ARM, POOL.offset(i * 32), Access::Read, AccessKind::Data);
+                m.access(DomainId::ARM, X86_LOCAL.offset(i * 48), Access::Write, AccessKind::Data);
+            }
+            m.write_bytes(DomainId::X86, X86_LOCAL, b"checkpointed payload");
+            m.inject_bit_flip(POOL, 9, false);
+
+            let mut e = stramash_sim::Encoder::new();
+            m.save_state(&mut e);
+            let bytes = e.finish();
+
+            let mut r = sys(model);
+            let mut d = stramash_sim::Decoder::new_verified(&bytes).unwrap();
+            r.load_state(&mut d).unwrap();
+            assert_eq!(d.remaining(), 0, "model {model:?} leaves trailing bytes");
+
+            // Checkpointing the restored system again must be
+            // byte-identical (proves the stream is deterministic).
+            let mut e2 = stramash_sim::Encoder::new();
+            r.save_state(&mut e2);
+            assert_eq!(e2.finish(), bytes, "model {model:?} re-save drifted");
+
+            // Both systems must agree on every subsequent outcome.
+            for i in 0..96u64 {
+                let a = m.access(DomainId::ARM, POOL.offset(i * 64), Access::Write, AccessKind::Data);
+                let b = r.access(DomainId::ARM, POOL.offset(i * 64), Access::Write, AccessKind::Data);
+                assert_eq!(a, b, "model {model:?} diverged at access {i}");
+            }
+            assert_eq!(m.stats(DomainId::X86), r.stats(DomainId::X86));
+            assert_eq!(m.stats(DomainId::ARM), r.stats(DomainId::ARM));
+            assert_eq!(m.ecc_scrub(DomainId::X86), r.ecc_scrub(DomainId::X86));
+            let mut buf = [0u8; 20];
+            r.store().read(X86_LOCAL, &mut buf);
+            assert_eq!(&buf, b"checkpointed payload");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_model() {
+        let m = sys(HardwareModel::FullyShared);
+        let mut e = stramash_sim::Encoder::new();
+        m.save_state(&mut e);
+        let bytes = e.finish();
+        let mut r = sys(HardwareModel::Separated);
+        let mut d = stramash_sim::Decoder::new_verified(&bytes).unwrap();
+        assert_eq!(
+            r.load_state(&mut d),
+            Err(stramash_sim::CheckpointError::ConfigMismatch),
+            "shared-LLC presence mismatch must be rejected"
         );
     }
 

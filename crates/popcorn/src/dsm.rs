@@ -113,6 +113,82 @@ impl DsmDirectory {
         self.replications = 0;
         self.invalidations = 0;
     }
+
+    /// Fails the directory over after `dead`'s kernel died: every page
+    /// falls back to the surviving domain's copy. Pages the dead domain
+    /// held exclusively lose their only valid copy and are dropped (the
+    /// survivor re-faults them as fresh zero pages); shared pages and
+    /// survivor-exclusive pages just shed the dead replica. Returns
+    /// `(pages lost, replicas shed)`.
+    pub fn fail_over(&mut self, dead: DomainId) -> (u64, u64) {
+        let survivor = dead.other();
+        let mut lost = 0;
+        let mut shed = 0;
+        self.pages.retain(|_, p| {
+            if p.state == DsmPageState::Exclusive(dead) {
+                lost += 1;
+                return false;
+            }
+            if p.frames[dead.index()].take().is_some() {
+                shed += 1;
+            }
+            p.state = DsmPageState::Exclusive(survivor);
+            true
+        });
+        self.invalidations += shed;
+        (lost, shed)
+    }
+
+    /// Serializes the directory (pages in vpn order, then the event
+    /// counters) into a checkpoint section.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4453_4d44); // "DSMD"
+        let mut vpns: Vec<u64> = self.pages.keys().copied().collect();
+        vpns.sort_unstable();
+        e.u64(vpns.len() as u64);
+        for vpn in vpns {
+            let p = &self.pages[&vpn];
+            e.u64(vpn);
+            for f in p.frames {
+                e.opt_u64(f.map(|pa| pa.raw()));
+            }
+            match p.state {
+                DsmPageState::Exclusive(d) => e.u8(d.index() as u8),
+                DsmPageState::SharedBoth => e.u8(2),
+            }
+        }
+        e.u64(self.replications);
+        e.u64(self.invalidations);
+    }
+
+    /// Restores a directory written by [`DsmDirectory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<Self, stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::CheckpointError;
+        d.tag(0x4453_4d44)?;
+        let n = d.len()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = d.u64()?;
+            let mut frames = [None, None];
+            for f in &mut frames {
+                *f = d.opt_u64()?.map(PhysAddr::new);
+            }
+            let state = match d.u8()? {
+                0 => DsmPageState::Exclusive(DomainId::X86),
+                1 => DsmPageState::Exclusive(DomainId::ARM),
+                2 => DsmPageState::SharedBoth,
+                _ => return Err(CheckpointError::Malformed("unknown DSM page state")),
+            };
+            pages.insert(vpn, DsmPage { frames, state });
+        }
+        Ok(DsmDirectory { pages, replications: d.u64()?, invalidations: d.u64()? })
+    }
 }
 
 #[cfg(test)]

@@ -184,6 +184,76 @@ impl PopcornSystem {
         violations
     }
 
+    /// Fails every process's DSM directory over after `dead`'s kernel
+    /// died (see [`DsmDirectory::fail_over`]). Returns the totals
+    /// `(pages lost, replicas shed)` across all processes.
+    pub fn fail_over(&mut self, dead: DomainId) -> (u64, u64) {
+        let mut lost = 0;
+        let mut shed = 0;
+        let mut pids: Vec<u32> = self.dsm.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in pids {
+            if let Some(dir) = self.dsm.get_mut(&pid) {
+                let (l, s) = dir.fail_over(dead);
+                lost += l;
+                shed += s;
+            }
+        }
+        (lost, shed)
+    }
+
+    /// Serializes the whole system — base machine, per-process DSM
+    /// directories and remote-VMA caches — into a checkpoint section.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x504f_5043); // "POPC"
+        self.base.save_state(e);
+        let mut pids: Vec<u32> = self.dsm.keys().copied().collect();
+        pids.sort_unstable();
+        e.u64(pids.len() as u64);
+        for pid in pids {
+            e.u32(pid);
+            self.dsm[&pid].save_state(e);
+        }
+        let mut pids: Vec<u32> = self.vma_cache.keys().copied().collect();
+        pids.sort_unstable();
+        e.u64(pids.len() as u64);
+        for pid in pids {
+            e.u32(pid);
+            let mut starts: Vec<u64> = self.vma_cache[&pid].iter().copied().collect();
+            starts.sort_unstable();
+            e.u64s(&starts);
+        }
+    }
+
+    /// Restores state written by [`PopcornSystem::save_state`] into this
+    /// freshly booted system (same boot configuration required).
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors; geometry mismatches surface as `ConfigMismatch`.
+    pub fn load_state(
+        &mut self,
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        d.tag(0x504f_5043)?;
+        self.base.load_state(d)?;
+        let n = d.len()?;
+        let mut dsm = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pid = d.u32()?;
+            dsm.insert(pid, DsmDirectory::load_state(d)?);
+        }
+        self.dsm = dsm;
+        let n = d.len()?;
+        let mut vma_cache = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pid = d.u32()?;
+            vma_cache.insert(pid, d.u64s()?.into_iter().collect::<HashSet<u64>>());
+        }
+        self.vma_cache = vma_cache;
+        Ok(())
+    }
+
     /// A full protocol round-trip: `from` sends `req`, the peer handles
     /// it and answers `resp`. Charges each side's clock.
     fn round_trip(&mut self, from: DomainId, req: Message, resp: Message) -> Cycles {

@@ -44,6 +44,11 @@ pub enum FaultKind {
     LockContention,
     /// A message ring filled up and the sender had to stall.
     RingBackpressure,
+    /// A whole domain fail-stopped (kernel crash): its cores halt and it
+    /// goes silent on the heartbeat channel. Memory contents survive —
+    /// the platform's DRAM is cache-coherent and shared, so a kernel
+    /// crash does not lose the pool (see DESIGN.md §10).
+    DomainCrash,
 }
 
 /// The subsystem at which a fault was injected. Each site owns an
@@ -122,6 +127,10 @@ pub struct FaultPlan {
     /// One-shot: force the global allocator to refuse the Nth grant
     /// request (0-based) observed at the [`FaultSite::Alloc`] site.
     pub galloc_exhaust_at: Option<u64>,
+    /// One-shot: fail-stop a whole domain at the given watchdog tick.
+    /// `(domain index, tick)` — deterministic, no RNG involved, so the
+    /// crash instant is identical on every replay of the plan.
+    pub crash: Option<(u8, u64)>,
 }
 
 impl FaultPlan {
@@ -140,6 +149,7 @@ impl FaultPlan {
             double_bit: 0.0,
             window: None,
             galloc_exhaust_at: None,
+            crash: None,
         }
     }
 
@@ -207,6 +217,14 @@ impl FaultPlan {
         self
     }
 
+    /// Fail-stops domain `domain` (0 = x86, 1 = Arm) at watchdog tick
+    /// `tick` (one-shot, deterministic).
+    #[must_use]
+    pub fn with_domain_crash(mut self, domain: u8, tick: u64) -> Self {
+        self.crash = Some((domain, tick));
+        self
+    }
+
     /// Whether the plan can inject anything at all.
     #[must_use]
     pub fn is_noop(&self) -> bool {
@@ -218,6 +236,67 @@ impl FaultPlan {
             && self.alloc_fail == 0.0
             && self.lock_contention == 0.0
             && self.galloc_exhaust_at.is_none()
+            && self.crash.is_none()
+    }
+
+    /// Serializes the plan into a checkpoint artifact section.
+    pub fn save_state(&self, e: &mut crate::checkpoint::Encoder) {
+        e.tag(0x46_504c4e); // "FPLN"
+        for p in [
+            self.msg_drop,
+            self.msg_corrupt,
+            self.msg_delay,
+            self.ack_drop,
+            self.ipi_loss,
+            self.alloc_fail,
+            self.lock_contention,
+            self.double_bit,
+        ] {
+            e.f64(p);
+        }
+        e.u64(self.msg_delay_cycles);
+        match self.window {
+            Some((s, end)) => {
+                e.bool(true);
+                e.u64(s);
+                e.u64(end);
+            }
+            None => e.bool(false),
+        }
+        e.opt_u64(self.galloc_exhaust_at);
+        match self.crash {
+            Some((d, t)) => {
+                e.bool(true);
+                e.u8(d);
+                e.u64(t);
+            }
+            None => e.bool(false),
+        }
+    }
+
+    /// Deserializes a plan from a checkpoint artifact section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        d.tag(0x46_504c4e)?;
+        let mut plan = FaultPlan::none();
+        plan.msg_drop = d.f64()?;
+        plan.msg_corrupt = d.f64()?;
+        plan.msg_delay = d.f64()?;
+        plan.ack_drop = d.f64()?;
+        plan.ipi_loss = d.f64()?;
+        plan.alloc_fail = d.f64()?;
+        plan.lock_contention = d.f64()?;
+        plan.double_bit = d.f64()?;
+        plan.msg_delay_cycles = d.u64()?;
+        plan.window = if d.bool()? { Some((d.u64()?, d.u64()?)) } else { None };
+        plan.galloc_exhaust_at = d.opt_u64()?;
+        plan.crash = if d.bool()? { Some((d.u8()?, d.u64()?)) } else { None };
+        Ok(plan)
     }
 }
 
@@ -255,6 +334,12 @@ pub struct FaultInjector {
     galloc_ops: u64,
     counters: FaultCounters,
     log: Vec<FaultEvent>,
+    /// One-shot latch: the plan's crash already fired.
+    crash_fired: bool,
+    /// Recovery disarmed the crash: it will not re-fire during replay
+    /// of the post-checkpoint backlog. Harness-side state — never
+    /// serialized, never affects simulated cycles.
+    crash_disarmed: bool,
 }
 
 impl FaultInjector {
@@ -273,6 +358,8 @@ impl FaultInjector {
             galloc_ops: 0,
             counters: FaultCounters::default(),
             log: Vec::new(),
+            crash_fired: false,
+            crash_disarmed: false,
         }
     }
 
@@ -461,6 +548,158 @@ impl FaultInjector {
         self.fire(FaultKind::RingBackpressure, FaultSite::Msg, op);
         self.counters.recovered += 1;
     }
+
+    /// One-shot check driven by the watchdog: does the plan fail-stop a
+    /// domain at (or before) watchdog tick `tick`? Fires at most once
+    /// per run and never after [`FaultInjector::disarm_crash`]. No RNG
+    /// is consumed — the crash instant is plan-determined. The event is
+    /// logged under [`FaultSite::Ipi`] (the domain-level interconnect)
+    /// with the tick as its op index.
+    pub fn crash_due(&mut self, tick: u64) -> Option<u8> {
+        let (domain, at) = self.plan.crash?;
+        if self.crash_fired || self.crash_disarmed || tick < at {
+            return None;
+        }
+        self.crash_fired = true;
+        self.fire(FaultKind::DomainCrash, FaultSite::Ipi, at);
+        Some(domain)
+    }
+
+    /// Disarms the plan's one-shot crash so it cannot re-fire while the
+    /// recovered machine replays its post-checkpoint backlog. Host-side
+    /// harness state: restoring a checkpoint rewinds `crash_fired`, but
+    /// never this flag.
+    pub fn disarm_crash(&mut self) {
+        self.crash_disarmed = true;
+    }
+
+    /// Whether the plan's crash has already fired.
+    #[must_use]
+    pub fn crash_fired(&self) -> bool {
+        self.crash_fired
+    }
+
+    /// Serializes the injector — plan, seed, per-site stream positions,
+    /// op counters, aggregate counters and the replay log — so a restored
+    /// run continues the exact fault schedule. The disarm flag is
+    /// deliberately *not* serialized (see [`FaultInjector::disarm_crash`]).
+    pub fn save_state(&self, e: &mut crate::checkpoint::Encoder) {
+        e.tag(0x46_494e4a); // "FINJ"
+        self.plan.save_state(e);
+        e.u64(self.seed);
+        for s in &self.streams {
+            e.u64(s.state());
+        }
+        for &op in &self.ops {
+            e.u64(op);
+        }
+        e.u64(self.galloc_ops);
+        for c in [
+            self.counters.injected,
+            self.counters.retried,
+            self.counters.recovered,
+            self.counters.fatal,
+        ] {
+            e.u64(c);
+        }
+        e.bool(self.crash_fired);
+        e.u64(self.log.len() as u64);
+        for ev in &self.log {
+            e.u8(fault_kind_code(ev.kind));
+            e.u8(ev.site.index() as u8);
+            e.u64(ev.op);
+        }
+    }
+
+    /// Deserializes an injector saved by [`FaultInjector::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        d.tag(0x46_494e4a)?;
+        let plan = FaultPlan::load_state(d)?;
+        let seed = d.u64()?;
+        let mut inj = FaultInjector::new(plan, seed);
+        for s in &mut inj.streams {
+            *s = SimRng::new(d.u64()?);
+        }
+        for op in &mut inj.ops {
+            *op = d.u64()?;
+        }
+        inj.galloc_ops = d.u64()?;
+        inj.counters.injected = d.u64()?;
+        inj.counters.retried = d.u64()?;
+        inj.counters.recovered = d.u64()?;
+        inj.counters.fatal = d.u64()?;
+        inj.crash_fired = d.bool()?;
+        let n = d.len()?;
+        inj.log.clear();
+        for _ in 0..n {
+            let kind = fault_kind_from_code(d.u8()?)
+                .ok_or(CheckpointError::Malformed("fault kind code"))?;
+            let site = *FaultSite::ALL
+                .get(d.u8()? as usize)
+                .ok_or(CheckpointError::Malformed("fault site code"))?;
+            inj.log.push(FaultEvent { kind, site, op: d.u64()? });
+        }
+        Ok(inj)
+    }
+
+    /// Restores serialized state into this injector in place,
+    /// preserving the host-side crash-disarm flag (which is never
+    /// serialized — see [`FaultInjector::disarm_crash`]).
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn restore_state(
+        &mut self,
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let disarmed = self.crash_disarmed;
+        *self = FaultInjector::load_state(d)?;
+        self.crash_disarmed = disarmed;
+        Ok(())
+    }
+}
+
+fn fault_kind_code(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::MsgDrop => 0,
+        FaultKind::MsgCorrupt => 1,
+        FaultKind::MsgDelay => 2,
+        FaultKind::AckDrop => 3,
+        FaultKind::IpiLoss => 4,
+        FaultKind::BitFlipSingle => 5,
+        FaultKind::BitFlipDouble => 6,
+        FaultKind::AllocFail => 7,
+        FaultKind::GallocExhausted => 8,
+        FaultKind::LockContention => 9,
+        FaultKind::RingBackpressure => 10,
+        FaultKind::DomainCrash => 11,
+    }
+}
+
+fn fault_kind_from_code(code: u8) -> Option<FaultKind> {
+    Some(match code {
+        0 => FaultKind::MsgDrop,
+        1 => FaultKind::MsgCorrupt,
+        2 => FaultKind::MsgDelay,
+        3 => FaultKind::AckDrop,
+        4 => FaultKind::IpiLoss,
+        5 => FaultKind::BitFlipSingle,
+        6 => FaultKind::BitFlipDouble,
+        7 => FaultKind::AllocFail,
+        8 => FaultKind::GallocExhausted,
+        9 => FaultKind::LockContention,
+        10 => FaultKind::RingBackpressure,
+        11 => FaultKind::DomainCrash,
+        _ => return None,
+    })
 }
 
 /// The shared handle installed into the messaging layer, IPI fabric and
@@ -570,6 +809,57 @@ mod tests {
         }
         for (name, n) in [("drops", drops), ("corrupts", corrupts), ("delays", delays)] {
             assert!((400..=800).contains(&n), "{name} = {n}, expected ≈600");
+        }
+    }
+
+    #[test]
+    fn crash_is_one_shot_and_disarmable() {
+        let plan = FaultPlan::none().with_domain_crash(1, 5);
+        let mut inj = FaultInjector::new(plan, 11);
+        assert_eq!(inj.crash_due(4), None);
+        assert!(!inj.crash_fired());
+        assert_eq!(inj.crash_due(5), Some(1));
+        assert!(inj.crash_fired());
+        assert_eq!(inj.crash_due(6), None, "crash must be one-shot");
+        assert_eq!(inj.log()[0].kind, FaultKind::DomainCrash);
+
+        let mut inj = FaultInjector::new(plan, 11);
+        inj.disarm_crash();
+        assert_eq!(inj.crash_due(5), None, "disarmed crash must never fire");
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn injector_state_round_trips_through_checkpoint() {
+        let plan = FaultPlan::none()
+            .with_msg_drop(0.3)
+            .with_ipi_loss(0.2)
+            .with_window(0, 1 << 20)
+            .with_galloc_exhaust_at(7)
+            .with_domain_crash(0, 99);
+        let mut a = FaultInjector::new(plan, 0x5eed);
+        for _ in 0..500 {
+            a.msg_fault();
+            a.ipi_lost();
+            a.galloc_exhausted();
+        }
+        a.note_retried(3);
+        a.note_recovered(2);
+
+        let mut e = crate::checkpoint::Encoder::new();
+        a.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = crate::checkpoint::Decoder::new(&bytes);
+        let mut b = FaultInjector::load_state(&mut d).unwrap();
+        assert_eq!(d.remaining(), 0);
+
+        assert_eq!(a.log(), b.log());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.plan(), b.plan());
+        // The restored streams continue bit-identically.
+        for i in 0..200 {
+            assert_eq!(a.msg_fault(), b.msg_fault(), "post-restore msg op {i}");
+            assert_eq!(a.ipi_lost(), b.ipi_lost(), "post-restore ipi op {i}");
         }
     }
 

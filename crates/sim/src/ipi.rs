@@ -125,6 +125,32 @@ impl IpiFabric {
         self.delivered = [0; crate::NUM_DOMAINS];
         self.retries = 0;
     }
+
+    /// Serializes the fabric's mutable counters (latency is config).
+    pub fn save_state(&self, e: &mut crate::checkpoint::Encoder) {
+        e.tag(0x49_504946); // "IPIF"
+        for &d in &self.delivered {
+            e.u64(d);
+        }
+        e.u64(self.retries);
+    }
+
+    /// Restores the fabric's counters.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        d.tag(0x49_504946)?;
+        for v in &mut self.delivered {
+            *v = d.u64()?;
+        }
+        self.retries = d.u64()?;
+        Ok(())
+    }
 }
 
 /// One measured core pair in the characterisation experiment.

@@ -39,6 +39,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod config;
 pub mod fault;
 pub mod ipi;
@@ -48,6 +50,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{shrink, ChaosEvent, ChaosSchedule};
+pub use checkpoint::{CheckpointError, Decoder, Encoder};
 pub use config::{
     CacheConfig, CacheGeometry, CxlCosts, DomainConfig, HardwareModel, Interconnect, LatencyTable,
     SimConfig,

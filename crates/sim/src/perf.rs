@@ -93,6 +93,39 @@ impl PerfSession {
         &self.samples
     }
 
+    /// Serializes the recorded samples into a checkpoint section.
+    pub fn save_state(&self, e: &mut crate::checkpoint::Encoder) {
+        e.tag(0x50_455246); // "PERF"
+        e.u64(self.samples.len() as u64);
+        for s in &self.samples {
+            e.str(&s.label);
+            for &v in s.icount.iter().chain(s.cycles.iter()) {
+                e.u64(v);
+            }
+        }
+    }
+
+    /// Restores the recorded samples from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        d.tag(0x50_455246)?;
+        let n = d.len()?;
+        self.samples.clear();
+        for _ in 0..n {
+            let label = d.str()?;
+            let icount = [d.u64()?, d.u64()?];
+            let cycles = [d.u64()?, d.u64()?];
+            self.samples.push(PerfSample { label, icount, cycles });
+        }
+        Ok(())
+    }
+
     /// Per-phase deltas between consecutive markers.
     #[must_use]
     pub fn phases(&self) -> Vec<PerfPhase> {

@@ -25,6 +25,13 @@ impl SimRng {
         SimRng { state: seed }
     }
 
+    /// The raw generator state (for checkpointing). Restoring via
+    /// [`SimRng::new`] with this value resumes the exact stream.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Derives an independent child generator; useful to give each
     /// subsystem its own stream without coupling their consumption.
     #[must_use]

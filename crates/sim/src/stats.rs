@@ -232,6 +232,66 @@ impl DomainStats {
         *self = DomainStats::default();
     }
 
+    /// Serializes every counter into a checkpoint section.
+    pub fn save_state(&self, e: &mut crate::checkpoint::Encoder) {
+        e.tag(0x4453_5441); // "DSTA"
+        for level in [&self.l1i, &self.l1d, &self.l2, &self.l3] {
+            e.u64(level.accesses);
+            e.u64(level.hits);
+        }
+        for v in [
+            self.ipi,
+            self.local_mem_hits,
+            self.remote_mem_hits,
+            self.remote_shared_mem_hits,
+            self.snoop_data_hits,
+            self.snoop_invalidations,
+            self.instructions,
+            self.mem_accesses,
+            self.tlb_hits,
+            self.tlb_misses,
+            self.faults_injected,
+            self.faults_retried,
+            self.faults_recovered,
+            self.faults_fatal,
+            self.runtime.raw(),
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restores every counter from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        d.tag(0x4453_5441)?;
+        for level in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.l3] {
+            level.accesses = d.u64()?;
+            level.hits = d.u64()?;
+        }
+        self.ipi = d.u64()?;
+        self.local_mem_hits = d.u64()?;
+        self.remote_mem_hits = d.u64()?;
+        self.remote_shared_mem_hits = d.u64()?;
+        self.snoop_data_hits = d.u64()?;
+        self.snoop_invalidations = d.u64()?;
+        self.instructions = d.u64()?;
+        self.mem_accesses = d.u64()?;
+        self.tlb_hits = d.u64()?;
+        self.tlb_misses = d.u64()?;
+        self.faults_injected = d.u64()?;
+        self.faults_retried = d.u64()?;
+        self.faults_recovered = d.u64()?;
+        self.faults_fatal = d.u64()?;
+        self.runtime = Cycles::new(d.u64()?);
+        Ok(())
+    }
+
     /// Renders the artifact-style report block.
     #[must_use]
     pub fn report(&self, label: &str) -> String {

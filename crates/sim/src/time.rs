@@ -327,6 +327,32 @@ impl Timebase {
             c.reset();
         }
     }
+
+    /// Serializes both domain clocks into a checkpoint section.
+    pub fn save_state(&self, e: &mut crate::checkpoint::Encoder) {
+        e.tag(0x54_494d45); // "TIME"
+        for c in &self.clocks {
+            e.u64(c.icount);
+            e.u64(c.mem_cycles.raw());
+        }
+    }
+
+    /// Restores both domain clocks from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        &mut self,
+        d: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        d.tag(0x54_494d45)?;
+        for c in &mut self.clocks {
+            c.icount = d.u64()?;
+            c.mem_cycles = Cycles::new(d.u64()?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

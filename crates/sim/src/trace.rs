@@ -110,11 +110,14 @@ pub enum EventClass {
     /// the batched-vs-scalar stream comparison: batching coalesces
     /// these calls (identical totals, coarser granularity).
     Accounting,
+    /// Crash detection and recovery: watchdog verdicts, checkpoint
+    /// captures, restore/replay progress.
+    Recovery,
 }
 
 impl EventClass {
     /// Every class, in report order.
-    pub const ALL: [EventClass; 9] = [
+    pub const ALL: [EventClass; 10] = [
         EventClass::Cache,
         EventClass::Tlb,
         EventClass::Msg,
@@ -124,6 +127,7 @@ impl EventClass {
         EventClass::Migration,
         EventClass::Dsm,
         EventClass::Accounting,
+        EventClass::Recovery,
     ];
 }
 
@@ -308,6 +312,29 @@ pub enum TraceEvent {
         /// Instructions retired.
         insns: u64,
     },
+    /// The watchdog declared a domain dead after a run of missed
+    /// heartbeats.
+    Watchdog {
+        /// The domain declared dead.
+        domain: DomainId,
+        /// Consecutive heartbeats missed at the declaration.
+        missed: u32,
+    },
+    /// A recovery stage completed for a crashed domain ("quarantine",
+    /// "restore", "replay", "degrade").
+    Recovery {
+        /// The crashed domain being recovered from.
+        domain: DomainId,
+        /// Which recovery stage finished.
+        stage: &'static str,
+    },
+    /// A checkpoint of the full machine state was captured.
+    Checkpoint {
+        /// Domain whose supervisor initiated the capture.
+        domain: DomainId,
+        /// Serialized artifact size in bytes.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -332,6 +359,9 @@ impl TraceEvent {
             | TraceEvent::DsmInvalidate { .. }
             | TraceEvent::DsmTransfer { .. } => EventClass::Dsm,
             TraceEvent::Charge { .. } | TraceEvent::Retire { .. } => EventClass::Accounting,
+            TraceEvent::Watchdog { .. }
+            | TraceEvent::Recovery { .. }
+            | TraceEvent::Checkpoint { .. } => EventClass::Recovery,
         }
     }
 
@@ -358,6 +388,9 @@ impl TraceEvent {
             TraceEvent::DsmTransfer { .. } => "dsm_transfer",
             TraceEvent::Charge { .. } => "charge",
             TraceEvent::Retire { .. } => "retire",
+            TraceEvent::Watchdog { .. } => "watchdog_death",
+            TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
         }
     }
 
@@ -374,7 +407,10 @@ impl TraceEvent {
             | TraceEvent::PageFault { domain, .. }
             | TraceEvent::Futex { domain, .. }
             | TraceEvent::Charge { domain, .. }
-            | TraceEvent::Retire { domain, .. } => domain,
+            | TraceEvent::Retire { domain, .. }
+            | TraceEvent::Watchdog { domain, .. }
+            | TraceEvent::Recovery { domain, .. }
+            | TraceEvent::Checkpoint { domain, .. } => domain,
             TraceEvent::MsgSend { from, .. }
             | TraceEvent::MsgRetransmit { from, .. }
             | TraceEvent::MsgBackpressure { from, .. }
@@ -510,6 +546,12 @@ pub const HIST_FAULT_SERVICE: &str = "fault_service_cycles";
 pub const HIST_DSM_TRANSFER: &str = "dsm_transfer_cycles";
 /// Histogram name: contended-futex wait-path latency.
 pub const HIST_FUTEX_WAIT: &str = "futex_wait_cycles";
+/// Counter name: domains declared dead by the watchdog.
+pub const CTR_WATCHDOG_DEATHS: &str = "watchdog_deaths";
+/// Counter name: restart-from-checkpoint recoveries performed.
+pub const CTR_RECOVERY_RESTARTS: &str = "recovery_restarts";
+/// Counter name: checkpoints captured.
+pub const CTR_CHECKPOINTS: &str = "checkpoints_taken";
 
 impl MetricsRegistry {
     /// Creates an empty registry.
@@ -793,18 +835,21 @@ pub struct PhaseTotals {
     pub ipis: [u64; 2],
     /// Page faults taken.
     pub faults: [u64; 2],
+    /// Recovery-class events (watchdog deaths, recovery stages,
+    /// checkpoints) attributed to the domain.
+    pub recoveries: [u64; 2],
 }
 
 /// Splits an event stream into per-phase totals at migration events.
 #[must_use]
 pub fn phase_breakdown(events: &[TraceEvent]) -> Vec<PhaseTotals> {
-    let mut phases = vec![PhaseTotals::default()];
+    let mut phases = Vec::new();
+    let mut cur = PhaseTotals::default();
     for ev in events {
         if let TraceEvent::Migration { .. } = ev {
-            phases.push(PhaseTotals::default());
+            phases.push(std::mem::take(&mut cur));
             continue;
         }
-        let cur = phases.last_mut().expect("phases never empty");
         match *ev {
             TraceEvent::Retire { domain, insns } => cur.inst_cycles[domain.index()] += insns,
             TraceEvent::Charge { domain, cost } => cur.mem_cycles[domain.index()] += cost.raw(),
@@ -812,9 +857,13 @@ pub fn phase_breakdown(events: &[TraceEvent]) -> Vec<PhaseTotals> {
             TraceEvent::MsgSend { from, .. } => cur.msgs[from.index()] += 1,
             TraceEvent::Ipi { from, .. } => cur.ipis[from.index()] += 1,
             TraceEvent::PageFault { domain, .. } => cur.faults[domain.index()] += 1,
+            TraceEvent::Watchdog { domain, .. }
+            | TraceEvent::Recovery { domain, .. }
+            | TraceEvent::Checkpoint { domain, .. } => cur.recoveries[domain.index()] += 1,
             _ => {}
         }
     }
+    phases.push(cur);
     phases
 }
 
@@ -826,15 +875,15 @@ pub fn render_phase_report(events: &[TraceEvent]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<7} {:<5} {:>14} {:>14} {:>12} {:>8} {:>6} {:>7}",
-        "phase", "dom", "inst_cycles", "mem_cycles", "cache_acc", "msgs", "ipis", "faults"
+        "{:<7} {:<5} {:>14} {:>14} {:>12} {:>8} {:>6} {:>7} {:>6}",
+        "phase", "dom", "inst_cycles", "mem_cycles", "cache_acc", "msgs", "ipis", "faults", "recov"
     );
     for (i, p) in phases.iter().enumerate() {
         for d in DomainId::ALL {
             let j = d.index();
             let _ = writeln!(
                 s,
-                "{:<7} {:<5} {:>14} {:>14} {:>12} {:>8} {:>6} {:>7}",
+                "{:<7} {:<5} {:>14} {:>14} {:>12} {:>8} {:>6} {:>7} {:>6}",
                 i,
                 d.to_string(),
                 p.inst_cycles[j],
@@ -842,7 +891,8 @@ pub fn render_phase_report(events: &[TraceEvent]) -> String {
                 p.cache_accesses[j],
                 p.msgs[j],
                 p.ipis[j],
-                p.faults[j]
+                p.faults[j],
+                p.recoveries[j]
             );
         }
     }

@@ -1,0 +1,282 @@
+//! The chaos harness: escalating seeded fault schedules against every
+//! OS design, with shrinking reproducers.
+//!
+//! Each scenario runs the supervised KV workload (one request per
+//! step, watchdog armed) under a [`ChaosSchedule`]-composed
+//! [`FaultPlan`], then checks three oracles:
+//!
+//! 1. the run completes without an OS error,
+//! 2. the design-specific invariant auditor reports no violations,
+//! 3. the functional checksum matches the fault-free baseline
+//!    (fingerprint drift = silent corruption).
+//!
+//! On a failure the harness ddmin-shrinks the schedule to a
+//! 1-minimal reproducer that replays from `(seed, events)` alone.
+//! `--inject-regression` seeds a deliberate recovery bug — it runs the
+//! supervisor with [`RecoveryPolicy::Degrade`] where the byte-identical
+//! contract requires [`RecoveryPolicy::RestartFromCheckpoint`] — so the
+//! whole find→shrink→replay loop can be exercised end to end.
+//!
+//! [`FaultPlan`]: stramash_sim::FaultPlan
+
+use crate::kvstore::KvOp;
+use crate::recovery::{run_kv_recovered, RecoveryConfig, RecoveryPolicy};
+use crate::target::{SystemKind, TargetSystem};
+use stramash_kernel::system::OsError;
+use stramash_sim::chaos::{shrink, ChaosEvent, ChaosSchedule};
+use stramash_sim::HardwareModel;
+
+/// Requests per chaos scenario — small enough that a full escalating
+/// sweep across all four designs stays in CI budget, large enough to
+/// cross several checkpoint intervals and the crash window.
+const REQUESTS: u64 = 40;
+/// Payload bytes per request.
+const PAYLOAD: u32 = 64;
+
+/// Supervisor knobs used by every scenario (checkpoint cadence chosen
+/// so a stage-3 crash always lands a few steps past a checkpoint).
+fn supervisor_config(policy: RecoveryPolicy) -> RecoveryConfig {
+    RecoveryConfig { policy, checkpoint_every: 8, watchdog_threshold: 2 }
+}
+
+/// Outcome of one supervised scenario that ran to completion.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Functional checksum of the served responses + stored payloads.
+    pub checksum: u64,
+    /// Watchdog deaths observed.
+    pub crashes: u32,
+    /// Restart-from-checkpoint recoveries.
+    pub restarts: u32,
+    /// Invariant-auditor violations found after the run.
+    pub violations: Vec<String>,
+}
+
+/// The fault-free baseline checksum for `kind` (same stepped workload,
+/// watchdog armed, no injector).
+///
+/// # Errors
+///
+/// OS errors from the baseline run.
+pub fn baseline_checksum(kind: SystemKind) -> Result<u64, OsError> {
+    let sys = TargetSystem::build(kind, HardwareModel::Shared)?;
+    let rc = supervisor_config(RecoveryPolicy::RestartFromCheckpoint);
+    Ok(run_kv_recovered(sys, KvOp::Set, REQUESTS, PAYLOAD, &rc)?.result.checksum)
+}
+
+/// Runs one scenario: `events` composed into a seeded plan, supervised
+/// KV run with `policy`, auditors afterwards.
+///
+/// # Errors
+///
+/// OS errors from the workload (an error *is* a chaos finding; the
+/// caller folds it into the verdict).
+pub fn run_scenario(
+    kind: SystemKind,
+    seed: u64,
+    events: &[ChaosEvent],
+    policy: RecoveryPolicy,
+) -> Result<ScenarioOutcome, OsError> {
+    let mut sys = TargetSystem::build(kind, HardwareModel::Shared)?;
+    let plan = ChaosSchedule { seed, events: events.to_vec() }.plan();
+    if !plan.is_noop() {
+        sys.install_fault_plan(plan, seed);
+    }
+    let rc = supervisor_config(policy);
+    let out = run_kv_recovered(sys, KvOp::Set, REQUESTS, PAYLOAD, &rc)?;
+    Ok(ScenarioOutcome {
+        checksum: out.result.checksum,
+        crashes: out.crashes,
+        restarts: out.restarts,
+        violations: out.sys.audit(),
+    })
+}
+
+/// The failure oracle: `Some(description)` when the scenario errors,
+/// violates an invariant, or drifts from the baseline checksum.
+#[must_use]
+pub fn scenario_failure(
+    kind: SystemKind,
+    seed: u64,
+    events: &[ChaosEvent],
+    policy: RecoveryPolicy,
+    baseline: u64,
+) -> Option<String> {
+    match run_scenario(kind, seed, events, policy) {
+        Err(e) => Some(format!("workload error: {e}")),
+        Ok(out) => verdict(&out, baseline),
+    }
+}
+
+/// Folds a completed scenario into a failure description, if any.
+fn verdict(out: &ScenarioOutcome, baseline: u64) -> Option<String> {
+    if !out.violations.is_empty() {
+        return Some(format!("auditor violations: {}", out.violations.join("; ")));
+    }
+    if out.checksum != baseline {
+        return Some(format!(
+            "fingerprint drift: got {:#x}, baseline {:#x}",
+            out.checksum, baseline
+        ));
+    }
+    None
+}
+
+/// One (stage, kind) cell of the escalating sweep.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Escalation stage (0-based).
+    pub stage: u32,
+    /// Design under test.
+    pub kind: SystemKind,
+    /// The schedule that ran.
+    pub schedule: ChaosSchedule,
+    /// Watchdog deaths / restarts observed (0/0 when the stage carries
+    /// no crash).
+    pub crashes: u32,
+    /// Restart recoveries.
+    pub restarts: u32,
+    /// `Some` when an oracle tripped.
+    pub failure: Option<String>,
+}
+
+/// A finished sweep: every cell, plus the shrunk reproducer when a
+/// failure was found.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Every (stage, kind) cell run, in order.
+    pub cells: Vec<StageReport>,
+    /// The first failure, shrunk to a 1-minimal schedule.
+    pub reproducer: Option<Reproducer>,
+}
+
+/// A minimal, replayable failure.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// Design the failure reproduces on.
+    pub kind: SystemKind,
+    /// The original failure description.
+    pub failure: String,
+    /// The 1-minimal schedule (replay with the same seed).
+    pub schedule: ChaosSchedule,
+}
+
+/// Runs the escalating sweep: stages `0..stages`, each against all
+/// four designs. Stops at the first failing cell, shrinks it, and
+/// returns the reproducer; a fully-green sweep returns
+/// `reproducer: None`.
+///
+/// # Errors
+///
+/// Only baseline (fault-free) runs can error out of the sweep —
+/// scenario errors are findings, not sweep errors.
+pub fn chaos_sweep(
+    seed: u64,
+    stages: u32,
+    inject_regression: bool,
+) -> Result<ChaosReport, OsError> {
+    let policy = if inject_regression {
+        RecoveryPolicy::Degrade
+    } else {
+        RecoveryPolicy::RestartFromCheckpoint
+    };
+    let mut baselines: [Option<u64>; 4] = [None; 4];
+    let mut cells = Vec::new();
+    for stage in 0..stages {
+        for kind in SystemKind::ALL {
+            let idx = SystemKind::ALL.iter().position(|&k| k == kind).unwrap_or(0);
+            let baseline = match baselines[idx] {
+                Some(b) => b,
+                None => {
+                    let b = baseline_checksum(kind)?;
+                    baselines[idx] = Some(b);
+                    b
+                }
+            };
+            let schedule = ChaosSchedule::generate(seed, stage);
+            let (crashes, restarts, failure) =
+                match run_scenario(kind, seed, &schedule.events, policy) {
+                    Ok(out) => (out.crashes, out.restarts, verdict(&out, baseline)),
+                    Err(e) => (0, 0, Some(format!("workload error: {e}"))),
+                };
+            cells.push(StageReport {
+                stage,
+                kind,
+                schedule: schedule.clone(),
+                crashes,
+                restarts,
+                failure: failure.clone(),
+            });
+            if let Some(desc) = failure {
+                let minimal = shrink(&schedule.events, |evs| {
+                    scenario_failure(kind, seed, evs, policy, baseline).is_some()
+                });
+                return Ok(ChaosReport {
+                    cells,
+                    reproducer: Some(Reproducer {
+                        kind,
+                        failure: desc,
+                        schedule: ChaosSchedule { seed, events: minimal },
+                    }),
+                });
+            }
+        }
+    }
+    Ok(ChaosReport { cells, reproducer: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_stage_survives_every_design() {
+        let report = chaos_sweep(0x5eed, 1, false).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.reproducer.is_none(), "{:?}", report.reproducer);
+    }
+
+    #[test]
+    fn crash_stage_recovers_byte_identically() {
+        // Stage 3 carries a domain crash; restart-from-checkpoint must
+        // keep every design on the baseline fingerprint.
+        let sched = ChaosSchedule::generate(0x5eed, 3);
+        assert!(sched.crash().is_some());
+        let baseline = baseline_checksum(SystemKind::Stramash).unwrap();
+        let failure = scenario_failure(
+            SystemKind::Stramash,
+            0x5eed,
+            &sched.events,
+            RecoveryPolicy::RestartFromCheckpoint,
+            baseline,
+        );
+        assert!(failure.is_none(), "{failure:?}");
+    }
+
+    #[test]
+    fn injected_regression_shrinks_to_minimal_reproducer() {
+        // The seeded recovery bug (degrade where restart is required)
+        // must be found, shrunk to <= 3 events, and replay.
+        let report = chaos_sweep(0x5eed, 4, true).unwrap();
+        let rep = report.reproducer.expect("the injected regression must be found");
+        assert!(
+            rep.schedule.events.len() <= 3,
+            "reproducer not minimal: {}",
+            rep.schedule.describe()
+        );
+        assert!(
+            rep.schedule.events.iter().any(|e| matches!(e, ChaosEvent::Crash { .. })),
+            "the culprit must include the domain crash"
+        );
+        // Deterministic replay: the minimal schedule still fails.
+        let baseline = baseline_checksum(rep.kind).unwrap();
+        assert!(scenario_failure(
+            rep.kind,
+            rep.schedule.seed,
+            &rep.schedule.events,
+            RecoveryPolicy::Degrade,
+            baseline,
+        )
+        .is_some());
+    }
+}

@@ -21,6 +21,18 @@ pub struct ArrayF64 {
 }
 
 impl ArrayF64 {
+    /// Rebuilds a handle from its raw parts (checkpoint restore).
+    #[must_use]
+    pub fn from_raw(base: VirtAddr, len: u64) -> Self {
+        ArrayF64 { base, len }
+    }
+
+    /// Base address of element 0.
+    #[must_use]
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
     /// Element count.
     #[must_use]
     pub fn len(&self) -> u64 {
@@ -53,6 +65,18 @@ pub struct ArrayU64 {
 }
 
 impl ArrayU64 {
+    /// Rebuilds a handle from its raw parts (checkpoint restore).
+    #[must_use]
+    pub fn from_raw(base: VirtAddr, len: u64) -> Self {
+        ArrayU64 { base, len }
+    }
+
+    /// Base address of element 0.
+    #[must_use]
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
     /// Element count.
     #[must_use]
     pub fn len(&self) -> u64 {

@@ -274,6 +274,40 @@ impl KvServer {
         Ok(())
     }
 
+    /// Serializes the server's pointer state into a checkpoint section.
+    /// The stored data itself lives in simulated memory and is covered
+    /// by the system checkpoint; only the VA roots are written here.
+    pub fn save_state(&self, e: &mut stramash_sim::checkpoint::Encoder) {
+        e.tag(0x4b56_5356); // "KVSV"
+        e.u64(self.buckets.raw());
+        e.u64(self.set_buckets.raw());
+        e.u64(self.list_head.raw());
+        e.u64(self.list_tail.raw());
+        e.u64(self.heap_base.raw());
+        e.u64(self.heap_len);
+        e.u64(self.heap_cursor);
+    }
+
+    /// Restores a server written by [`KvServer::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors.
+    pub fn load_state(
+        d: &mut stramash_sim::checkpoint::Decoder<'_>,
+    ) -> Result<Self, stramash_sim::checkpoint::CheckpointError> {
+        d.tag(0x4b56_5356)?;
+        Ok(KvServer {
+            buckets: VirtAddr::new(d.u64()?),
+            set_buckets: VirtAddr::new(d.u64()?),
+            list_head: VirtAddr::new(d.u64()?),
+            list_tail: VirtAddr::new(d.u64()?),
+            heap_base: VirtAddr::new(d.u64()?),
+            heap_len: d.u64()?,
+            heap_cursor: d.u64()?,
+        })
+    }
+
     /// String lookup by key hash, returning the payload length if found.
     ///
     /// # Errors
@@ -333,7 +367,7 @@ pub struct KvRunResult {
     pub checksum: u64,
 }
 
-fn fnv(acc: u64, byte: u8) -> u64 {
+pub(crate) fn fnv(acc: u64, byte: u8) -> u64 {
     (acc ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3)
 }
 

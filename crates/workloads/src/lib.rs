@@ -32,13 +32,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod driver;
 pub mod kvstore;
 pub mod micro;
 pub mod npb;
+pub mod recovery;
 pub mod target;
 
+pub use chaos::{chaos_sweep, ChaosReport, Reproducer, StageReport};
 pub use client::{ArrayF64, ArrayU64, MemoryClient};
 pub use driver::{run_benchmark, run_benchmark_with, Configuration, RunReport};
 pub use kvstore::{run_kv, KvOp, KvRunResult, KvServer};
@@ -47,4 +50,7 @@ pub use micro::{
     GranularityResult,
 };
 pub use npb::{run_npb, Class, NpbKind, NpbOutcome};
+pub use recovery::{
+    run_is_recovered, run_kv_recovered, Recovered, RecoveryConfig, RecoveryPolicy,
+};
 pub use target::{SystemKind, TargetSystem};

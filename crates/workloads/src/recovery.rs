@@ -1,0 +1,668 @@
+//! Crash-recovery supervisor: stepped workloads under a watchdog.
+//!
+//! The recovery state machine of DESIGN.md §10.3. A workload is run as
+//! a sequence of *steps* (one KV request, one NPB ranking procedure);
+//! between steps the supervisor takes periodic checkpoints and drives
+//! [`BaseSystem::watchdog_tick`], so a [`FaultPlan`] crash manifests as
+//! heartbeat silence and — after the watchdog declares the domain dead
+//! and quarantines its messages and locks — recovery proceeds by
+//! policy:
+//!
+//! * [`RecoveryPolicy::RestartFromCheckpoint`] — rebuild a fresh
+//!   machine, restore the last checkpoint artifact (system *and*
+//!   workload cursor in one atomic snapshot), disarm the already-fired
+//!   crash and replay the step backlog. Replay is deterministic, so the
+//!   finished run is byte-identical to an uninterrupted one.
+//! * [`RecoveryPolicy::Degrade`] — the surviving kernel adopts the
+//!   work: DSM entries fail over, the process is re-homed, migration is
+//!   suppressed, and the survivor drains the remaining steps alone.
+//!
+//! [`BaseSystem::watchdog_tick`]: stramash_kernel::system::BaseSystem::watchdog_tick
+//! [`FaultPlan`]: stramash_sim::FaultPlan
+
+use crate::client::{ArrayU64, MemoryClient};
+use crate::kvstore::{fnv, KvOp, KvRunResult, KvServer};
+use crate::npb::{offload, Class, DataRng, NpbOutcome};
+use crate::target::TargetSystem;
+use stramash_kernel::msg::{Message, MsgType};
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{OsError, OsSystem};
+use stramash_kernel::watchdog::DEFAULT_THRESHOLD;
+use stramash_sim::checkpoint::{CheckpointError, Decoder, Encoder};
+use stramash_sim::trace::{TraceEvent, CTR_RECOVERY_RESTARTS};
+use stramash_sim::DomainId;
+
+/// What the supervisor does once the watchdog declares a domain dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// The surviving kernel adopts the work and drains it alone.
+    Degrade,
+    /// Rebuild from the last checkpoint and replay the step backlog.
+    RestartFromCheckpoint,
+}
+
+/// Supervisor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Dead-domain policy.
+    pub policy: RecoveryPolicy,
+    /// Steps between periodic checkpoints (0 = only the baseline
+    /// snapshot taken before step 0).
+    pub checkpoint_every: u64,
+    /// Heartbeat misses before the watchdog declares death.
+    pub watchdog_threshold: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            policy: RecoveryPolicy::RestartFromCheckpoint,
+            checkpoint_every: 16,
+            watchdog_threshold: DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// A supervised run's result plus the recovery history.
+#[derive(Debug)]
+pub struct Recovered<T> {
+    /// The workload's own outcome.
+    pub result: T,
+    /// The system as it finished (for fingerprinting and audits).
+    pub sys: TargetSystem,
+    /// Watchdog deaths observed.
+    pub crashes: u32,
+    /// Restart-from-checkpoint recoveries performed.
+    pub restarts: u32,
+    /// `Some(dead)` when the run finished degraded on one kernel.
+    pub degraded: Option<DomainId>,
+}
+
+/// Section tag of the supervisor's combined artifact ("RCVR").
+const RCVR: u32 = 0x5243_5652;
+
+/// A workload the supervisor can checkpoint, replay and re-home.
+trait Stepped {
+    type Output;
+    /// Serializes the workload-side cursor state.
+    fn save(&self, e: &mut Encoder);
+    /// Restores what [`Stepped::save`] wrote, against the restored
+    /// system (for state recomputed from the machine, e.g. the current
+    /// domain of the server process).
+    fn restore(&mut self, d: &mut Decoder<'_>, sys: &TargetSystem)
+        -> Result<(), CheckpointError>;
+    /// Executes step `step` (0-based).
+    fn step(&mut self, sys: &mut TargetSystem, step: u64) -> Result<(), OsError>;
+    /// Re-homes the workload onto `survivor` after a degrade decision.
+    fn adopt(&mut self, sys: &mut TargetSystem, survivor: DomainId) -> Result<(), OsError>;
+    /// Finishes the run (verification sweeps) and produces the output.
+    fn finish(&mut self, sys: &mut TargetSystem) -> Result<Self::Output, OsError>;
+}
+
+/// One atomic snapshot: machine checkpoint + workload cursor state.
+fn snapshot<W: Stepped>(sys: &TargetSystem, w: &W, cursor: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.tag(RCVR);
+    e.bytes(&sys.checkpoint());
+    w.save(&mut e);
+    e.u64(cursor);
+    e.into_bytes()
+}
+
+/// Rebuilds a fresh machine from `artifact`, re-wiring the old
+/// system's injector and tracer handles, and returns it with the
+/// restored step cursor. The fired crash is disarmed so replay does
+/// not re-kill the domain.
+fn rollback<W: Stepped>(
+    old: &TargetSystem,
+    artifact: &[u8],
+    w: &mut W,
+) -> Result<(TargetSystem, u64), OsError> {
+    let mut d = Decoder::new(artifact);
+    d.tag(RCVR)?;
+    let sys_bytes = d.bytes()?.to_vec();
+    let mut sys = TargetSystem::build_with(old.kind(), old.config().clone())?;
+    if let Some(inj) = old.fault_injector() {
+        sys.base_mut().install_fault_injector(inj.clone());
+    }
+    if let Some(t) = old.tracer() {
+        sys.install_tracer(t.clone());
+    }
+    sys.restore(&sys_bytes)?;
+    if let Some(inj) = sys.fault_injector() {
+        inj.borrow_mut().disarm_crash();
+    }
+    // The artifact may predate the crash only by moments; clear any
+    // in-progress miss counting so detection restarts from scratch.
+    sys.base_mut().watchdog_mut().reset_after_recovery();
+    w.restore(&mut d, &sys)?;
+    let cursor = d.u64()?;
+    Ok((sys, cursor))
+}
+
+/// The supervisor loop: step, tick the watchdog, recover by policy.
+fn supervise<W: Stepped>(
+    mut sys: TargetSystem,
+    mut w: W,
+    steps: u64,
+    rc: &RecoveryConfig,
+) -> Result<Recovered<W::Output>, OsError> {
+    sys.base_mut().enable_watchdog(rc.watchdog_threshold);
+    let mut artifact = snapshot(&sys, &w, 0);
+    let mut cursor = 0u64;
+    let mut crashes = 0u32;
+    let mut restarts = 0u32;
+    let mut degraded = None;
+    while cursor < steps {
+        // Never snapshot inside a crash's silent window (fired but not
+        // yet detected): such an artifact would bake the halted domain's
+        // missing heartbeats into every replay.
+        let halted = {
+            let wd = sys.base().watchdog();
+            DomainId::ALL.iter().any(|&d| wd.is_halted(d))
+        };
+        if cursor > 0 && rc.checkpoint_every > 0 && cursor.is_multiple_of(rc.checkpoint_every) && !halted
+        {
+            artifact = snapshot(&sys, &w, cursor);
+        }
+        w.step(&mut sys, cursor)?;
+        cursor += 1;
+        if let Some(report) = sys.base_mut().watchdog_tick(cursor) {
+            crashes += 1;
+            match rc.policy {
+                RecoveryPolicy::RestartFromCheckpoint => {
+                    sys.base()
+                        .emit(TraceEvent::Recovery { domain: report.dead, stage: "restart" });
+                    let (fresh, restored_cursor) = rollback(&sys, &artifact, &mut w)?;
+                    sys = fresh;
+                    cursor = restored_cursor;
+                    restarts += 1;
+                    if let Some(t) = sys.tracer() {
+                        t.borrow_mut().metrics_mut().inc(CTR_RECOVERY_RESTARTS);
+                    }
+                    sys.base()
+                        .emit(TraceEvent::Recovery { domain: report.dead, stage: "replay" });
+                }
+                RecoveryPolicy::Degrade => {
+                    let survivor = report.dead.other();
+                    sys.base()
+                        .emit(TraceEvent::Recovery { domain: report.dead, stage: "degrade" });
+                    sys.fail_over(report.dead);
+                    w.adopt(&mut sys, survivor)?;
+                    degraded = Some(report.dead);
+                }
+            }
+        }
+    }
+    let result = w.finish(&mut sys)?;
+    Ok(Recovered { result, sys, crashes, restarts, degraded })
+}
+
+// ---------------------------------------------------------------------
+// Stepped KV store (one request per step)
+// ---------------------------------------------------------------------
+
+struct SteppedKv {
+    pid: Pid,
+    server: KvServer,
+    op: KvOp,
+    requests: u64,
+    payload: Vec<u8>,
+    server_domain: DomainId,
+    checksum: u64,
+    before: stramash_sim::Cycles,
+}
+
+fn op_code(op: KvOp) -> u8 {
+    KvOp::ALL.iter().position(|&o| o == op).unwrap_or(0) as u8
+}
+
+fn op_from_code(code: u8) -> Result<KvOp, CheckpointError> {
+    KvOp::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(CheckpointError::Malformed("unknown KV op code"))
+}
+
+fn key_of(r: u64) -> u64 {
+    r.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16
+}
+
+impl Stepped for SteppedKv {
+    type Output = KvRunResult;
+
+    fn save(&self, e: &mut Encoder) {
+        e.tag(0x534b_5653); // "SKVS"
+        e.u32(self.pid.0);
+        self.server.save_state(e);
+        e.u8(op_code(self.op));
+        e.u64(self.requests);
+        e.u64(self.payload.len() as u64);
+        e.u8(self.server_domain.index() as u8);
+        e.u64(self.checksum);
+        e.u64(self.before.raw());
+    }
+
+    fn restore(
+        &mut self,
+        d: &mut Decoder<'_>,
+        _sys: &TargetSystem,
+    ) -> Result<(), CheckpointError> {
+        d.tag(0x534b_5653)?;
+        self.pid = Pid(d.u32()?);
+        self.server = KvServer::load_state(d)?;
+        self.op = op_from_code(d.u8()?)?;
+        self.requests = d.u64()?;
+        let payload_len = d.u64()? as usize;
+        self.payload = vec![0xab; payload_len];
+        self.server_domain = if d.u8()? == 0 { DomainId::X86 } else { DomainId::ARM };
+        self.checksum = d.u64()?;
+        self.before = stramash_sim::Cycles::new(d.u64()?);
+        Ok(())
+    }
+
+    fn step(&mut self, sys: &mut TargetSystem, step: u64) -> Result<(), OsError> {
+        let client_domain = DomainId::X86;
+        let req = Message { ty: MsgType::KvRequest, payload: self.payload.len() as u32 };
+        {
+            let base = sys.base_mut();
+            let send_c = {
+                let (msg, mem, ipi) = (&mut base.msg, &mut base.mem, &mut base.ipi);
+                msg.send(mem, ipi, client_domain, req)
+            };
+            let recv_c = {
+                let (msg, mem) = (&mut base.msg, &mut base.mem);
+                msg.receive(mem, self.server_domain, req)
+            };
+            base.charge(client_domain, send_c);
+            base.charge(self.server_domain, recv_c);
+        }
+        let resp_len =
+            self.server.process(sys, self.pid, self.op, key_of(step), &self.payload)?;
+        for b in resp_len.to_le_bytes() {
+            self.checksum = fnv(self.checksum, b);
+        }
+        let resp = Message { ty: MsgType::KvResponse, payload: resp_len };
+        let base = sys.base_mut();
+        let send_c = {
+            let (msg, mem, ipi) = (&mut base.msg, &mut base.mem, &mut base.ipi);
+            msg.send(mem, ipi, self.server_domain, resp)
+        };
+        let recv_c = {
+            let (msg, mem) = (&mut base.msg, &mut base.mem);
+            msg.receive(mem, client_domain, resp)
+        };
+        base.charge(self.server_domain, send_c);
+        base.charge(client_domain, recv_c);
+        Ok(())
+    }
+
+    fn adopt(&mut self, sys: &mut TargetSystem, survivor: DomainId) -> Result<(), OsError> {
+        if sys.current_domain(self.pid)? != survivor {
+            // Forced adoption: the survivor re-homes the task straight
+            // from DRAM — no migration protocol with a dead kernel. A
+            // survivor without its own page-table format for the task
+            // (single-ISA Vanilla) cannot adopt it at all.
+            if sys.base().process(self.pid)?.page_tables[survivor.index()].is_none() {
+                return Err(OsError::DomainDead(survivor.other()));
+            }
+            sys.base_mut().process_mut(self.pid)?.current = survivor;
+        }
+        self.server_domain = survivor;
+        Ok(())
+    }
+
+    fn finish(&mut self, sys: &mut TargetSystem) -> Result<KvRunResult, OsError> {
+        let total = sys.runtime() - self.before;
+        let mut checksum = self.checksum;
+        for r in 0..self.requests {
+            if let Some(stored) = self.server.fetch_string(sys, self.pid, key_of(r))? {
+                for b in stored {
+                    checksum = fnv(checksum, b);
+                }
+            }
+        }
+        Ok(KvRunResult {
+            op: self.op,
+            requests: self.requests,
+            total,
+            per_request: total.raw() as f64 / self.requests as f64,
+            checksum,
+        })
+    }
+}
+
+/// Runs the Figure 14 KV experiment one request per step under the
+/// crash-recovery supervisor. With no installed fault plan this is the
+/// stepped-deterministic baseline; with a plan containing a
+/// `DomainCrash`, the run recovers by `rc.policy` and — under
+/// [`RecoveryPolicy::RestartFromCheckpoint`] — produces a checksum
+/// byte-identical to the crash-free baseline.
+///
+/// # Errors
+///
+/// OS errors, including checkpoint-decode failures during recovery.
+pub fn run_kv_recovered(
+    mut sys: TargetSystem,
+    op: KvOp,
+    requests: u64,
+    payload_len: u32,
+    rc: &RecoveryConfig,
+) -> Result<Recovered<KvRunResult>, OsError> {
+    let pid = sys.spawn(DomainId::X86)?;
+    let heap = (requests * 6 + 1024) * (24 + u64::from(payload_len) + 64);
+    let mut server = KvServer::setup(&mut sys, pid, heap)?;
+    let payload = vec![0xabu8; payload_len as usize];
+    if sys.kind().migrates() {
+        sys.migrate(pid, DomainId::ARM)?;
+    }
+    match op {
+        KvOp::Get => {
+            for r in 0..requests {
+                server.process(&mut sys, pid, KvOp::Set, key_of(r), &payload)?;
+            }
+        }
+        KvOp::Lpop | KvOp::Rpop => {
+            for _ in 0..requests {
+                server.process(&mut sys, pid, KvOp::Lpush, 0, &payload)?;
+            }
+        }
+        _ => {}
+    }
+    let server_domain = sys.current_domain(pid)?;
+    let before = sys.runtime();
+    let w = SteppedKv {
+        pid,
+        server,
+        op,
+        requests,
+        payload,
+        server_domain,
+        checksum: 0xcbf2_9ce4_8422_2325,
+        before,
+    };
+    supervise(sys, w, requests, rc)
+}
+
+// ---------------------------------------------------------------------
+// Stepped NPB IS (one ranking procedure per step)
+// ---------------------------------------------------------------------
+
+struct SteppedIs {
+    pid: Pid,
+    keys: ArrayU64,
+    sorted: ArrayU64,
+    hist: ArrayU64,
+    max_key: u64,
+    migrate: bool,
+    verified: bool,
+    procedures: u32,
+}
+
+fn save_array(e: &mut Encoder, a: ArrayU64) {
+    e.u64(a.base().raw());
+    e.u64(a.len());
+}
+
+fn load_array(d: &mut Decoder<'_>) -> Result<ArrayU64, CheckpointError> {
+    let base = d.u64()?;
+    let len = d.u64()?;
+    Ok(ArrayU64::from_raw(stramash_kernel::addr::VirtAddr::new(base), len))
+}
+
+impl Stepped for SteppedIs {
+    type Output = NpbOutcome;
+
+    fn save(&self, e: &mut Encoder) {
+        e.tag(0x5349_5353); // "SISS"
+        e.u32(self.pid.0);
+        save_array(e, self.keys);
+        save_array(e, self.sorted);
+        save_array(e, self.hist);
+        e.u64(self.max_key);
+        e.bool(self.migrate);
+        e.bool(self.verified);
+        e.u32(self.procedures);
+    }
+
+    fn restore(
+        &mut self,
+        d: &mut Decoder<'_>,
+        _sys: &TargetSystem,
+    ) -> Result<(), CheckpointError> {
+        d.tag(0x5349_5353)?;
+        self.pid = Pid(d.u32()?);
+        self.keys = load_array(d)?;
+        self.sorted = load_array(d)?;
+        self.hist = load_array(d)?;
+        self.max_key = d.u64()?;
+        self.migrate = d.bool()?;
+        self.verified = d.bool()?;
+        self.procedures = d.u32()?;
+        Ok(())
+    }
+
+    fn step(&mut self, sys: &mut TargetSystem, _step: u64) -> Result<(), OsError> {
+        let (keys, sorted, hist) = (self.keys, self.sorted, self.hist);
+        let (n_keys, max_key) = (keys.len(), self.max_key);
+        let mut c = MemoryClient::new(sys, self.pid);
+        offload(&mut c, self.migrate, |c| {
+            let mut s = c.batch()?;
+            s.fill_u64(hist, 0, max_key, 0, 2)?;
+            for i in 0..n_keys {
+                let k = s.ld_u64(keys, i)?;
+                let n = s.ld_u64(hist, k)?;
+                s.st_u64(hist, k, n + 1)?;
+                s.work(6)?;
+            }
+            let mut acc = 0u64;
+            for b in 0..max_key {
+                let n = s.ld_u64(hist, b)?;
+                s.st_u64(hist, b, acc)?;
+                acc += n;
+                s.work(4)?;
+            }
+            for i in 0..n_keys {
+                let k = s.ld_u64(keys, i)?;
+                let pos = s.ld_u64(hist, k)?;
+                s.st_u64(sorted, pos, k)?;
+                s.st_u64(hist, k, pos + 1)?;
+                s.work(8)?;
+            }
+            Ok(())
+        })?;
+        self.procedures += 1;
+        // Partial verification on the origin, as IS does per iteration.
+        let step_len = (n_keys / 7).max(1);
+        {
+            let mut s = c.batch()?;
+            let mut i = step_len;
+            while i < n_keys {
+                let a = s.ld_u64(sorted, i - step_len)?;
+                let b = s.ld_u64(sorted, i)?;
+                if a > b {
+                    self.verified = false;
+                    break;
+                }
+                s.work(6)?;
+                i += step_len;
+            }
+        }
+        c.flush_work()
+    }
+
+    fn adopt(&mut self, sys: &mut TargetSystem, survivor: DomainId) -> Result<(), OsError> {
+        if sys.current_domain(self.pid)? != survivor {
+            if sys.base().process(self.pid)?.page_tables[survivor.index()].is_none() {
+                return Err(OsError::DomainDead(survivor.other()));
+            }
+            sys.base_mut().process_mut(self.pid)?.current = survivor;
+        }
+        self.migrate = false;
+        Ok(())
+    }
+
+    fn finish(&mut self, sys: &mut TargetSystem) -> Result<NpbOutcome, OsError> {
+        let (sorted, n_keys) = (self.sorted, self.keys.len());
+        let mut c = MemoryClient::new(sys, self.pid);
+        let mut checksum = 0.0f64;
+        let mut prev = 0u64;
+        let mut verified = self.verified;
+        {
+            let mut s = c.batch()?;
+            let mut buf = [0u64; 512];
+            let mut i = 0u64;
+            while i < n_keys {
+                let n = (n_keys - i).min(512) as usize;
+                s.ld_u64_slice(sorted, i, &mut buf[..n], 5)?;
+                for &k in &buf[..n] {
+                    if k < prev {
+                        verified = false;
+                    }
+                    prev = k;
+                    checksum += k as f64;
+                }
+                i += n as u64;
+            }
+        }
+        c.flush_work()?;
+        Ok(NpbOutcome { verified, checksum, procedures: self.procedures })
+    }
+}
+
+fn is_params(class: Class) -> (u64, u64, u32) {
+    // Mirrors npb::is::params (keys, max_key, iterations).
+    match class {
+        Class::Tiny => (1 << 10, 1 << 7, 2),
+        Class::Small => (1 << 19, 1 << 11, 3),
+        Class::Validation => (1 << 17, 1 << 11, 3),
+        Class::Large => (1 << 22, 1 << 11, 2),
+    }
+}
+
+/// Runs NPB IS one ranking procedure per step under the crash-recovery
+/// supervisor. Same contract as [`run_kv_recovered`]: with a crash in
+/// the installed plan and restart-from-checkpoint recovery, the sorted
+/// output and checksum are byte-identical to the crash-free stepped
+/// baseline.
+///
+/// # Errors
+///
+/// OS errors, including checkpoint-decode failures during recovery.
+pub fn run_is_recovered(
+    mut sys: TargetSystem,
+    class: Class,
+    rc: &RecoveryConfig,
+) -> Result<Recovered<NpbOutcome>, OsError> {
+    let (n_keys, max_key, iterations) = is_params(class);
+    let pid = sys.spawn(DomainId::X86)?;
+    let migrate = sys.kind().migrates();
+    let (keys, sorted, hist) = {
+        let mut c = MemoryClient::new(&mut sys, pid);
+        let keys = c.alloc_u64(n_keys)?;
+        let sorted = c.alloc_u64(n_keys)?;
+        let hist = c.alloc_u64(max_key)?;
+        let mut rng = DataRng::new(0x15_15);
+        {
+            let mut s = c.batch()?;
+            let mut chunk = [0u64; 512];
+            let mut i = 0u64;
+            while i < n_keys {
+                let n = (n_keys - i).min(512) as usize;
+                for v in chunk[..n].iter_mut() {
+                    *v = rng.next_u64() % max_key;
+                }
+                s.st_u64_slice(keys, i, &chunk[..n], 8)?;
+                i += n as u64;
+            }
+        }
+        c.flush_work()?;
+        (keys, sorted, hist)
+    };
+    let w = SteppedIs {
+        pid,
+        keys,
+        sorted,
+        hist,
+        max_key,
+        migrate,
+        verified: true,
+        procedures: 0,
+    };
+    supervise(sys, w, u64::from(iterations), rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::SystemKind;
+    use stramash_sim::{FaultPlan, HardwareModel};
+
+    fn build(kind: SystemKind) -> TargetSystem {
+        TargetSystem::build(kind, HardwareModel::Shared).unwrap()
+    }
+
+    fn crash_plan(domain: u8, at_tick: u64) -> FaultPlan {
+        let mut p = FaultPlan::none();
+        p.crash = Some((domain, at_tick));
+        p
+    }
+
+    #[test]
+    fn stepped_kv_without_faults_matches_itself() {
+        let rc = RecoveryConfig::default();
+        let a = run_kv_recovered(build(SystemKind::Stramash), KvOp::Set, 60, 64, &rc).unwrap();
+        let b = run_kv_recovered(build(SystemKind::Stramash), KvOp::Set, 60, 64, &rc).unwrap();
+        assert_eq!(a.result.checksum, b.result.checksum);
+        assert_eq!(a.result.total, b.result.total, "stepped runs must be deterministic");
+        assert_eq!(a.crashes, 0);
+        assert_eq!(a.restarts, 0);
+    }
+
+    #[test]
+    fn kv_crash_restart_is_byte_identical() {
+        let rc = RecoveryConfig { checkpoint_every: 8, ..RecoveryConfig::default() };
+        let clean = run_kv_recovered(build(SystemKind::Stramash), KvOp::Set, 60, 64, &rc).unwrap();
+        let mut sys = build(SystemKind::Stramash);
+        sys.install_fault_plan(crash_plan(1, 20), 0xdead_beef);
+        let hurt = run_kv_recovered(sys, KvOp::Set, 60, 64, &rc).unwrap();
+        assert_eq!(hurt.crashes, 1);
+        assert_eq!(hurt.restarts, 1);
+        assert_eq!(
+            hurt.result.checksum, clean.result.checksum,
+            "restart-from-checkpoint must replay to the same responses"
+        );
+        assert!(hurt.sys.audit().is_empty(), "auditor violations after recovery");
+    }
+
+    #[test]
+    fn kv_crash_degrade_completes_on_survivor() {
+        let rc = RecoveryConfig { policy: RecoveryPolicy::Degrade, ..RecoveryConfig::default() };
+        let mut sys = build(SystemKind::Stramash);
+        sys.install_fault_plan(crash_plan(1, 20), 0xdead_beef);
+        let out = run_kv_recovered(sys, KvOp::Set, 60, 64, &rc).unwrap();
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.restarts, 0);
+        assert_eq!(out.degraded, Some(DomainId::ARM));
+        assert_eq!(out.result.requests, 60);
+    }
+
+    #[test]
+    fn is_crash_restart_is_byte_identical() {
+        let rc = RecoveryConfig {
+            checkpoint_every: 1,
+            watchdog_threshold: 1,
+            ..RecoveryConfig::default()
+        };
+        let clean = run_is_recovered(build(SystemKind::Stramash), Class::Tiny, &rc).unwrap();
+        assert!(clean.result.verified);
+        let mut sys = build(SystemKind::Stramash);
+        sys.install_fault_plan(crash_plan(1, 1), 0xfeed);
+        let hurt = run_is_recovered(sys, Class::Tiny, &rc).unwrap();
+        assert_eq!(hurt.crashes, 1);
+        assert!(hurt.restarts >= 1);
+        assert!(hurt.result.verified, "recovered IS must still sort");
+        assert_eq!(hurt.result.checksum, clean.result.checksum);
+        assert_eq!(hurt.result.procedures, clean.result.procedures);
+    }
+}

@@ -73,6 +73,19 @@ pub struct TargetSystem {
     kind: SystemKind,
     model: HardwareModel,
     inner: Inner,
+    /// The boot configuration, retained so a checkpoint can fingerprint
+    /// the platform it was taken on and restore can reject mismatches.
+    cfg: SimConfig,
+}
+
+/// Stable on-disk code for each [`SystemKind`] in checkpoint artifacts.
+fn kind_code(kind: SystemKind) -> u8 {
+    match kind {
+        SystemKind::Vanilla => 0,
+        SystemKind::PopcornTcp => 1,
+        SystemKind::PopcornShm => 2,
+        SystemKind::Stramash => 3,
+    }
 }
 
 impl TargetSystem {
@@ -93,12 +106,101 @@ impl TargetSystem {
     pub fn build_with(kind: SystemKind, cfg: SimConfig) -> Result<Self, OsError> {
         let model = cfg.hw_model;
         let inner = match kind {
-            SystemKind::Vanilla => Inner::Vanilla(VanillaSystem::new(cfg)?),
-            SystemKind::PopcornTcp => Inner::Popcorn(PopcornSystem::new_tcp(cfg)?),
-            SystemKind::PopcornShm => Inner::Popcorn(PopcornSystem::new_shm(cfg)?),
-            SystemKind::Stramash => Inner::Stramash(StramashSystem::new(cfg)?),
+            SystemKind::Vanilla => Inner::Vanilla(VanillaSystem::new(cfg.clone())?),
+            SystemKind::PopcornTcp => Inner::Popcorn(PopcornSystem::new_tcp(cfg.clone())?),
+            SystemKind::PopcornShm => Inner::Popcorn(PopcornSystem::new_shm(cfg.clone())?),
+            SystemKind::Stramash => Inner::Stramash(StramashSystem::new(cfg.clone())?),
         };
-        Ok(TargetSystem { kind, model, inner })
+        Ok(TargetSystem { kind, model, inner, cfg })
+    }
+
+    /// The boot configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Serializes the complete mutable machine state into a versioned,
+    /// CRC-protected checkpoint artifact. The header pins the magic,
+    /// format version, system kind and a configuration fingerprint, so
+    /// restore rejects artifacts from a different platform. Emits a
+    /// [`stramash_sim::trace::TraceEvent::Checkpoint`] into the
+    /// installed tracer (passive — no simulated cycles are charged).
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use stramash_sim::checkpoint::{digest_str, Encoder, MAGIC, VERSION};
+        let mut e = Encoder::new();
+        e.u32(MAGIC);
+        e.u32(VERSION);
+        e.u8(kind_code(self.kind));
+        e.u64(digest_str(&format!("{:?}", self.cfg)));
+        match &self.inner {
+            Inner::Vanilla(s) => s.base().save_state(&mut e),
+            Inner::Popcorn(s) => s.save_state(&mut e),
+            Inner::Stramash(s) => s.save_state(&mut e),
+        }
+        let bytes = e.finish();
+        self.base().emit(stramash_sim::trace::TraceEvent::Checkpoint {
+            domain: DomainId::X86,
+            bytes: bytes.len() as u64,
+        });
+        if let Some(t) = self.base().tracer() {
+            t.borrow_mut().metrics_mut().inc(stramash_sim::trace::CTR_CHECKPOINTS);
+        }
+        bytes
+    }
+
+    /// Restores a [`TargetSystem::checkpoint`] artifact into this
+    /// freshly booted system. The system must have been built with the
+    /// same kind and configuration; going forward the restored machine
+    /// is bit-identical to the one the checkpoint was taken from.
+    ///
+    /// If a fault injector is installed, its serialized stream positions
+    /// are restored too — including a `crash_fired` flag that rewinds
+    /// with the checkpoint. A recovery harness replaying past a crash
+    /// must call `disarm_crash()` on the injector after this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`stramash_sim::checkpoint::CheckpointError`] on corrupt,
+    /// truncated, or mismatched artifacts.
+    pub fn restore(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), stramash_sim::checkpoint::CheckpointError> {
+        use stramash_sim::checkpoint::{digest_str, CheckpointError, Decoder, MAGIC, VERSION};
+        let mut d = Decoder::new_verified(bytes)?;
+        if d.u32()? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = d.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        if d.u8()? != kind_code(self.kind) {
+            return Err(CheckpointError::KindMismatch);
+        }
+        if d.u64()? != digest_str(&format!("{:?}", self.cfg)) {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        match &mut self.inner {
+            Inner::Vanilla(s) => s.base_mut().load_state(&mut d)?,
+            Inner::Popcorn(s) => s.load_state(&mut d)?,
+            Inner::Stramash(s) => s.load_state(&mut d)?,
+        }
+        Ok(())
+    }
+
+    /// Fails design-specific distributed state over after `dead`'s
+    /// kernel died: Popcorn's DSM directories shed the dead domain's
+    /// replicas (returning `(pages lost, replicas shed)`); the other
+    /// designs keep all state in coherent shared memory and have
+    /// nothing to fail over.
+    pub fn fail_over(&mut self, dead: DomainId) -> (u64, u64) {
+        match &mut self.inner {
+            Inner::Popcorn(s) => s.fail_over(dead),
+            Inner::Vanilla(_) | Inner::Stramash(_) => (0, 0),
+        }
     }
 
     /// The design under test.

@@ -18,4 +18,15 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# chaos-smoke: a fixed-seed escalating fault sweep across all four
+# system designs, with invariant audits after every recovery. Exits
+# non-zero on any auditor violation or functional-fingerprint drift.
+# The second run plants a known recovery bug and must find + shrink it,
+# proving the detector itself works.
+echo "==> chaos-smoke: seeded sweep (must stay green)"
+./target/release/stramash-cli chaos --seed 0x5eed --stages 4
+
+echo "==> chaos-smoke: injected regression (must be found and shrunk)"
+./target/release/stramash-cli chaos --seed 0x5eed --stages 4 --inject-regression
+
 echo "==> verify: OK"

@@ -12,11 +12,16 @@
 
 use stramash_repro::kernel::system::OsSystem;
 use stramash_repro::prelude::*;
+use stramash_repro::sim::chaos::ChaosSchedule;
 use stramash_repro::sim::ipi::{IpiCharacterization, IpiTopology};
 use stramash_repro::sim::rng::SimRng;
+use stramash_repro::workloads::chaos::chaos_sweep;
 use stramash_repro::workloads::driver::{run_benchmark, Configuration};
 use stramash_repro::workloads::kvstore::{run_kv, KvOp};
 use stramash_repro::workloads::npb::{Class, NpbKind};
+use stramash_repro::workloads::recovery::{
+    run_is_recovered, run_kv_recovered, RecoveryConfig, RecoveryPolicy,
+};
 use stramash_repro::workloads::target::{SystemKind, TargetSystem};
 use std::process::ExitCode;
 
@@ -30,8 +35,17 @@ fn usage() -> ExitCode {
   stramash-cli kv <get|set|lpush|rpush|lpop|rpop|sadd|mset> [--requests N]
   stramash-cli ipi
   stramash-cli trace <is|cg|mg|ft|ep> [--system <...>] [--model <...>] [--class <...>]
-                                      [--json <path>]"
+                                      [--json <path>]
+  stramash-cli run <is|kv> [--system <...>] [--model <...>] [--class <...>] [--requests N]
+                           [--seed N] [--stage S] [--policy <restart|degrade>]
+                           [--checkpoint <path>]
+  stramash-cli chaos [--seed N] [--stages K] [--inject-regression]"
     );
+    ExitCode::FAILURE
+}
+
+fn fail(what: &str, e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {what}: {e}");
     ExitCode::FAILURE
 }
 
@@ -241,6 +255,173 @@ fn cmd_ipi() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `stramash-cli run`: the supervised, crash-recoverable stepped runs.
+/// `--seed`/`--stage` replay a chaos schedule's fault plan; a
+/// `--checkpoint` artifact that already exists fast-forwards the
+/// machine before the run, and the finished machine state is written
+/// back to the same path.
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(workload) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    if workload != "is" && workload != "kv" {
+        return usage();
+    }
+    let system = match flag(args, "--system").as_deref() {
+        Some(s) => match parse_system(s) {
+            Some(k) => k,
+            None => return usage(),
+        },
+        None => SystemKind::Stramash,
+    };
+    let model = match flag(args, "--model").as_deref() {
+        Some(s) => match parse_model(s) {
+            Some(m) => m,
+            None => return usage(),
+        },
+        None => HardwareModel::Shared,
+    };
+    let class = match flag(args, "--class").as_deref() {
+        Some("small") => Class::Small,
+        Some("large") => Class::Large,
+        _ => Class::Tiny,
+    };
+    let requests: u64 = flag(args, "--requests").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let seed: Option<u64> = flag(args, "--seed").and_then(|v| {
+        v.parse().ok().or_else(|| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+    });
+    let stage: u32 = flag(args, "--stage").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let policy = match flag(args, "--policy").as_deref() {
+        Some("degrade") => RecoveryPolicy::Degrade,
+        Some("restart") | None => RecoveryPolicy::RestartFromCheckpoint,
+        Some(_) => return usage(),
+    };
+    let ckpt_path = flag(args, "--checkpoint");
+
+    let mut sys = match TargetSystem::build(system, model) {
+        Ok(s) => s,
+        Err(e) => return fail("boot", e),
+    };
+    if let Some(seed) = seed {
+        let sched = ChaosSchedule::generate(seed, stage);
+        println!("replaying fault schedule: {}", sched.describe());
+        sys.install_fault_plan(sched.plan(), seed);
+    }
+    if let Some(path) = &ckpt_path {
+        if std::path::Path::new(path).exists() {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => return fail("read checkpoint", e),
+            };
+            if let Err(e) = sys.restore(&bytes) {
+                eprintln!(
+                    "hint: a checkpoint taken under a fault seed needs the same --seed to restore"
+                );
+                return fail("restore checkpoint", e);
+            }
+            println!("fast-forwarded from {path} ({} bytes)", bytes.len());
+        }
+    }
+    let rc = RecoveryConfig { policy, ..RecoveryConfig::default() };
+    let (final_sys, crashes, restarts, degraded) = if workload == "is" {
+        match run_is_recovered(sys, class, &rc) {
+            Ok(out) => {
+                println!(
+                    "IS on {system} ({model}): verified {}, checksum {}, {} procedures",
+                    out.result.verified, out.result.checksum, out.result.procedures
+                );
+                (out.sys, out.crashes, out.restarts, out.degraded)
+            }
+            Err(e) => return fail("run", e),
+        }
+    } else {
+        match run_kv_recovered(sys, KvOp::Set, requests, 64, &rc) {
+            Ok(out) => {
+                println!(
+                    "KV set on {system} ({model}): {} requests, checksum {:#x}, {:.0} cycles/req",
+                    out.result.requests, out.result.checksum, out.result.per_request
+                );
+                (out.sys, out.crashes, out.restarts, out.degraded)
+            }
+            Err(e) => return fail("run", e),
+        }
+    };
+    println!(
+        "recovery: {crashes} watchdog death(s), {restarts} restart(s){}",
+        degraded.map_or(String::new(), |d| format!(", degraded after losing {d}"))
+    );
+    let violations = final_sys.audit();
+    if violations.is_empty() {
+        println!("invariant audit: clean");
+    } else {
+        for v in &violations {
+            eprintln!("invariant violation: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &ckpt_path {
+        let artifact = final_sys.checkpoint();
+        let len = artifact.len();
+        match std::fs::write(path, artifact) {
+            Ok(()) => println!("checkpoint written to {path} ({len} bytes)"),
+            Err(e) => return fail("write checkpoint", e),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `stramash-cli chaos`: the escalating seeded sweep with shrinking
+/// reproducers.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| {
+            v.parse().ok().or_else(|| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+        })
+        .unwrap_or(0x5eed);
+    let stages: u32 = flag(args, "--stages").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let inject = args.iter().any(|a| a == "--inject-regression");
+    if inject {
+        println!("injecting a seeded recovery regression (degrade-where-restart-required)");
+    }
+    let report = match chaos_sweep(seed, stages, inject) {
+        Ok(r) => r,
+        Err(e) => return fail("chaos baseline", e),
+    };
+    for cell in &report.cells {
+        println!(
+            "stage {} {:<12} {:>2} event(s)  crashes {} restarts {}  {}",
+            cell.stage,
+            cell.kind.to_string(),
+            cell.schedule.events.len(),
+            cell.crashes,
+            cell.restarts,
+            cell.failure.as_deref().unwrap_or("ok")
+        );
+    }
+    if let Some(rep) = &report.reproducer {
+        println!("\nfailure on {}: {}", rep.kind, rep.failure);
+        println!(
+            "minimal reproducer after shrinking: {}",
+            rep.schedule.describe()
+        );
+        println!(
+            "replay: stramash-cli chaos --seed {:#x} --stages {stages}{}",
+            seed,
+            if inject { " --inject-regression" } else { "" }
+        );
+        return if inject { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    println!(
+        "\nchaos sweep green: {} cell(s), no auditor violations, no fingerprint drift",
+        report.cells.len()
+    );
+    if inject {
+        eprintln!("error: the injected regression was not found");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -249,6 +430,8 @@ fn main() -> ExitCode {
         Some("kv") => cmd_kv(&args[1..]),
         Some("ipi") => cmd_ipi(),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => usage(),
     }
 }

@@ -11,6 +11,7 @@ use stramash_repro::prelude::*;
 use stramash_repro::sim::FaultPlan;
 use stramash_repro::workloads::kvstore::{run_kv, KvOp};
 use stramash_repro::workloads::npb::{run_npb, Class, NpbKind};
+use stramash_repro::workloads::recovery::{run_kv_recovered, RecoveryConfig};
 use stramash_repro::workloads::target::{SystemKind, TargetSystem};
 
 /// The ISSUE acceptance schedule: ≥1 % message drop, ≥0.1 % IPI loss,
@@ -71,6 +72,44 @@ fn kv_store_10k_requests_identical_under_fault_schedule() {
         [DomainId::X86, DomainId::ARM].iter().map(|&d| faulty.base().mem.stats(d).faults_recovered).sum();
     assert!(recovered > 0, "recoveries must surface in DomainStats");
     let violations = faulty.audit();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn kv_responses_identical_after_mid_stream_domain_crash() {
+    // The fail-stop tier of the failure model, layered on top of the
+    // transient acceptance schedule: message drops and IPI loss keep
+    // firing *and* one domain dies outright mid-stream. The kernel
+    // watchdog must detect the silence, restart from the last periodic
+    // checkpoint and replay — and every KV response byte must come out
+    // identical to the crash-free baseline.
+    let rc = RecoveryConfig { checkpoint_every: 64, ..RecoveryConfig::default() };
+    let clean = run_kv_recovered(
+        TargetSystem::build(SystemKind::Stramash, HardwareModel::Shared).unwrap(),
+        KvOp::Set,
+        500,
+        64,
+        &rc,
+    )
+    .unwrap();
+    assert_eq!(clean.crashes, 0);
+
+    let mut plan = acceptance_plan();
+    plan.crash = Some((1, 200)); // ARM dies 200 supervised ticks in
+    let mut sys = TargetSystem::build(SystemKind::Stramash, HardwareModel::Shared).unwrap();
+    sys.install_fault_plan(plan, SEED);
+    let hurt = run_kv_recovered(sys, KvOp::Set, 500, 64, &rc).unwrap();
+
+    assert_eq!(hurt.crashes, 1, "the domain crash must fire");
+    assert_eq!(hurt.restarts, 1, "the watchdog must restart from checkpoint");
+    assert_eq!(hurt.result.requests, clean.result.requests);
+    assert_eq!(
+        hurt.result.checksum, clean.result.checksum,
+        "KV responses must be byte-identical after watchdog recovery"
+    );
+    let c = hurt.sys.fault_injector().unwrap().borrow().counters();
+    assert!(c.injected > 0, "the transient schedule must keep firing alongside the crash");
+    let violations = hurt.sys.audit();
     assert!(violations.is_empty(), "{violations:?}");
 }
 
