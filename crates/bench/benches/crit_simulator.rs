@@ -25,7 +25,7 @@ use stramash_isa::{IsaKind, PteFlags};
 use stramash_kernel::addr::VirtAddr;
 use stramash_kernel::pagetable::PageTable;
 use stramash_kernel::FrameAllocator;
-use stramash_mem::{Access, AccessKind, MemorySystem, PhysAddr};
+use stramash_mem::{Access, AccessKind, AccessPlan, MemorySystem, PhysAddr};
 use stramash_sim::{DomainId, HardwareModel, SimConfig};
 
 const WARM_UP: Duration = Duration::from_millis(500);
@@ -125,15 +125,19 @@ struct MixWalk {
 }
 
 impl MixWalk {
-    fn step(&mut self, mem: &mut MemorySystem) {
+    fn next_addr(&mut self) -> u64 {
         self.i += 1;
-        let addr = if self.i.is_multiple_of(8) {
+        if self.i.is_multiple_of(8) {
             self.stream = (self.stream + 64) % (1 << 20);
             0x20_0000 + self.stream
         } else {
             self.resident = (self.resident + 64) % (8 << 10);
             0x10_0000 + self.resident
-        };
+        }
+    }
+
+    fn step(&mut self, mem: &mut MemorySystem) {
+        let addr = self.next_addr();
         let out =
             mem.access(DomainId::X86, PhysAddr::new(addr), Access::Read, AccessKind::Data);
         black_box(out.cycles);
@@ -180,6 +184,56 @@ fn bench_cache_access(results: &mut Vec<(String, f64)>) {
     results.push(("memory_system_access_npb_mix_oldpath".to_string(), old));
     results.push(("memory_system_access_npb_mix".to_string(), new));
     results.push(("memory_system_access_npb_mix_speedup".to_string(), old / new));
+
+    // Plan leg: the identical mix sequence compiled once into an
+    // [`AccessPlan`] and replayed through `run_plan`'s dense fast-hit
+    // loop, vs the same sequence issued as per-access `access` calls —
+    // what the workloads' `plan_map` loops buy per access.
+    const PLAN_OPS: usize = 2048;
+    let mut w = MixWalk::default();
+    let mut plan = AccessPlan::default();
+    for _ in 0..PLAN_OPS {
+        plan.push(w.next_addr(), false);
+    }
+    let mut mem_loop = hot_access_system();
+    let mut mem_plan = hot_access_system();
+    // The replay is cycle-identical to the loop before we start timing.
+    let loop_cycles: u64 = plan
+        .ops
+        .iter()
+        .map(|op| {
+            mem_loop
+                .access(DomainId::X86, PhysAddr::new(op.addr), Access::Read, AccessKind::Data)
+                .cycles
+                .raw()
+        })
+        .sum();
+    let plan_cycles = mem_plan.run_plan(DomainId::X86, &plan, 0..plan.len()).raw();
+    assert_eq!(loop_cycles, plan_cycles, "plan replay drifted from the per-access loop");
+    let (old, new) = bench_pair(
+        "memory_system_access_npb_mix_loop",
+        "memory_system_access_npb_mix_plan",
+        || {
+            for op in &plan.ops {
+                let out = mem_loop.access(
+                    DomainId::X86,
+                    PhysAddr::new(op.addr),
+                    Access::Read,
+                    AccessKind::Data,
+                );
+                black_box(out.cycles);
+            }
+        },
+        || {
+            black_box(mem_plan.run_plan(DomainId::X86, &plan, 0..plan.len()));
+        },
+    );
+    let (old, new) = (old / PLAN_OPS as f64, new / PLAN_OPS as f64);
+    let speedup = old / new;
+    println!("npb-mix plan speedup: {speedup:.2}x  ({old:.1} -> {new:.1} ns/access)");
+    results.push(("memory_system_access_npb_mix_loop".to_string(), old));
+    results.push(("memory_system_access_npb_mix_plan".to_string(), new));
+    results.push(("npb_mix_plan_speedup".to_string(), speedup));
 }
 
 /// One 4 KB bulk read, streaming over 1 MB page by page: the

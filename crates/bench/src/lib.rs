@@ -115,9 +115,18 @@ pub fn replay_reference(cfg: &SimConfig, trace: &[TraceEntry]) -> (Cycles, Refer
 
 /// The worker count [`parallel_map`] uses for a given item count: the
 /// host's available parallelism, capped by the number of items.
+/// `STRAMASH_SWEEP_WORKERS=<n>` overrides the pool size (for pinned CI
+/// runners whose cgroup quota hides the real core count, or for
+/// forcing a serial sweep).
 #[must_use]
 pub fn sweep_workers(items: usize) -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from).min(items)
+    let default = std::thread::available_parallelism().map_or(1, usize::from);
+    std::env::var("STRAMASH_SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(default)
+        .min(items)
 }
 
 /// Runs `f` over `items` on scoped worker threads and returns the

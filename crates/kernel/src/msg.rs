@@ -438,6 +438,14 @@ impl MessagingLayer {
         Ok(())
     }
 
+    /// Total undelivered wire bytes across both rings. Non-zero means a
+    /// receiver may act on a message at its next poll — a cross-domain
+    /// coupling that blocks the deferred-epoch horizon.
+    #[must_use]
+    pub fn outstanding_total(&self) -> u64 {
+        self.outstanding[0] + self.outstanding[1]
+    }
+
     /// Checks the layer's internal invariants, returning one line per
     /// violation (empty = clean). Run by the system auditors after every
     /// fault-injection round.

@@ -93,6 +93,14 @@ impl AccessSession {
         self.valid
     }
 
+    /// The TLB generation adopted at the last revalidation. Plan caches
+    /// compare this against the live TLB to detect shootdowns that
+    /// happened since a plan (or session) was compiled.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Drops every cached translation.
     pub fn clear(&mut self) {
         self.valid = false;

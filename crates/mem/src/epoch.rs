@@ -1,0 +1,241 @@
+//! Deferred-epoch bookkeeping for the memory system.
+//!
+//! While an epoch is open the timed access pipeline does not run;
+//! every access is appended to a log ([`EpochEntry`]) and replayed at
+//! the epoch boundary — serially (exact issue order) or, when the two
+//! domains' footprints provably cannot interact, on two host threads.
+//! The proof obligation is carried by [`SnoopWindow`]: a conservative,
+//! never-shrinking set of cache-line intervals a domain's LLC may
+//! hold. If domain A's epoch touches no line inside domain B's window
+//! (and vice versa, and the two epochs' own footprints are disjoint),
+//! then no snoop, demotion or back-invalidation can cross between the
+//! lanes and each one is a pure function of its own hierarchy.
+//!
+//! Nothing in this module affects simulated cycles: the log replay is
+//! bit-identical to the undeferred pipeline by construction (the
+//! parallel-lane executor in `system.rs` is a specialisation of the
+//! serial pipeline with the provably-dead peer branches removed, and a
+//! unit test pins the equivalence).
+
+use crate::system::{Access, AccessKind};
+use stramash_sim::epoch::EpochReport;
+use stramash_sim::{Cycles, DomainId};
+
+/// One deferred operation. `Access` stores the address exactly as the
+/// pipeline received it (canonical, but not line-aligned) so the
+/// replay reproduces the same debug-trace entries and the same
+/// `AddressMap::classify` result.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EpochEntry {
+    /// A timed line access (`count > 1` = an `access_line_run`).
+    Access { domain: DomainId, addr: u64, access: Access, kind: AccessKind, count: u64 },
+    /// `count` software-TLB hits.
+    TlbHits { domain: DomainId, n: u64 },
+    /// One software-TLB miss.
+    TlbMiss { domain: DomainId },
+    /// A retire event (the clock/stat side effects happened at issue;
+    /// only the trace event is deferred to keep stream order).
+    Retire { domain: DomainId, insns: u64 },
+    /// A zero-cycle charge observed at issue: at replay it emits one
+    /// `Charge` event carrying the cycles accumulated by the deferred
+    /// accesses since the previous charge mark, and credits the clock.
+    ChargeAcc { domain: DomainId },
+    /// A non-zero charge observed at issue (already credited to the
+    /// clock there); only the event position is deferred.
+    ChargeNow { domain: DomainId, cost: Cycles },
+}
+
+impl EpochEntry {
+    /// The domain whose lane replays this entry.
+    pub(crate) fn domain(&self) -> DomainId {
+        match *self {
+            EpochEntry::Access { domain, .. }
+            | EpochEntry::TlbHits { domain, .. }
+            | EpochEntry::TlbMiss { domain }
+            | EpochEntry::Retire { domain, .. }
+            | EpochEntry::ChargeAcc { domain }
+            | EpochEntry::ChargeNow { domain, .. } => domain,
+        }
+    }
+}
+
+/// A conservative set of cache-line intervals, used both for the
+/// persistent per-domain LLC footprint ("window") and for the lines an
+/// open epoch has touched ("range").
+///
+/// The set is a sorted list of disjoint inclusive `[start, end]` line
+/// intervals, capped at [`SnoopWindow::MAX_INTERVALS`]; on overflow
+/// the two closest intervals are merged, which only ever *grows* the
+/// covered set — safe for a proof that asks "can these two sets
+/// overlap?". Windows never shrink on eviction for the same reason.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub(crate) struct SnoopWindow {
+    iv: Vec<(u64, u64)>,
+}
+
+impl SnoopWindow {
+    /// Interval cap: enough for rings + per-domain locals + a few pool
+    /// allocation runs before coalescing kicks in.
+    const MAX_INTERVALS: usize = 24;
+
+    /// Adds one line to the set.
+    pub(crate) fn note(&mut self, line: u64) {
+        let idx = match self.iv.binary_search_by(|&(s, _)| s.cmp(&line)) {
+            Ok(_) => return, // an interval starts exactly here
+            Err(idx) => idx,
+        };
+        if idx > 0 {
+            let (_, e) = self.iv[idx - 1];
+            if line <= e {
+                return;
+            }
+            if line == e + 1 {
+                self.iv[idx - 1].1 = line;
+                if idx < self.iv.len() && self.iv[idx].0 == line + 1 {
+                    self.iv[idx - 1].1 = self.iv[idx].1;
+                    self.iv.remove(idx);
+                }
+                return;
+            }
+        }
+        if idx < self.iv.len() && self.iv[idx].0 == line + 1 {
+            self.iv[idx].0 = line;
+            return;
+        }
+        self.iv.insert(idx, (line, line));
+        if self.iv.len() > Self::MAX_INTERVALS {
+            self.coalesce();
+        }
+    }
+
+    /// Merges the two adjacent intervals with the smallest gap.
+    fn coalesce(&mut self) {
+        let mut best = 0;
+        let mut best_gap = u64::MAX;
+        for i in 0..self.iv.len() - 1 {
+            let gap = self.iv[i + 1].0 - self.iv[i].1;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        self.iv[best].1 = self.iv[best + 1].1;
+        self.iv.remove(best + 1);
+    }
+
+    /// True when the two sets share no line.
+    pub(crate) fn disjoint(&self, other: &SnoopWindow) -> bool {
+        let (a, b) = (&self.iv, &other.iv);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].1 < b[j].0 {
+                i += 1;
+            } else if b[j].1 < a[i].0 {
+                j += 1;
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Empties the set (cache flush / rebuild).
+    pub(crate) fn clear(&mut self) {
+        self.iv.clear();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn contains(&self, line: u64) -> bool {
+        self.iv.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+/// All per-`MemorySystem` epoch state. Host-side only: none of it is
+/// checkpointed (a checkpoint with a non-empty log is a caller bug and
+/// asserts), and `load_state` rebuilds the windows from the restored
+/// LLC contents.
+#[derive(Debug, Default)]
+pub(crate) struct EpochState {
+    /// Nesting depth of `epoch_enter` calls.
+    pub(crate) nest: u32,
+    /// Whether accesses defer right now (false while suspended or
+    /// replaying).
+    pub(crate) active: bool,
+    /// Minimum entries per lane before a flush uses two host threads.
+    pub(crate) min_lane: usize,
+    /// Whether a qualifying flush may spawn threads at all (the
+    /// caller's resolved `WideReplay` policy).
+    pub(crate) allow_wide: bool,
+    /// The deferred-operation log, in exact issue order.
+    pub(crate) log: Vec<EpochEntry>,
+    /// Lines touched by the open epoch, per domain.
+    pub(crate) ranges: [SnoopWindow; 2],
+    /// Persistent conservative LLC footprint, per domain.
+    pub(crate) windows: [SnoopWindow; 2],
+    /// Access cycles accumulated since the last charge mark, per
+    /// domain — carried across intra-epoch flushes so a `ChargeAcc`
+    /// after a log-cap flush still emits the full amount.
+    pub(crate) carry: [Cycles; 2],
+    /// Clock credit owed to the timebase, drained by the kernel at
+    /// suspend/exit boundaries.
+    pub(crate) pending_credit: [Cycles; 2],
+    /// Running tally of flushes since the outermost enter.
+    pub(crate) tally: EpochReport,
+}
+
+/// What an epoch boundary hands back to the kernel layer: how the
+/// flush(es) ran, and the clock credit to apply per domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochFlushOutcome {
+    /// Flush tally since the outermost `epoch_enter`.
+    pub report: EpochReport,
+    /// Deferred-access cycles to add to each domain's clock.
+    pub credit: [Cycles; 2],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_notes_merge_adjacent_lines() {
+        let mut w = SnoopWindow::default();
+        for line in [5u64, 6, 7, 9, 8] {
+            w.note(line);
+        }
+        assert_eq!(w.iv, vec![(5, 9)]);
+        w.note(3);
+        assert_eq!(w.iv, vec![(3, 3), (5, 9)]);
+        w.note(4);
+        assert_eq!(w.iv, vec![(3, 9)]);
+        assert!(w.contains(6));
+        assert!(!w.contains(10));
+    }
+
+    #[test]
+    fn window_overflow_coalesces_closest_pair() {
+        let mut w = SnoopWindow::default();
+        // MAX_INTERVALS singletons far apart, plus one close neighbour.
+        for i in 0..SnoopWindow::MAX_INTERVALS as u64 {
+            w.note(i * 1000);
+        }
+        w.note(3); // closest to the interval at 0
+        assert_eq!(w.iv.len(), SnoopWindow::MAX_INTERVALS);
+        assert!(w.contains(0) && w.contains(3), "coalescing must only grow the set");
+        assert!(w.contains(1), "gap absorbed by the merge");
+    }
+
+    #[test]
+    fn window_disjointness() {
+        let mut a = SnoopWindow::default();
+        let mut b = SnoopWindow::default();
+        for i in 0..10 {
+            a.note(i);
+            b.note(100 + i);
+        }
+        assert!(a.disjoint(&b) && b.disjoint(&a));
+        b.note(5);
+        assert!(!a.disjoint(&b) && !b.disjoint(&a));
+        assert!(SnoopWindow::default().disjoint(&a));
+    }
+}

@@ -11,6 +11,7 @@ use stramash_kernel::process::Pid;
 use stramash_kernel::session::AccessSession;
 use stramash_kernel::system::{OsError, OsSystem};
 use stramash_kernel::vma::VmaProt;
+use stramash_mem::AccessPlan;
 use stramash_sim::DomainId;
 
 /// A virtually-addressed `f64` array owned by the process.
@@ -292,7 +293,13 @@ impl<'a, S: OsSystem> MemoryClient<'a, S> {
         if fast {
             self.sys.session_begin(&mut self.session)?;
         }
-        Ok(BatchScope { c: self, fast })
+        // A batch phase is private by construction (no migrate, no
+        // unmap, faults suspend) — the natural deferred-epoch bracket.
+        // `epoch_open` checks the policy and the cross-domain horizon;
+        // nesting inside a wider epoch (e.g. the pair runner's) is
+        // fine, the outermost close replays.
+        let epoch = fast && self.sys.epoch_open();
+        Ok(BatchScope { c: self, fast, epoch })
     }
 }
 
@@ -307,6 +314,17 @@ pub struct BatchScope<'c, 'a, S: OsSystem> {
     /// Whether the batched fast path is active (false = delegate to the
     /// scalar reference ops).
     fast: bool,
+    /// Whether this scope opened a deferred-epoch level (closed on
+    /// drop).
+    epoch: bool,
+}
+
+impl<S: OsSystem> Drop for BatchScope<'_, '_, S> {
+    fn drop(&mut self) {
+        if self.epoch {
+            self.c.sys.epoch_close();
+        }
+    }
 }
 
 impl<S: OsSystem> BatchScope<'_, '_, S> {
@@ -733,6 +751,262 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
         }
         Ok(())
     }
+
+    // ---- compiled access plans --------------------------------------------
+
+    /// Runs the element map `f` over `reads`/`writes` columns through a
+    /// compiled access plan. The canonical per-element order is: load
+    /// every read column (in slice order), call `f`, store every write
+    /// column (in slice order), account `work_per` instructions.
+    ///
+    /// The first call (or any call after the plan was invalidated by a
+    /// TLB shootdown, a migration, or a shape change) runs that exact
+    /// loop element-by-element through the session — translating,
+    /// faulting and charging like the scalar path — while recording the
+    /// canonical physical address of every access into `plan`.
+    /// Subsequent calls replay the recorded sequence in flush-bounded
+    /// chunks: timing through [`stramash_mem::MemorySystem::run_plan`]
+    /// over the dense fast-path mirrors, values element-major through
+    /// the untimed store, so any dependence pattern (including a write
+    /// column also being a read column) stays value-exact.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn plan_map<F>(
+        &mut self,
+        plan: &mut ScopePlan,
+        reads: &[ArrayF64],
+        writes: &[ArrayF64],
+        n: u64,
+        work_per: u64,
+        mut f: F,
+    ) -> Result<(), OsError>
+    where
+        F: FnMut(u64, &[f64], &mut [f64]),
+    {
+        if n == 0 {
+            return Ok(());
+        }
+        let mut rv = vec![0.0f64; reads.len()];
+        let mut wv = vec![0.0f64; writes.len()];
+        if !self.fast || reads.len() + writes.len() == 0 {
+            // Reference execution: the canonical loop through the
+            // scalar/batched element ops.
+            for i in 0..n {
+                for (j, a) in reads.iter().enumerate() {
+                    rv[j] = self.ld_f64(*a, i)?;
+                }
+                wv.fill(0.0);
+                f(i, &rv, &mut wv);
+                for (j, a) in writes.iter().enumerate() {
+                    self.st_f64(*a, i, wv[j])?;
+                }
+                self.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if !plan.matches(&self.c.session, reads, writes, n, work_per) {
+            return self.plan_compile(plan, reads, writes, n, work_per, &mut f);
+        }
+        self.plan_replay(plan, reads.len(), writes.len(), n, work_per, &mut f)
+    }
+
+    /// The recording pass behind [`BatchScope::plan_map`]: the exact
+    /// canonical loop, element ops via the session, every canonical
+    /// physical address appended to the plan.
+    fn plan_compile<F>(
+        &mut self,
+        plan: &mut ScopePlan,
+        reads: &[ArrayF64],
+        writes: &[ArrayF64],
+        n: u64,
+        work_per: u64,
+        f: &mut F,
+    ) -> Result<(), OsError>
+    where
+        F: FnMut(u64, &[f64], &mut [f64]),
+    {
+        plan.valid = false;
+        plan.plan.clear();
+        let start_generation = self.c.session.generation();
+        let start_domain = self.c.session.domain();
+        let mut rv = vec![0.0f64; reads.len()];
+        let mut wv = vec![0.0f64; writes.len()];
+        for i in 0..n {
+            for (j, a) in reads.iter().enumerate() {
+                let va = a.at(i);
+                let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, false)?;
+                let domain = self.c.session.domain();
+                let base = self.c.sys.base_mut();
+                let pa = base.mem.canonicalize(domain, pa);
+                let (bits, cyc) = base.mem.read_u64_aligned(domain, pa);
+                base.charge(domain, cyc);
+                plan.plan.push(pa.raw(), false);
+                rv[j] = f64::from_bits(bits);
+            }
+            wv.fill(0.0);
+            f(i, &rv, &mut wv);
+            for (j, a) in writes.iter().enumerate() {
+                let va = a.at(i);
+                let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, true)?;
+                let domain = self.c.session.domain();
+                let base = self.c.sys.base_mut();
+                let pa = base.mem.canonicalize(domain, pa);
+                let cyc = base.mem.write_u64_aligned(domain, pa, wv[j].to_bits());
+                base.charge(domain, cyc);
+                plan.plan.push(pa.raw(), true);
+            }
+            self.c.work(work_per)?;
+        }
+        // Adopt the recording only if no invalidation moved the session
+        // mid-compile (a fault that shot down translations would leave
+        // early recorded addresses stale).
+        if self.c.session.is_valid()
+            && self.c.session.generation() == start_generation
+            && self.c.session.domain() == start_domain
+        {
+            plan.valid = true;
+            plan.domain = start_domain;
+            plan.generation = start_generation;
+            plan.n = n;
+            plan.work_per = work_per;
+            plan.reads = reads.iter().map(|a| a.base().raw()).collect();
+            plan.writes = writes.iter().map(|a| a.base().raw()).collect();
+        }
+        Ok(())
+    }
+
+    /// The replay pass behind [`BatchScope::plan_map`]: timing in
+    /// flush-bounded chunks over the compiled sequence, values
+    /// element-major through the untimed store.
+    fn plan_replay<F>(
+        &mut self,
+        plan: &ScopePlan,
+        n_reads: usize,
+        n_writes: usize,
+        n: u64,
+        work_per: u64,
+        f: &mut F,
+    ) -> Result<(), OsError>
+    where
+        F: FnMut(u64, &[f64], &mut [f64]),
+    {
+        let ope = n_reads + n_writes;
+        let domain = plan.domain;
+        let mut rv = vec![0.0f64; n_reads];
+        let mut wv = vec![0.0f64; n_writes];
+        let mut i = 0u64;
+        while i < n {
+            let m = (n - i).min(self.flush_cap(work_per) as u64).max(1);
+            let lo = i as usize * ope;
+            let hi = lo + m as usize * ope;
+            {
+                let base = self.c.sys.base_mut();
+                // Every op is a session hit at replay (the generation
+                // check proved no shootdown since compile): one
+                // zero-cycle TLB hit per op, like the recorded loop.
+                base.mem.note_tlb_hits(domain, m * ope as u64);
+                let cyc = base.mem.run_plan(domain, &plan.plan, lo..hi);
+                base.charge(domain, cyc);
+                for k in 0..m {
+                    let ops = &plan.plan.ops[lo + k as usize * ope..lo + (k as usize + 1) * ope];
+                    for (j, v) in rv.iter_mut().enumerate() {
+                        *v = f64::from_bits(
+                            base.mem.store().read_u64(stramash_mem::PhysAddr::new(ops[j].addr)),
+                        );
+                    }
+                    wv.fill(0.0);
+                    f(i + k, &rv, &mut wv);
+                    for (j, v) in wv.iter().enumerate() {
+                        base.mem.store_mut().write_u64(
+                            stramash_mem::PhysAddr::new(ops[n_reads + j].addr),
+                            v.to_bits(),
+                        );
+                    }
+                }
+            }
+            for _ in 0..m {
+                self.c.work(work_per)?;
+            }
+            i += m;
+        }
+        Ok(())
+    }
+}
+
+/// A compiled [`BatchScope::plan_map`] loop nest: the canonical access
+/// sequence recorded once and replayed while it provably still
+/// describes the live translations (same session domain, same TLB
+/// generation, same shape). Create it outside the iteration loop and
+/// pass it to every `plan_map` call; invalidation is automatic.
+#[derive(Debug, Clone)]
+pub struct ScopePlan {
+    valid: bool,
+    domain: DomainId,
+    generation: u64,
+    n: u64,
+    work_per: u64,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    plan: AccessPlan,
+}
+
+impl Default for ScopePlan {
+    fn default() -> Self {
+        ScopePlan {
+            valid: false,
+            domain: DomainId::X86,
+            generation: 0,
+            n: 0,
+            work_per: 0,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            plan: AccessPlan::default(),
+        }
+    }
+}
+
+impl ScopePlan {
+    /// Creates an empty (uncompiled) plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan currently holds a compiled sequence.
+    #[must_use]
+    pub fn is_compiled(&self) -> bool {
+        self.valid
+    }
+
+    /// Drops the compiled sequence (the next `plan_map` recompiles).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.plan.clear();
+    }
+
+    /// Whether the compiled sequence still describes this exact loop
+    /// over the session's current translations.
+    fn matches(
+        &self,
+        session: &AccessSession,
+        reads: &[ArrayF64],
+        writes: &[ArrayF64],
+        n: u64,
+        work_per: u64,
+    ) -> bool {
+        self.valid
+            && session.is_valid()
+            && self.domain == session.domain()
+            && self.generation == session.generation()
+            && self.n == n
+            && self.work_per == work_per
+            && self.reads.len() == reads.len()
+            && self.writes.len() == writes.len()
+            && self.reads.iter().zip(reads).all(|(&b, a)| b == a.base().raw())
+            && self.writes.iter().zip(writes).all(|(&b, a)| b == a.base().raw())
+    }
 }
 
 #[cfg(test)]
@@ -840,6 +1114,87 @@ mod tests {
         assert_eq!(fast_clock, ref_clock, "icount and memory cycles must match");
         assert_eq!(fast_stats, ref_stats, "every stats counter must match");
         assert!(fast_stats.tlb_hits > 0, "the pattern must exercise TLB hits");
+    }
+
+    /// A CG-shaped plan-mapped pattern: three rounds over the same
+    /// [`ScopePlan`] (one compile, two replays), with a column that is
+    /// both read and written and a per-round scalar threaded through
+    /// the closure.
+    fn plan_pattern(sys: &mut VanillaSystem, pid: Pid) -> f64 {
+        let mut c = MemoryClient::new(sys, pid);
+        let x = c.alloc_f64(700).unwrap();
+        let d = c.alloc_f64(700).unwrap();
+        let r = c.alloc_f64(700).unwrap();
+        let mut plan = ScopePlan::new();
+        let mut acc = 0.0f64;
+        {
+            let mut s = c.batch().unwrap();
+            let xv: Vec<f64> = (0..700).map(|i| i as f64 * 0.5).collect();
+            s.st_f64_slice(x, 0, &xv, 2).unwrap();
+            let dv: Vec<f64> = (0..700).map(|i| 1.0 + i as f64 * 0.125).collect();
+            s.st_f64_slice(d, 0, &dv, 2).unwrap();
+            let rv: Vec<f64> = (0..700).map(|i| 2.0 - i as f64 * 0.0625).collect();
+            s.st_f64_slice(r, 0, &rv, 2).unwrap();
+            for round in 0..3 {
+                let alpha = 0.25 + f64::from(round);
+                let mut rho = 0.0f64;
+                s.plan_map(&mut plan, &[x, d, r], &[x, r], 700, 10, |_i, rv, wv| {
+                    wv[0] = rv[0] + alpha * rv[1];
+                    wv[1] = rv[2] - alpha * rv[1];
+                    rho += wv[1] * wv[1];
+                })
+                .unwrap();
+                acc += rho;
+            }
+        }
+        c.flush_work().unwrap();
+        acc
+    }
+
+    #[test]
+    fn plan_map_is_cycle_identical_to_scalar() {
+        let run = |batching: bool| {
+            let (mut sys, pid) = client_env();
+            sys.base_mut().set_batching(batching);
+            let acc = plan_pattern(&mut sys, pid);
+            let clock = *sys.base().timebase.clock(DomainId::X86);
+            let stats = *sys.base().mem.stats(DomainId::X86);
+            (acc, clock, stats)
+        };
+        let (fast_acc, fast_clock, fast_stats) = run(true);
+        let (ref_acc, ref_clock, ref_stats) = run(false);
+        assert_eq!(fast_acc, ref_acc, "plan replay must be value-exact");
+        assert_eq!(fast_clock, ref_clock, "compile + replay must keep the clock");
+        assert_eq!(fast_stats, ref_stats, "every stats counter must match");
+    }
+
+    #[test]
+    fn plan_invalidation_forces_recompile() {
+        let (mut sys, pid) = client_env();
+        let mut c = MemoryClient::new(&mut sys, pid);
+        let a = c.alloc_f64(64).unwrap();
+        let b = c.alloc_f64(64).unwrap();
+        let mut plan = ScopePlan::new();
+        let mut s = c.batch().unwrap();
+        s.st_f64_slice(a, 0, &[3.0; 64], 1).unwrap();
+        s.plan_map(&mut plan, &[a], &[b], 64, 2, |_i, rv, wv| wv[0] = rv[0] * 2.0)
+            .unwrap();
+        assert!(plan.is_compiled());
+        // A replay over the compiled sequence stays value-exact.
+        s.plan_map(&mut plan, &[a], &[b], 64, 2, |_i, rv, wv| wv[0] = rv[0] + 1.0)
+            .unwrap();
+        assert_eq!(s.ld_f64(b, 5).unwrap(), 4.0);
+        // Shape changes and explicit invalidation both force recompiles.
+        assert!(plan.is_compiled());
+        s.plan_map(&mut plan, &[a], &[b], 32, 2, |_i, rv, wv| wv[0] = rv[0] - 1.0)
+            .unwrap();
+        assert_eq!(s.ld_f64(b, 5).unwrap(), 2.0);
+        plan.invalidate();
+        assert!(!plan.is_compiled());
+        s.plan_map(&mut plan, &[a], &[b], 32, 2, |_i, rv, wv| wv[0] = rv[0] * 3.0)
+            .unwrap();
+        assert!(plan.is_compiled());
+        assert_eq!(s.ld_f64(b, 5).unwrap(), 9.0);
     }
 
     #[test]

@@ -38,11 +38,12 @@ pub mod driver;
 pub mod kvstore;
 pub mod micro;
 pub mod npb;
+pub mod pair;
 pub mod recovery;
 pub mod target;
 
 pub use chaos::{chaos_sweep, ChaosReport, Reproducer, StageReport};
-pub use client::{ArrayF64, ArrayU64, MemoryClient};
+pub use client::{ArrayF64, ArrayU64, MemoryClient, ScopePlan};
 pub use driver::{run_benchmark, run_benchmark_with, Configuration, RunReport};
 pub use kvstore::{run_kv, KvOp, KvRunResult, KvServer};
 pub use micro::{
@@ -50,6 +51,7 @@ pub use micro::{
     GranularityResult,
 };
 pub use npb::{run_npb, Class, NpbKind, NpbOutcome};
+pub use pair::{run_pair, PairConfig, PairOutcome, PairRun};
 pub use recovery::{
     run_is_recovered, run_kv_recovered, Recovered, RecoveryConfig, RecoveryPolicy,
 };

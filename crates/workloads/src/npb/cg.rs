@@ -9,7 +9,7 @@
 //! (Figures 9 and 10).
 
 use super::{offload, Class, DataRng, NpbOutcome};
-use crate::client::MemoryClient;
+use crate::client::{MemoryClient, ScopePlan};
 use stramash_kernel::process::Pid;
 use stramash_kernel::system::{OsError, OsSystem};
 
@@ -98,6 +98,13 @@ pub fn run<S: OsSystem>(
     let mut rho = p.n as f64; // r·r with r = 1-vector
     let rho0 = rho;
 
+    // The two dense update loops have data-independent access patterns,
+    // so their line/frame sequences compile once into plans and replay
+    // each iteration (a migration bumps the TLB generation, which
+    // invalidates and recompiles them on the new domain automatically).
+    let mut update_plan = ScopePlan::new();
+    let mut direction_plan = ScopePlan::new();
+
     let mut procedures = 0;
     for _ in 0..p.iterations {
         let mut rho_new = 0.0f64;
@@ -123,25 +130,21 @@ pub fn run<S: OsSystem>(
             // `ld d[i]; ld q[i]; work` order.
             let dq = s.dot_f64(d, q, p.n, 4)?;
             let alpha = rho / dq;
-            // x += alpha d; r -= alpha q; rho' = r·r.
+            // x += alpha d; r -= alpha q; rho' = r·r — a fixed-stride
+            // four-read/two-write nest, compiled into a plan.
             let mut acc = 0.0f64;
-            for i in 0..p.n {
-                let xi = s.ld_f64(x, i)? + alpha * s.ld_f64(d, i)?;
-                s.st_f64(x, i, xi)?;
-                let ri = s.ld_f64(r, i)? - alpha * s.ld_f64(q, i)?;
-                s.st_f64(r, i, ri)?;
+            s.plan_map(&mut update_plan, &[x, d, r, q], &[x, r], p.n, 10, |_i, rv, wv| {
+                wv[0] = rv[0] + alpha * rv[1];
+                let ri = rv[2] - alpha * rv[3];
+                wv[1] = ri;
                 acc += ri * ri;
-                s.work(10)?;
-            }
+            })?;
             rho_new = acc;
-            // d = r + beta d (reads r before d, unlike axpy's order, so
-            // this stays per-element).
+            // d = r + beta d (reads r before d, unlike axpy's order).
             let beta = rho_new / rho;
-            for i in 0..p.n {
-                let di = s.ld_f64(r, i)? + beta * s.ld_f64(d, i)?;
-                s.st_f64(d, i, di)?;
-                s.work(5)?;
-            }
+            s.plan_map(&mut direction_plan, &[r, d], &[d], p.n, 5, |_i, rv, wv| {
+                wv[0] = rv[0] + beta * rv[1];
+            })?;
             Ok(())
         })?;
         rho = rho_new;

@@ -1,0 +1,270 @@
+//! The epoch-parallel pair workload: two application threads, one per
+//! kernel, alternating long private compute phases with short
+//! cross-domain heartbeats.
+//!
+//! This is the run shape the deferred-epoch engine exists for. Each
+//! phase opens one machine-level epoch spanning *both* threads' batch
+//! work, so the deferred log carries a lane per domain; when the lanes
+//! are long enough and their cache footprints provably disjoint, the
+//! boundary replay runs the two simulated hierarchies on two host
+//! threads — without moving a single simulated cycle (the epoch engine
+//! replays bit-identically either way). `fused` and `popcorn` kinds
+//! spend almost all their time in these private phases (§9.2.1's
+//! NPB-style compute), which is where the intra-run speedup comes from;
+//! a `shared`-LLC machine keeps the lanes coupled and falls back to the
+//! serial interleaving automatically.
+//!
+//! The run is stepped ([`PairRun::step`]) so harnesses can checkpoint
+//! and restore mid-run: all host-side state lives in the plain-data
+//! [`PairRun`], and the compiled [`ScopePlan`]s revalidate against the
+//! restored TLB generations on the next phase.
+
+use crate::client::{ArrayF64, MemoryClient, ScopePlan};
+use crate::target::TargetSystem;
+use stramash_kernel::msg::{Message, MsgType};
+use stramash_kernel::process::Pid;
+use stramash_kernel::system::{protocol_round_trip, OsError, OsSystem};
+use stramash_sim::{Cycles, DomainId};
+
+/// Shape of one pair run.
+#[derive(Debug, Clone, Copy)]
+pub struct PairConfig {
+    /// Elements per per-thread vector (three vectors per thread).
+    pub elems: u64,
+    /// Number of compute phases (each runs both threads once).
+    pub phases: u32,
+    /// Whether a heartbeat message round-trip separates phases. It runs
+    /// *between* epochs, so it never blocks the horizon — but it keeps
+    /// the messaging layer honest in the fingerprint.
+    pub heartbeat: bool,
+}
+
+impl Default for PairConfig {
+    fn default() -> Self {
+        PairConfig { elems: 6_000, phases: 24, heartbeat: true }
+    }
+}
+
+/// Final result of a pair run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairOutcome {
+    /// Order-stable checksum over both threads' phase reductions.
+    pub checksum: f64,
+    /// Phases executed.
+    pub phases: u32,
+    /// Epochs whose boundary replay actually ran two host threads.
+    pub parallel_epochs: u64,
+    /// Total deferred log entries replayed across the run.
+    pub epoch_entries: u64,
+}
+
+/// One thread's working set: three vectors and its compiled plan.
+#[derive(Debug, Clone)]
+struct PairThread {
+    pid: Pid,
+    x: ArrayF64,
+    y: ArrayF64,
+    z: ArrayF64,
+    plan: ScopePlan,
+    /// Per-thread running reduction, folded into the checksum.
+    acc: f64,
+}
+
+/// All host-side state of a stepped pair run (plain data — clone it
+/// alongside a system checkpoint to resume later).
+#[derive(Debug, Clone)]
+pub struct PairRun {
+    cfg: PairConfig,
+    threads: [PairThread; 2],
+    phase: u32,
+    parallel_epochs: u64,
+    epoch_entries: u64,
+}
+
+impl PairRun {
+    /// Spawns the two threads (x86 and Arm) and initialises their
+    /// vectors — each thread's working set is faulted in as one
+    /// contiguous block, so the pool frames behind the two threads
+    /// form disjoint runs (what lets the epoch snoop windows prove the
+    /// lanes independent).
+    ///
+    /// # Errors
+    ///
+    /// Allocation / translation errors.
+    pub fn setup(sys: &mut TargetSystem, cfg: PairConfig) -> Result<Self, OsError> {
+        let mut threads = Vec::with_capacity(2);
+        for (t, domain) in DomainId::ALL.into_iter().enumerate() {
+            let pid = sys.spawn(domain)?;
+            let mut c = MemoryClient::new(sys, pid);
+            let x = c.alloc_f64(cfg.elems)?;
+            let y = c.alloc_f64(cfg.elems)?;
+            let z = c.alloc_f64(cfg.elems)?;
+            {
+                let mut s = c.batch()?;
+                let bias = 1.0 + t as f64;
+                let mut chunk = [0.0f64; 512];
+                let mut i = 0u64;
+                while i < cfg.elems {
+                    let n = (cfg.elems - i).min(512) as usize;
+                    for (k, v) in chunk[..n].iter_mut().enumerate() {
+                        *v = bias + (i + k as u64) as f64 * 0.001;
+                    }
+                    s.st_f64_slice(x, i, &chunk[..n], 2)?;
+                    for v in chunk[..n].iter_mut() {
+                        *v *= 0.5;
+                    }
+                    s.st_f64_slice(y, i, &chunk[..n], 2)?;
+                    for v in chunk[..n].iter_mut() {
+                        *v = bias - *v;
+                    }
+                    s.st_f64_slice(z, i, &chunk[..n], 2)?;
+                    i += n as u64;
+                }
+            }
+            c.flush_work()?;
+            threads.push(PairThread { pid, x, y, z, plan: ScopePlan::new(), acc: 0.0 });
+        }
+        let threads = match <[PairThread; 2]>::try_from(threads) {
+            Ok(t) => t,
+            Err(_) => unreachable!("exactly two threads built"),
+        };
+        Ok(PairRun { cfg, threads, phase: 0, parallel_epochs: 0, epoch_entries: 0 })
+    }
+
+    /// Phases run so far.
+    #[must_use]
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// Whether every configured phase has run.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.phase >= self.cfg.phases
+    }
+
+    /// Runs one compute phase: one epoch spanning both threads'
+    /// plan-mapped kernels, then (between epochs) the heartbeat
+    /// round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    pub fn step(&mut self, sys: &mut TargetSystem) -> Result<(), OsError> {
+        let coef = 0.75 + f64::from(self.phase % 7) * 0.03125;
+        let n = self.cfg.elems;
+        let opened = sys.epoch_open();
+        for t in &mut self.threads {
+            let mut c = MemoryClient::new(sys, t.pid);
+            {
+                let mut s = c.batch()?;
+                let mut dot = 0.0f64;
+                let (x, y, z) = (t.x, t.y, t.z);
+                s.plan_map(&mut t.plan, &[x, y, z], &[y], n, 8, |_i, rv, wv| {
+                    wv[0] = rv[1] + coef * rv[0] - 0.125 * rv[2];
+                    dot += wv[0] * rv[2];
+                })?;
+                t.acc += dot / n as f64;
+            }
+            c.flush_work()?;
+        }
+        if opened {
+            let report = sys.epoch_close();
+            self.parallel_epochs += u64::from(report.parallel);
+            self.epoch_entries += report.entries as u64;
+        }
+        if self.cfg.heartbeat {
+            // A synchronous liveness ping: sent, delivered and answered
+            // within the step, so the next epoch's horizon stays clear.
+            protocol_round_trip(
+                sys.base_mut(),
+                DomainId::X86,
+                Message::control(MsgType::Heartbeat),
+                Message::control(MsgType::Heartbeat),
+                Cycles::new(200),
+            );
+        }
+        self.phase += 1;
+        Ok(())
+    }
+
+    /// Folds both threads' reductions into the final outcome.
+    #[must_use]
+    pub fn finish(&self) -> PairOutcome {
+        PairOutcome {
+            checksum: self.threads[0].acc + 2.0 * self.threads[1].acc,
+            phases: self.phase,
+            parallel_epochs: self.parallel_epochs,
+            epoch_entries: self.epoch_entries,
+        }
+    }
+}
+
+/// Sets up and runs a whole pair workload. See [`PairRun`].
+///
+/// # Errors
+///
+/// Allocation / translation errors.
+pub fn run_pair(sys: &mut TargetSystem, cfg: PairConfig) -> Result<PairOutcome, OsError> {
+    let mut run = PairRun::setup(sys, cfg)?;
+    while !run.done() {
+        run.step(sys)?;
+    }
+    Ok(run.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::SystemKind;
+    use stramash_sim::{EpochPolicy, HardwareModel, WideReplay};
+
+    fn fingerprint(sys: &TargetSystem) -> (u64, u64, u64) {
+        let base = sys.base();
+        (
+            base.timebase.clock(DomainId::X86).cycles().raw(),
+            base.timebase.clock(DomainId::ARM).cycles().raw(),
+            base.msg.counters().total(),
+        )
+    }
+
+    fn run_with(kind: SystemKind, parallel: bool) -> (PairOutcome, (u64, u64, u64)) {
+        let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
+        // Pinned both ways: the serial leg must stay serial even under
+        // STRAMASH_EPOCH_PARALLEL=1 in the environment, and the
+        // two-thread replay is forced so it is exercised even on a
+        // single-core host.
+        sys.base_mut().set_epoch_policy(EpochPolicy {
+            enabled: parallel,
+            min_lane_entries: 64,
+            wide: WideReplay::Force,
+        });
+        let cfg = PairConfig { elems: 1200, phases: 6, heartbeat: true };
+        let out = run_pair(&mut sys, cfg).unwrap();
+        (out, fingerprint(&sys))
+    }
+
+    #[test]
+    fn pair_is_deterministic() {
+        let (a, fa) = run_with(SystemKind::Stramash, false);
+        let (b, fb) = run_with(SystemKind::Stramash, false);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn epoch_parallel_matches_serial_and_actually_parallelises() {
+        for kind in [SystemKind::Vanilla, SystemKind::Stramash] {
+            let (serial, fs) = run_with(kind, false);
+            let (par, fp) = run_with(kind, true);
+            assert_eq!(serial.checksum.to_bits(), par.checksum.to_bits(), "{kind}");
+            assert_eq!(fs, fp, "{kind}: clocks and messages must not move");
+            assert_eq!(serial.parallel_epochs, 0);
+            assert!(
+                par.parallel_epochs > 0,
+                "{kind}: lanes were long and disjoint; replay must go wide ({} entries)",
+                par.epoch_entries,
+            );
+        }
+    }
+}

@@ -8,6 +8,9 @@
 # pipeline.
 #
 # Usage: scripts/bench.sh [output.json]
+# Env:   STRAMASH_SWEEP_WORKERS — figure-sweep worker pool override;
+#        defaults to the host's available_parallelism (recorded in the
+#        JSON's "workers" field alongside the wall-clocks).
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -9,6 +9,9 @@
 #   0  comparison ran (regressions, if any, were emitted as warnings)
 #   3  a baseline or fresh-results file is missing
 #   4  an input file is not valid JSON
+#   5  an end-to-end or parallel *speedup* metric regressed beyond
+#      tolerance (still advisory, but distinguishable so CI can badge
+#      "the optimisation itself eroded" separately from generic noise)
 #
 # Usage: scripts/bench_compare.sh [fresh.json] [baseline.json]
 # Env:   STRAMASH_BENCH_TOLERANCE — relative slack, default 0.25 (25 %).
@@ -55,7 +58,12 @@ f, b = flatten(fresh), flatten(base)
 # Most metrics are times (lower is better); these are the exceptions.
 HIGHER_IS_BETTER = ("speedup", "accesses_per_sec")
 SKIP = ("workers", "configs")  # machine shape, not performance
+# Speedup metrics that track the headline optimisations: a drop here
+# means the optimisation itself eroded, not just runner noise, so it
+# gets its own advisory exit code (5).
+HEADLINE = ("endtoend", "parallel")
 warned = 0
+headline_regressed = 0
 for key in sorted(b):
     if any(s in key for s in SKIP):
         continue
@@ -75,10 +83,18 @@ for key in sorted(b):
             f"({old:g} -> {new:g}, tolerance {tol * 100:.0f}%)"
         )
         warned += 1
+        if "speedup" in key and any(h in key for h in HEADLINE):
+            headline_regressed += 1
 if warned == 0:
     print(f"bench_compare: all compared metrics within {tol * 100:.0f}% of the baseline")
 else:
     print(f"bench_compare: {warned} metric(s) beyond tolerance (advisory only)")
+if headline_regressed:
+    print(
+        f"::warning::bench_compare: {headline_regressed} headline speedup metric(s) "
+        f"regressed — the optimisation itself may have eroded"
+    )
+    sys.exit(5)
 EOF
 status=$?
 [ "$status" -eq 0 ] || exit "$status"
