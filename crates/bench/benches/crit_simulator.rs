@@ -199,7 +199,6 @@ fn bench_cache_access(results: &mut Vec<(String, f64)>) {
     let mut mem_plan = hot_access_system();
     // The replay is cycle-identical to the loop before we start timing.
     let loop_cycles: u64 = plan
-        .ops
         .iter()
         .map(|op| {
             mem_loop
@@ -214,10 +213,10 @@ fn bench_cache_access(results: &mut Vec<(String, f64)>) {
         "memory_system_access_npb_mix_loop",
         "memory_system_access_npb_mix_plan",
         || {
-            for op in &plan.ops {
+            for &addr in plan.addrs() {
                 let out = mem_loop.access(
                     DomainId::X86,
-                    PhysAddr::new(op.addr),
+                    PhysAddr::new(addr),
                     Access::Read,
                     AccessKind::Data,
                 );

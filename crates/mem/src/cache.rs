@@ -186,6 +186,217 @@ fn tags_contain(t: &[u64], line: u64) -> bool {
     }
 }
 
+/// Sentinel in a classified way slot: the lane hit (or missed) but the
+/// sweep did not extract *which* way — the commit pass re-finds it with
+/// the probe cascade. The portable sweep always reports this; the
+/// explicit-SIMD sweeps get the way for free from their compare masks.
+pub const WAY_UNKNOWN: u8 = u8::MAX;
+
+/// Portable lane sweep: per lane, the same `|`-accumulated compare
+/// chain as [`contain_fixed`] (which the backend lowers to vector
+/// compares) decides hit/miss; ways are left [`WAY_UNKNOWN`] because
+/// extracting a bit *position* from the chain defeats the
+/// vectorisation — the commit cascade re-finds it in one or two loads.
+///
+/// Safety contract shared by every `classify_sweep_*` variant: the
+/// caller (`classify_lanes`) guarantees `tags.len()` is `set_count *
+/// N` with `set_mask == set_count - 1`, so `(line & set_mask) * N + N
+/// <= tags.len()` for any line, and `ways.len() >= lines.len()`. The
+/// unchecked indexing below relies on exactly that; the sweeps are the
+/// replay's innermost loop and the checks cost more than the compares.
+#[inline]
+fn classify_sweep_portable<const N: usize>(
+    tags: &[u64],
+    set_mask: u64,
+    lines: &[u64],
+    ways: &mut [u8],
+) -> u32 {
+    let mut mask = 0u32;
+    for (j, &line) in lines.iter().enumerate() {
+        let base = (line & set_mask) as usize * N;
+        // SAFETY: see the contract above.
+        let t: &[u64; N] = unsafe { &*tags.as_ptr().add(base).cast() };
+        let mut hit = false;
+        for &x in t {
+            hit |= x == line;
+        }
+        mask |= u32::from(hit) << j;
+        // SAFETY: `ways.len() >= lines.len() > j`.
+        unsafe { *ways.get_unchecked_mut(j) = WAY_UNKNOWN };
+    }
+    mask
+}
+
+/// SSE2 lane sweep: two tags per 128-bit register, 64-bit equality
+/// composed from the 32-bit compare (SSE2 has no `cmpeq_epi64`) by
+/// AND-ing each half with its swapped neighbour. SSE2 is part of the
+/// x86-64 baseline, so no runtime detection is needed.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn classify_sweep_sse2<const N: usize>(
+    tags: &[u64],
+    set_mask: u64,
+    lines: &[u64],
+    ways: &mut [u8],
+) -> u32 {
+    use std::arch::x86_64::{
+        _mm_and_si128, _mm_castsi128_pd, _mm_cmpeq_epi32, _mm_loadu_si128, _mm_movemask_pd,
+        _mm_set1_epi64x, _mm_shuffle_epi32,
+    };
+    let mut mask = 0u32;
+    for (j, &line) in lines.iter().enumerate() {
+        let base = (line & set_mask) as usize * N;
+        // SAFETY: SSE2 is baseline; the classify_sweep contract keeps
+        // every 16-byte load inside `tags`.
+        let m = unsafe {
+            let t = tags.as_ptr().add(base);
+            let needle = _mm_set1_epi64x(line as i64);
+            let mut m = 0u32;
+            for i in 0..N / 2 {
+                let v = _mm_loadu_si128(t.add(2 * i).cast());
+                let eq32 = _mm_cmpeq_epi32(v, needle);
+                let eq64 = _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, 0b1011_0001));
+                m |= (_mm_movemask_pd(_mm_castsi128_pd(eq64)) as u32) << (2 * i);
+            }
+            m
+        };
+        mask |= u32::from(m != 0) << j;
+        // SAFETY: `ways.len() >= lines.len() > j`.
+        unsafe { *ways.get_unchecked_mut(j) = m.trailing_zeros() as u8 };
+    }
+    mask
+}
+
+/// AVX2 lane sweep: native 64-bit compares, four tags per 256-bit
+/// register; the compare's sign mask hands back the matching way.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn classify_sweep_avx2<const N: usize>(
+    tags: &[u64],
+    set_mask: u64,
+    lines: &[u64],
+    ways: &mut [u8],
+) -> u32 {
+    use std::arch::x86_64::{
+        _mm256_castsi256_pd, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_movemask_pd,
+        _mm256_set1_epi64x,
+    };
+    let mut mask = 0u32;
+    for (j, &line) in lines.iter().enumerate() {
+        let base = (line & set_mask) as usize * N;
+        let needle = _mm256_set1_epi64x(line as i64);
+        let mut m = 0u32;
+        for i in 0..N / 4 {
+            // SAFETY: the caller detected AVX2; the classify_sweep
+            // contract keeps every 32-byte load inside `tags`.
+            let eq = unsafe {
+                _mm256_cmpeq_epi64(_mm256_loadu_si256(tags.as_ptr().add(base + 4 * i).cast()), needle)
+            };
+            m |= (_mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32) << (4 * i);
+        }
+        mask |= u32::from(m != 0) << j;
+        // SAFETY: `ways.len() >= lines.len() > j`.
+        unsafe { *ways.get_unchecked_mut(j) = m.trailing_zeros() as u8 };
+    }
+    mask
+}
+
+/// AVX-512F lane sweep: one `vpcmpeqq` covers an entire 8-way set and
+/// writes the way mask straight into a mask register.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn classify_sweep_avx512<const N: usize>(
+    tags: &[u64],
+    set_mask: u64,
+    lines: &[u64],
+    ways: &mut [u8],
+) -> u32 {
+    use std::arch::x86_64::{_mm512_cmpeq_epi64_mask, _mm512_loadu_si512, _mm512_set1_epi64};
+    let mut mask = 0u32;
+    for (j, &line) in lines.iter().enumerate() {
+        let base = (line & set_mask) as usize * N;
+        let needle = _mm512_set1_epi64(line as i64);
+        let mut m = 0u32;
+        for i in 0..N / 8 {
+            // SAFETY: the caller detected AVX-512F; the classify_sweep
+            // contract keeps every 64-byte load inside `tags`.
+            let eq = unsafe {
+                _mm512_cmpeq_epi64_mask(_mm512_loadu_si512(tags.as_ptr().add(base + 8 * i).cast()), needle)
+            };
+            m |= u32::from(eq) << (8 * i);
+        }
+        mask |= u32::from(m != 0) << j;
+        // SAFETY: `ways.len() >= lines.len() > j`.
+        unsafe { *ways.get_unchecked_mut(j) = m.trailing_zeros() as u8 };
+    }
+    mask
+}
+
+/// NEON lane sweep: native 64-bit compares (`vceqq_u64`), two tags per
+/// register. NEON is part of the AArch64 baseline.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[inline]
+fn classify_sweep_neon<const N: usize>(
+    tags: &[u64],
+    set_mask: u64,
+    lines: &[u64],
+    ways: &mut [u8],
+) -> u32 {
+    use std::arch::aarch64::{vceqq_u64, vdupq_n_u64, vgetq_lane_u64, vld1q_u64};
+    let mut mask = 0u32;
+    for (j, &line) in lines.iter().enumerate() {
+        let base = (line & set_mask) as usize * N;
+        // SAFETY: NEON is mandatory on AArch64; the classify_sweep
+        // contract keeps every 16-byte load inside `tags`.
+        let m = unsafe {
+            let t = tags.as_ptr().add(base);
+            let needle = vdupq_n_u64(line);
+            let mut m = 0u32;
+            for i in 0..N / 2 {
+                let eq = vceqq_u64(vld1q_u64(t.add(2 * i)), needle);
+                m |= ((vgetq_lane_u64(eq, 0) & 1) as u32) << (2 * i);
+                m |= ((vgetq_lane_u64(eq, 1) & 1) as u32) << (2 * i + 1);
+            }
+            m
+        };
+        mask |= u32::from(m != 0) << j;
+        // SAFETY: `ways.len() >= lines.len() > j`.
+        unsafe { *ways.get_unchecked_mut(j) = m.trailing_zeros() as u8 };
+    }
+    mask
+}
+
+/// Best lane sweep for fixed associativity `N` (a multiple of the
+/// widest usable vector): explicit `core::arch` forms under the `simd`
+/// feature — AVX-512F / AVX2 by runtime detection, SSE2 or NEON as the
+/// architecture baseline — and the portable compare chain otherwise.
+#[inline]
+fn classify_sweep<const N: usize>(
+    tags: &[u64],
+    set_mask: u64,
+    lines: &[u64],
+    ways: &mut [u8],
+) -> u32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if N.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature detected at runtime.
+            return unsafe { classify_sweep_avx512::<N>(tags, set_mask, lines, ways) };
+        }
+        if N.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature detected at runtime.
+            return unsafe { classify_sweep_avx2::<N>(tags, set_mask, lines, ways) };
+        }
+        return classify_sweep_sse2::<N>(tags, set_mask, lines, ways);
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        return classify_sweep_neon::<N>(tags, set_mask, lines, ways);
+    }
+    #[allow(unreachable_code)]
+    classify_sweep_portable::<N>(tags, set_mask, lines, ways)
+}
+
 /// Moves `way` to the LRU (rank `ways-1`) nibble — used when a way is
 /// invalidated, mirroring the slow path's `stamp = 0`.
 #[inline]
@@ -564,6 +775,238 @@ impl Cache {
             perm_find(perm, way)
         };
         self.perms[plan.set] = perm_promote_at(perm, way, idx);
+    }
+
+    /// Pure lane classification for the vectorised plan replay
+    /// ([`MemorySystem::run_plan`]'s dense path): bit `j` of the
+    /// returned mask is set iff `lines[j]` is resident, and `ways[j]`
+    /// records the way it was found in so the commit pass can skip the
+    /// probe cascade. No LRU, hint, or stat side effects — and since
+    /// *hits* never move tags, a batch classified up front stays valid
+    /// across the leading all-hit prefix the caller then commits via
+    /// [`Cache::touch_hits`].
+    ///
+    /// [`MemorySystem::run_plan`]: crate::system::MemorySystem::run_plan
+    #[inline]
+    #[must_use]
+    pub fn classify_lanes(&self, lines: &[u64], ways: &mut [u8]) -> u32 {
+        debug_assert!(self.fast_paths, "classify_lanes is a fast-path primitive");
+        debug_assert!(lines.len() <= 32 && ways.len() >= lines.len());
+        // Dispatch on the associativity once per batch, so the inner
+        // sweep is monomorphic and the per-set compares unroll.
+        match self.geo.ways {
+            4 => classify_sweep::<4>(&self.tags, self.set_mask, lines, ways),
+            8 => classify_sweep::<8>(&self.tags, self.set_mask, lines, ways),
+            16 => classify_sweep::<16>(&self.tags, self.set_mask, lines, ways),
+            _ => {
+                let wc = self.geo.ways as usize;
+                let mut mask = 0u32;
+                for (j, &line) in lines.iter().enumerate() {
+                    let base = (line & self.set_mask) as usize * wc;
+                    mask |= u32::from(tags_contain(&self.tags[base..base + wc], line)) << j;
+                    ways[j] = WAY_UNKNOWN;
+                }
+                mask
+            }
+        }
+    }
+
+    /// Commits the LRU/hint side effects of a run of probes known to
+    /// hit, with the ways already located by [`Cache::classify_lanes`].
+    /// Per element it is state-identical to [`Cache::probe_or_plan`]'s
+    /// hit arms: the L0 arm promotes without moving the hint, a hit on
+    /// the MRU way only moves the hint, and any other way is promoted
+    /// to MRU from its current rank (rank 1 — the cascade's dedicated
+    /// arm — short-circuits `perm_find`, which would return the same
+    /// offset). The arm order matters: the hint trajectory is
+    /// serialised by checkpoints, so it must match the probe's exactly.
+    /// Batching lets the field borrows split (`&tags` / `&mut perms`),
+    /// so the permutation stores can't be taken to alias the tag loads
+    /// and the whole run schedules with cross-element parallelism.
+    #[inline]
+    pub fn touch_hits(&mut self, lines: &[u64], ways: &[u8]) {
+        debug_assert!(self.fast_paths, "touch_hits is a fast-path primitive");
+        debug_assert!(ways.len() >= lines.len());
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            // Whole batches of plain promotes vectorise: AVX-512CD's
+            // conflict detect proves the lanes hit eight *distinct*
+            // sets (so the permutation updates commute) and the guard
+            // compares prove no lane takes the L0 or MRU arm (the two
+            // arms with hint side effects). Any other batch — and the
+            // tail — drops to the scalar cascade, which is the
+            // reference semantics.
+            if ways.first().copied() != Some(WAY_UNKNOWN)
+                && is_x86_feature_detected!("avx512f")
+                && is_x86_feature_detected!("avx512cd")
+            {
+                let mut k = 0usize;
+                while lines.len() - k >= 8 {
+                    // SAFETY: avx512f + avx512cd were just detected;
+                    // both slices have at least 8 elements from `k`.
+                    if unsafe { self.touch8_avx512(&lines[k..k + 8], &ways[k..k + 8]) } {
+                        k += 8;
+                    } else {
+                        self.touch_hits_scalar(&lines[k..k + 8], &ways[k..k + 8]);
+                        k += 8;
+                    }
+                }
+                self.touch_hits_scalar(&lines[k..], &ways[k..]);
+                return;
+            }
+        }
+        self.touch_hits_scalar(lines, ways);
+    }
+
+    /// One eight-lane [`Cache::touch_hits`] batch as AVX-512 vector
+    /// code, or `false` (no state touched) when the batch is not a
+    /// pure order-independent promote: a lane maps to the same set as
+    /// an earlier lane (promotes in one set are order-dependent), a
+    /// lane's line equals the L0 hint (that arm derives the way from
+    /// the hint slot), or a lane is already MRU (that arm refreshes
+    /// the hint). For the batches it does take, each lane's new
+    /// permutation is exactly `perm_promote_at(perm, way,
+    /// perm_find(perm, way))`: the rank is located as the unique zero
+    /// nibble of `perm ^ (way * 0x111…1)` — same zero-nibble trick as
+    /// the scalar `perm_find`, with `63 - lzcnt(t & -t)` standing in
+    /// for `trailing_zeros` — and the splice masks come from
+    /// per-lane variable shifts (where `vpsllvq` shifting by 64
+    /// yields the 0 the scalar double-shift produces).
+    ///
+    /// # Safety
+    /// Caller detects `avx512f` and `avx512cd`, and passes exactly 8
+    /// classified-hit lanes whose `ways` were extracted by the sweep
+    /// (no [`WAY_UNKNOWN`]).
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx512f,avx512cd")]
+    unsafe fn touch8_avx512(&mut self, lines: &[u64], ways: &[u8]) -> bool {
+        use core::arch::x86_64::*;
+        debug_assert!(lines.len() == 8 && ways.len() == 8);
+        debug_assert!(!ways.contains(&WAY_UNKNOWN));
+        let lv = _mm512_loadu_si512(lines.as_ptr().cast());
+        let sets = _mm512_and_si512(lv, _mm512_set1_epi64(self.set_mask as i64));
+        let conf = _mm512_conflict_epi64(sets);
+        if _mm512_test_epi64_mask(conf, conf) != 0 {
+            return false;
+        }
+        if _mm512_cmpeq_epi64_mask(lv, _mm512_set1_epi64(self.last_line as i64)) != 0 {
+            return false;
+        }
+        // SAFETY: every set index is <= set_mask < perms.len(); scale 8.
+        let perms = _mm512_i64gather_epi64(sets, self.perms.as_ptr().cast(), 8);
+        let wv = _mm512_cvtepu8_epi64(_mm_loadl_epi64(ways.as_ptr().cast()));
+        let mru = _mm512_and_si512(perms, _mm512_set1_epi64(0xF));
+        if _mm512_cmpeq_epi64_mask(mru, wv) != 0 {
+            return false;
+        }
+        // wrep = way * 0x1111_1111_1111_1111, by doubling shifts.
+        let mut wrep = _mm512_or_si512(wv, _mm512_slli_epi64(wv, 4));
+        wrep = _mm512_or_si512(wrep, _mm512_slli_epi64(wrep, 8));
+        wrep = _mm512_or_si512(wrep, _mm512_slli_epi64(wrep, 16));
+        wrep = _mm512_or_si512(wrep, _mm512_slli_epi64(wrep, 32));
+        let x = _mm512_xor_si512(perms, wrep);
+        let t = _mm512_and_si512(
+            _mm512_sub_epi64(x, _mm512_set1_epi64(0x1111_1111_1111_1111)),
+            _mm512_andnot_si512(x, _mm512_set1_epi64(0x8888_8888_8888_8888_u64 as i64)),
+        );
+        let blsi = _mm512_and_si512(t, _mm512_sub_epi64(_mm512_setzero_si512(), t));
+        let idx = _mm512_and_si512(
+            _mm512_sub_epi64(_mm512_set1_epi64(63), _mm512_lzcnt_epi64(blsi)),
+            _mm512_set1_epi64(!3_i64),
+        );
+        let above = _mm512_and_si512(
+            perms,
+            _mm512_sllv_epi64(_mm512_set1_epi64(-1), _mm512_add_epi64(idx, _mm512_set1_epi64(4))),
+        );
+        let bmask = _mm512_sub_epi64(
+            _mm512_sllv_epi64(_mm512_set1_epi64(1), idx),
+            _mm512_set1_epi64(1),
+        );
+        let below = _mm512_slli_epi64(_mm512_and_si512(perms, bmask), 4);
+        let out = _mm512_or_si512(_mm512_or_si512(above, below), wv);
+        // SAFETY: same indices the gather proved in-bounds; the
+        // conflict test proved them pairwise distinct.
+        _mm512_i64scatter_epi64(self.perms.as_mut_ptr().cast(), sets, out, 8);
+        true
+    }
+
+    /// The scalar [`Cache::touch_hits`] loop — the reference for the
+    /// vector batches above and the path every non-x86 or
+    /// non-`simd` build takes.
+    #[inline]
+    fn touch_hits_scalar(&mut self, lines: &[u64], ways: &[u8]) {
+        let set_mask = self.set_mask;
+        let wc = self.geo.ways as usize;
+        let tags = self.tags.as_slice();
+        let perms = self.perms.as_mut_slice();
+        let mut hint_line = self.last_line;
+        let mut hint_slot = self.last_slot;
+        // SAFETY throughout: `set <= set_mask < perms.len()`, every
+        // way index is `< wc` (from the sweep's compare mask or the
+        // permutation's low nibbles), `base + wc <= tags.len()` by the
+        // mirror geometry, and `hint_slot` stays a valid slot (it only
+        // ever takes `base + way` values).
+        for (&line, &way8) in lines.iter().zip(ways) {
+            let set = (line & set_mask) as usize;
+            if line == hint_line && line != EMPTY && unsafe { *tags.get_unchecked(hint_slot) } == line
+            {
+                // A resident line occupies exactly one way, so the
+                // hinted way is the resident way.
+                let way = hint_slot - set * wc;
+                let perm = unsafe { *perms.get_unchecked(set) };
+                if (perm & 0xF) as usize != way {
+                    unsafe { *perms.get_unchecked_mut(set) = perm_promote(perm, way) };
+                }
+                continue;
+            }
+            let perm = unsafe { *perms.get_unchecked(set) };
+            let base = set * wc;
+            if way8 != WAY_UNKNOWN {
+                // The sweep extracted the way: nibble compares replace
+                // the cascade's tag loads.
+                let way = way8 as usize;
+                debug_assert!(tags[base + way] == line);
+                if (perm & 0xF) as usize == way {
+                    hint_line = line;
+                    hint_slot = base + way;
+                    continue;
+                }
+                let idx = if ((perm >> 4) & 0xF) as usize == way {
+                    4
+                } else {
+                    perm_find(perm, way as u64)
+                };
+                unsafe { *perms.get_unchecked_mut(set) = perm_promote_at(perm, way as u64, idx) };
+            } else {
+                // Portable sweep: re-find the way with the probe
+                // cascade (MRU, rank 1, then the recency scan).
+                let mru_slot = base + (perm & 0xF) as usize;
+                if unsafe { *tags.get_unchecked(mru_slot) } == line {
+                    hint_line = line;
+                    hint_slot = mru_slot;
+                    continue;
+                }
+                let w1 = ((perm >> 4) & 0xF) as usize;
+                if wc > 1 && unsafe { *tags.get_unchecked(base + w1) } == line {
+                    unsafe { *perms.get_unchecked_mut(set) = perm_promote_at(perm, w1 as u64, 4) };
+                    continue;
+                }
+                let (w, idx) = scan_recency(tags, base, perm, wc, line)
+                    .expect("classified line is found by the recency scan");
+                unsafe { *perms.get_unchecked_mut(set) = perm_promote_at(perm, w as u64, idx) };
+            }
+        }
+        self.last_line = hint_line;
+        self.last_slot = hint_slot;
+    }
+
+    /// Whether the line is resident in state [`Mesi::Modified`],
+    /// without disturbing LRU — the plan replay's write-lane ownership
+    /// test (`state_of(line) == Some(Mesi::Modified)`).
+    #[inline]
+    #[must_use]
+    pub fn state_modified(&self, line: u64) -> bool {
+        self.state_of(line) == Some(Mesi::Modified)
     }
 
     /// Whether the line is present, without disturbing LRU.

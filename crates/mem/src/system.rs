@@ -1435,7 +1435,7 @@ impl MemorySystem {
 
     // ---- compiled access plans ---------------------------------------------
 
-    /// Replays `plan.ops[range]` as timed data accesses. Cycle-, stat-
+    /// Replays the plan's ops in `range` as timed data accesses. Cycle-, stat-
     /// and trace-identical to issuing each op through
     /// [`MemorySystem::access_line`] in order: with the tracer or the
     /// debug trace on (or fast paths off, or a shared LLC) it *is*
@@ -1449,14 +1449,16 @@ impl MemorySystem {
         plan: &AccessPlan,
         range: std::ops::Range<usize>,
     ) -> Cycles {
-        let ops = &plan.ops[range];
+        let start = range.start;
+        let addrs = &plan.addrs[range];
         let mask = !(self.line_bytes - 1);
         if self.epoch.active {
-            for op in ops {
-                let access = if op.write { Access::Write } else { Access::Read };
+            for (i, &addr) in addrs.iter().enumerate() {
+                let access =
+                    if plan.write_at(start + i) { Access::Write } else { Access::Read };
                 self.epoch_defer_access(
                     domain,
-                    PhysAddr::new(op.addr & mask),
+                    PhysAddr::new(addr & mask),
                     access,
                     AccessKind::Data,
                     1,
@@ -1470,46 +1472,87 @@ impl MemorySystem {
             || self.shared_l3.is_some()
         {
             let mut cycles = Cycles::ZERO;
-            for op in ops {
-                let access = if op.write { Access::Write } else { Access::Read };
+            for (i, &addr) in addrs.iter().enumerate() {
+                let access =
+                    if plan.write_at(start + i) { Access::Write } else { Access::Read };
                 cycles += self
-                    .access_line(domain, PhysAddr::new(op.addr & mask), access, AccessKind::Data)
+                    .access_line(domain, PhysAddr::new(addr & mask), access, AccessKind::Data)
                     .cycles;
             }
             return cycles;
         }
-        // Dense fast path. An op is a pure L1 hit when the L1D probe
-        // hits and, for writes, the private L3 already holds the line
-        // Modified (then `ensure_writable` would be a no-op: no event,
-        // no snoop, no extra cycles). Anything else falls back to the
-        // full pipeline; the probe-before-fallback is idempotent (an
-        // MRU re-touch, or a plan that mutates nothing on miss).
+        // Dense fast path, lane-parallel (DESIGN.md §11.6): classify
+        // up to `PLAN_LANES` ops at once against the structure-of-
+        // arrays tag mirrors — a pure sweep with no LRU, hint, or stat
+        // side effects — then commit the leading all-hit run with the
+        // exact probe side effects and one bulk account, and push the
+        // first non-hit op through the full pipeline just as the
+        // per-op loop does. An op is a pure L1 hit when the line is
+        // L1D-resident and, for writes, the private L3 already holds
+        // it Modified (then `ensure_writable` would be a no-op: no
+        // event, no snoop, no extra cycles). Classifying a whole batch
+        // up front is sound because hits never move tags, so the
+        // verdicts stay valid across the committed all-hit prefix; the
+        // first fallback op ends the batch and the next iteration
+        // re-classifies whatever the full pipeline changed.
+        const PLAN_LANES: usize = 16;
         let di = domain.index();
         let shift = self.line_shift;
         let l1_lat = self.cfg.domains[di].latency.l1 as u64;
         let mut fast_ops = 0u64;
         let mut total = Cycles::ZERO;
-        for op in ops {
-            let line = op.addr >> shift;
-            let h = &mut self.hierarchies[di];
-            let fast_hit = matches!(h.l1d.probe_or_plan(line), ProbeFill::Hit)
-                && (!op.write || h.l3.state_of(line) == Some(Mesi::Modified));
-            if fast_hit {
-                fast_ops += 1;
-                continue;
+        let n = addrs.len();
+        let mut k = 0usize;
+        let mut lines = [0u64; PLAN_LANES];
+        let mut ways = [0u8; PLAN_LANES];
+        while k < n {
+            let w = (n - k).min(PLAN_LANES);
+            for (j, &addr) in addrs[k..k + w].iter().enumerate() {
+                lines[j] = addr >> shift;
             }
-            if fast_ops > 0 {
-                let s = &mut self.stats[di];
-                s.mem_accesses += fast_ops;
-                s.l1d.accesses += fast_ops;
-                s.l1d.hits += fast_ops;
-                total += Cycles::new(fast_ops * l1_lat);
-                fast_ops = 0;
+            let wmask = plan.write_window(start + k) as u32;
+            let h = &self.hierarchies[di];
+            let hit = h.l1d.classify_lanes(&lines[..w], &mut ways);
+            // Write lanes additionally need L3 ownership.
+            let mut fast = hit;
+            let mut writes = fast & wmask;
+            while writes != 0 {
+                let j = writes.trailing_zeros() as usize;
+                if !h.l3.state_modified(lines[j]) {
+                    fast &= !(1 << j);
+                }
+                writes &= writes - 1;
             }
-            let access = if op.write { Access::Write } else { Access::Read };
-            total += self
-                .access_line(domain, PhysAddr::new(line << shift), access, AccessKind::Data)
-                .cycles;
+            let run = ((!fast).trailing_zeros() as usize).min(w);
+            self.hierarchies[di].l1d.touch_hits(&lines[..run], &ways[..run]);
+            fast_ops += run as u64;
+            k += run;
+            if run < w {
+                if fast_ops > 0 {
+                    let s = &mut self.stats[di];
+                    s.mem_accesses += fast_ops;
+                    s.l1d.accesses += fast_ops;
+                    s.l1d.hits += fast_ops;
+                    total += Cycles::new(fast_ops * l1_lat);
+                    fast_ops = 0;
+                }
+                // A fallback op that probed Hit (a write awaiting
+                // ownership) must keep the probe's MRU re-touch before
+                // the full pipeline runs, exactly as the per-op loop
+                // interleaves them. A true miss probes to a fill plan
+                // that mutates nothing, so the probe is skipped
+                // entirely — the pipeline rebuilds it anyway.
+                let line = lines[run];
+                if hit & (1 << run) != 0 {
+                    let _ = self.hierarchies[di].l1d.probe_or_plan(line);
+                }
+                let access =
+                    if plan.write_at(start + k) { Access::Write } else { Access::Read };
+                total += self
+                    .access_line(domain, PhysAddr::new(line << shift), access, AccessKind::Data)
+                    .cycles;
+                k += 1;
+            }
         }
         if fast_ops > 0 {
             let s = &mut self.stats[di];
@@ -1678,33 +1721,82 @@ pub struct PlanOp {
 /// [`MemorySystem::run_plan`]. Replay is cycle-, stat- and
 /// trace-identical to issuing each op through
 /// [`MemorySystem::access_line`] in order.
+///
+/// Stored structure-of-arrays — a dense address vector plus a
+/// write-direction bitset — so the lane-parallel replay sweeps
+/// contiguous `u64`s and reads a whole batch's directions in one word.
 #[derive(Debug, Clone, Default)]
 pub struct AccessPlan {
-    /// Operations in canonical element order.
-    pub ops: Vec<PlanOp>,
+    /// Canonical physical addresses in element order.
+    addrs: Vec<u64>,
+    /// Direction bitset: bit `i % 64` of word `i / 64` is set when op
+    /// `i` is a store.
+    writes: Vec<u64>,
 }
 
 impl AccessPlan {
     /// Number of operations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.addrs.len()
     }
 
     /// Whether the plan holds no operations.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.addrs.is_empty()
     }
 
     /// Appends one operation.
     pub fn push(&mut self, addr: u64, write: bool) {
-        self.ops.push(PlanOp { addr, write });
+        let i = self.addrs.len();
+        self.addrs.push(addr);
+        if i.is_multiple_of(64) {
+            self.writes.push(0);
+        }
+        if write {
+            self.writes[i / 64] |= 1 << (i % 64);
+        }
     }
 
-    /// Drops all operations, keeping the allocation.
+    /// Drops all operations, keeping the allocations.
     pub fn clear(&mut self) {
-        self.ops.clear();
+        self.addrs.clear();
+        self.writes.clear();
+    }
+
+    /// The canonical addresses, one per op in element order.
+    #[must_use]
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// Whether op `i` is a store.
+    #[must_use]
+    pub fn write_at(&self, i: usize) -> bool {
+        (self.writes[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// A 64-bit window of direction bits: bit `j` is op `start + j`
+    /// (zero past the end of the plan).
+    #[must_use]
+    pub fn write_window(&self, start: usize) -> u64 {
+        let wi = start / 64;
+        let off = start % 64;
+        let lo = self.writes.get(wi).copied().unwrap_or(0) >> off;
+        if off == 0 {
+            lo
+        } else {
+            lo | (self.writes.get(wi + 1).copied().unwrap_or(0) << (64 - off))
+        }
+    }
+
+    /// Iterates the ops in element order as [`PlanOp`] views.
+    pub fn iter(&self) -> impl Iterator<Item = PlanOp> + '_ {
+        self.addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| PlanOp { addr, write: self.write_at(i) })
     }
 }
 
@@ -2594,7 +2686,7 @@ mod tests {
         for round in 0..3 {
             let got = fast.run_plan(DomainId::X86, &plan, 0..plan.len());
             let mut want = Cycles::ZERO;
-            for op in &plan.ops {
+            for op in plan.iter() {
                 let access = if op.write { Access::Write } else { Access::Read };
                 let addr = PhysAddr::new(op.addr & line_mask);
                 want += slow.access_line(DomainId::X86, addr, access, AccessKind::Data).cycles;

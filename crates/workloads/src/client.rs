@@ -910,17 +910,18 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
                 let cyc = base.mem.run_plan(domain, &plan.plan, lo..hi);
                 base.charge(domain, cyc);
                 for k in 0..m {
-                    let ops = &plan.plan.ops[lo + k as usize * ope..lo + (k as usize + 1) * ope];
+                    let at = lo + k as usize * ope;
+                    let addrs = &plan.plan.addrs()[at..at + ope];
                     for (j, v) in rv.iter_mut().enumerate() {
                         *v = f64::from_bits(
-                            base.mem.store().read_u64(stramash_mem::PhysAddr::new(ops[j].addr)),
+                            base.mem.store().read_u64(stramash_mem::PhysAddr::new(addrs[j])),
                         );
                     }
                     wv.fill(0.0);
                     f(i + k, &rv, &mut wv);
                     for (j, v) in wv.iter().enumerate() {
                         base.mem.store_mut().write_u64(
-                            stramash_mem::PhysAddr::new(ops[n_reads + j].addr),
+                            stramash_mem::PhysAddr::new(addrs[n_reads + j]),
                             v.to_bits(),
                         );
                     }
@@ -930,6 +931,253 @@ impl<S: OsSystem> BatchScope<'_, '_, S> {
                 self.c.work(work_per)?;
             }
             i += m;
+        }
+        Ok(())
+    }
+
+    /// Maps `f` over `i in 0..n` where each element touches data-
+    /// dependent targets: every column is a [`PlanCol`] whose element
+    /// index may come from the loop counter ([`ColSpec::Dense`]), a
+    /// host-side index slice ([`ColSpec::Index`]), or a value loaded by
+    /// an earlier read column of the same element ([`ColSpec::Value`] —
+    /// histogram / rank-scatter indirection).
+    ///
+    /// Unlike [`BatchScope::plan_map`], the op sequence cannot be
+    /// recorded once: targets move between calls. What *is* stable is
+    /// the translation of each page, so the plan compiles lazily — the
+    /// first element to land on a page goes through the session
+    /// (recording the canonical frame), and every later landing on that
+    /// page replays through [`run_plan`] without re-translating.
+    /// Per-element targets are recomputed from `idx` and the loaded
+    /// values on every call; the page tables persist across calls while
+    /// the session generation and column set are unchanged.
+    ///
+    /// Timing is identical to the canonical scalar loop: replayed ops
+    /// charge exactly what the session-hit element ops would, boundary
+    /// (first-touch) elements run the element ops themselves, and
+    /// `work(work_per)` retires per element inside flush-bounded
+    /// chunks. Values flow element-major through the untimed store, so
+    /// read-after-write dependences (a write column aliasing a read
+    /// column) stay value-exact.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resolved element index is out of bounds for its
+    /// column (the same panic the scalar loop's `at()` would raise).
+    ///
+    /// [`run_plan`]: stramash_mem::MemorySystem::run_plan
+    #[allow(clippy::too_many_arguments)] // the plan_map signature plus the index slices
+    pub fn plan_map_indexed<F>(
+        &mut self,
+        plan: &mut IndexedPlan,
+        reads: &[PlanCol],
+        writes: &[PlanCol],
+        idx: &[&[u64]],
+        n: u64,
+        work_per: u64,
+        mut f: F,
+    ) -> Result<(), OsError>
+    where
+        F: FnMut(u64, &[u64], &mut [u64]),
+    {
+        if n == 0 {
+            return Ok(());
+        }
+        let mut rv = vec![0u64; reads.len()];
+        let mut wv = vec![0u64; writes.len()];
+        if !self.fast || reads.len() + writes.len() == 0 {
+            // Reference execution: the canonical loop through the
+            // scalar element ops.
+            for i in 0..n {
+                for j in 0..reads.len() {
+                    let e = reads[j].resolve(i, idx, &rv[..j]);
+                    rv[j] = self.c.sys.load_u64(self.c.pid, reads[j].at(e))?;
+                }
+                wv.fill(0);
+                f(i, &rv, &mut wv);
+                for (j, c) in writes.iter().enumerate() {
+                    let e = c.resolve(i, idx, &rv);
+                    self.c.sys.store_u64(self.c.pid, c.at(e), wv[j])?;
+                }
+                self.c.work(work_per)?;
+            }
+            return Ok(());
+        }
+        if !plan.matches(&self.c.session, reads, writes) {
+            plan.reset(&self.c.session, reads, writes);
+        }
+        let n_reads = reads.len();
+        let ope = n_reads + writes.len();
+        let mut domain = plan.domain;
+        let mut scratch = std::mem::take(&mut plan.scratch);
+        scratch.clear();
+        let mut pas = vec![0u64; ope];
+        let mut pend: usize = 0; // elements batched since the last flush
+        let mut window = self.flush_cap(work_per).max(1);
+        let mut i = 0u64;
+        while i < n {
+            // Resolve every op of element i before committing any: one
+            // unknown page drops the whole element to the session path.
+            let mut ok = plan.valid;
+            if ok {
+                for j in 0..n_reads {
+                    let e = reads[j].resolve(i, idx, &rv[..j]);
+                    match plan.lookup(j, reads[j].at(e).raw()) {
+                        Some(pa) => {
+                            pas[j] = pa;
+                            rv[j] = self
+                                .c
+                                .sys
+                                .base()
+                                .mem
+                                .store()
+                                .read_u64(stramash_mem::PhysAddr::new(pa));
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                for j in 0..writes.len() {
+                    let e = writes[j].resolve(i, idx, &rv);
+                    match plan.lookup(n_reads + j, writes[j].at(e).raw()) {
+                        Some(pa) => pas[n_reads + j] = pa,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                for &pa in &pas[..n_reads] {
+                    scratch.push(pa, false);
+                }
+                wv.fill(0);
+                f(i, &rv, &mut wv);
+                let base = self.c.sys.base_mut();
+                for (j, v) in wv.iter().enumerate() {
+                    base.mem
+                        .store_mut()
+                        .write_u64(stramash_mem::PhysAddr::new(pas[n_reads + j]), *v);
+                    scratch.push(pas[n_reads + j], true);
+                }
+                pend += 1;
+                if pend >= window {
+                    self.indexed_flush(domain, &scratch, pend, ope, work_per)?;
+                    scratch.clear();
+                    pend = 0;
+                    window = self.flush_cap(work_per).max(1);
+                }
+            } else {
+                // Flush batched ops first so the access order matches
+                // the scalar loop, then run this element through the
+                // session, recording the pages it touches.
+                if pend > 0 {
+                    self.indexed_flush(domain, &scratch, pend, ope, work_per)?;
+                    scratch.clear();
+                    pend = 0;
+                }
+                self.indexed_element_session(
+                    plan, reads, writes, idx, i, work_per, &mut rv, &mut wv, &mut f,
+                )?;
+                domain = plan.domain; // a fault may have re-keyed the plan
+                window = self.flush_cap(work_per).max(1);
+            }
+            i += 1;
+        }
+        if pend > 0 {
+            self.indexed_flush(domain, &scratch, pend, ope, work_per)?;
+            scratch.clear();
+        }
+        plan.scratch = scratch;
+        Ok(())
+    }
+
+    /// One flush-bounded replay chunk of [`BatchScope::plan_map_indexed`]:
+    /// every op is a session TLB hit (its page was recorded under this
+    /// generation), timed through `run_plan`, with the elements' `work`
+    /// retired behind the accesses exactly like [`BatchScope::plan_replay`].
+    fn indexed_flush(
+        &mut self,
+        domain: DomainId,
+        scratch: &AccessPlan,
+        m: usize,
+        ope: usize,
+        work_per: u64,
+    ) -> Result<(), OsError> {
+        let base = self.c.sys.base_mut();
+        base.mem.note_tlb_hits(domain, (m * ope) as u64);
+        let cyc = base.mem.run_plan(domain, scratch, 0..scratch.len());
+        base.charge(domain, cyc);
+        for _ in 0..m {
+            self.c.work(work_per)?;
+        }
+        Ok(())
+    }
+
+    /// The boundary path of [`BatchScope::plan_map_indexed`]: one
+    /// element through the session element ops (the canonical loop
+    /// body), recording each touched page's canonical frame so later
+    /// landings replay. A fault mid-element shoots down translations;
+    /// the tables re-key to the new generation and refill lazily.
+    #[allow(clippy::too_many_arguments)] // internal: the full per-element state
+    fn indexed_element_session<F>(
+        &mut self,
+        plan: &mut IndexedPlan,
+        reads: &[PlanCol],
+        writes: &[PlanCol],
+        idx: &[&[u64]],
+        i: u64,
+        work_per: u64,
+        rv: &mut [u64],
+        wv: &mut [u64],
+        f: &mut F,
+    ) -> Result<(), OsError>
+    where
+        F: FnMut(u64, &[u64], &mut [u64]),
+    {
+        for j in 0..reads.len() {
+            let e = reads[j].resolve(i, idx, &rv[..j]);
+            let va = reads[j].at(e);
+            let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, false)?;
+            let domain = self.c.session.domain();
+            let base = self.c.sys.base_mut();
+            let pa = base.mem.canonicalize(domain, pa);
+            let (bits, cyc) = base.mem.read_u64_aligned(domain, pa);
+            base.charge(domain, cyc);
+            plan.record(j, va.raw(), pa.raw());
+            rv[j] = bits;
+        }
+        wv.fill(0);
+        f(i, rv, wv);
+        for (j, c) in writes.iter().enumerate() {
+            let e = c.resolve(i, idx, rv);
+            let va = c.at(e);
+            let (pa, _) = self.c.sys.session_translate(&mut self.c.session, va, true)?;
+            let domain = self.c.session.domain();
+            let base = self.c.sys.base_mut();
+            let pa = base.mem.canonicalize(domain, pa);
+            let cyc = base.mem.write_u64_aligned(domain, pa, wv[j]);
+            base.charge(domain, cyc);
+            plan.record(reads.len() + j, va.raw(), pa.raw());
+        }
+        self.c.work(work_per)?;
+        if self.c.session.is_valid() {
+            if self.c.session.generation() != plan.generation
+                || self.c.session.domain() != plan.domain
+            {
+                plan.reset(&self.c.session, reads, writes);
+            }
+        } else {
+            plan.invalidate();
         }
         Ok(())
     }
@@ -1006,6 +1254,202 @@ impl ScopePlan {
             && self.writes.len() == writes.len()
             && self.reads.iter().zip(reads).all(|(&b, a)| b == a.base().raw())
             && self.writes.iter().zip(writes).all(|(&b, a)| b == a.base().raw())
+    }
+}
+
+/// How a [`PlanCol`] turns the loop counter into an element index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColSpec {
+    /// `e = i * stride + offset` — an affine walk known at loop entry.
+    Dense {
+        /// Elements advanced per loop iteration.
+        stride: u64,
+        /// Element index at `i = 0`.
+        offset: u64,
+    },
+    /// `e = idx[slice][i] + offset` — a gather/scatter driven by one of
+    /// the host-side index slices passed to
+    /// [`BatchScope::plan_map_indexed`] (stencil neighbours, interior
+    /// cells, FFT butterfly pairs).
+    Index {
+        /// Which of the `idx` slices supplies the element index.
+        slice: usize,
+        /// Signed element offset added to the slice value.
+        offset: i64,
+    },
+    /// `e = rv[col] + offset` — the target is a value this element just
+    /// loaded (histogram buckets, rank-scatter positions). Read columns
+    /// may only reference earlier read columns; write columns see every
+    /// read value.
+    Value {
+        /// Which read column's loaded value supplies the element index.
+        col: usize,
+        /// Signed element offset added to the loaded value.
+        offset: i64,
+    },
+}
+
+/// One array column of a data-dependent plan segment: a typed array
+/// plus the rule producing its element index per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanCol {
+    base: VirtAddr,
+    len: u64,
+    spec: ColSpec,
+}
+
+impl PlanCol {
+    /// A column over an `f64` array (values travel as raw bits through
+    /// the `u64` closure interface; convert with `f64::from_bits`).
+    #[must_use]
+    pub fn f64(a: ArrayF64, spec: ColSpec) -> Self {
+        PlanCol { base: a.base(), len: a.len(), spec }
+    }
+
+    /// A column over a `u64` array.
+    #[must_use]
+    pub fn u64(a: ArrayU64, spec: ColSpec) -> Self {
+        PlanCol { base: a.base(), len: a.len(), spec }
+    }
+
+    /// Resolves the element index for iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resolved index is out of bounds — the same panic
+    /// the scalar loop's `at()` would raise.
+    fn resolve(&self, i: u64, idx: &[&[u64]], rv: &[u64]) -> u64 {
+        let e = match self.spec {
+            ColSpec::Dense { stride, offset } => i.wrapping_mul(stride).wrapping_add(offset),
+            ColSpec::Index { slice, offset } => {
+                (idx[slice][i as usize] as i64).wrapping_add(offset) as u64
+            }
+            ColSpec::Value { col, offset } => (rv[col] as i64).wrapping_add(offset) as u64,
+        };
+        assert!(e < self.len, "index {e} out of bounds ({})", self.len);
+        e
+    }
+
+    /// Address of element `e` (bounds already checked by `resolve`).
+    fn at(&self, e: u64) -> VirtAddr {
+        self.base.offset(e * 8)
+    }
+}
+
+/// The compiled state behind [`BatchScope::plan_map_indexed`]: one lazy
+/// page table per column, mapping each virtual page of the array's span
+/// to its canonical physical frame. Targets move call to call, but
+/// translations do not — so the tables persist across calls (and across
+/// different [`ColSpec`]s over the same arrays) while the session
+/// domain, TLB generation and column arrays are unchanged. Create it
+/// once outside the iteration loop; invalidation is automatic.
+#[derive(Debug, Clone)]
+pub struct IndexedPlan {
+    valid: bool,
+    domain: DomainId,
+    generation: u64,
+    /// `(base, len)` per column, reads then writes — the signature the
+    /// tables were built for.
+    cols: Vec<(u64, u64)>,
+    /// First virtual page of each column's span.
+    page0: Vec<u64>,
+    /// Per column: virtual page index → canonical physical frame base
+    /// (`u64::MAX` = not yet translated this generation).
+    tables: Vec<Vec<u64>>,
+    /// Reused op buffer for replay chunks.
+    scratch: AccessPlan,
+}
+
+impl Default for IndexedPlan {
+    fn default() -> Self {
+        IndexedPlan {
+            valid: false,
+            domain: DomainId::X86,
+            generation: 0,
+            cols: Vec::new(),
+            page0: Vec::new(),
+            tables: Vec::new(),
+            scratch: AccessPlan::default(),
+        }
+    }
+}
+
+impl IndexedPlan {
+    /// Creates an empty (uncompiled) plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any page translations are currently compiled.
+    #[must_use]
+    pub fn is_compiled(&self) -> bool {
+        self.valid && self.tables.iter().flatten().any(|&p| p != u64::MAX)
+    }
+
+    /// Count of compiled (replayable) page translations across columns.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.tables.iter().flatten().filter(|&&p| p != u64::MAX).count()
+    }
+
+    /// Drops every compiled translation (the next call refills lazily).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.cols.clear();
+        self.page0.clear();
+        self.tables.clear();
+    }
+
+    /// Whether the tables still describe this column set under the
+    /// session's current translations.
+    fn matches(&self, session: &AccessSession, reads: &[PlanCol], writes: &[PlanCol]) -> bool {
+        self.valid
+            && session.is_valid()
+            && self.domain == session.domain()
+            && self.generation == session.generation()
+            && self.cols.len() == reads.len() + writes.len()
+            && self
+                .cols
+                .iter()
+                .zip(reads.iter().chain(writes))
+                .all(|(&(b, l), c)| b == c.base.raw() && l == c.len)
+    }
+
+    /// Re-keys the tables to the session's current generation with
+    /// every page unknown.
+    fn reset(&mut self, session: &AccessSession, reads: &[PlanCol], writes: &[PlanCol]) {
+        self.domain = session.domain();
+        self.generation = session.generation();
+        self.cols.clear();
+        self.page0.clear();
+        self.tables.clear();
+        for c in reads.iter().chain(writes) {
+            let p0 = c.base.raw() & !(PAGE_SIZE - 1);
+            let end = c.base.raw() + c.len.max(1) * 8 - 1;
+            let pages = ((end & !(PAGE_SIZE - 1)) - p0) / PAGE_SIZE + 1;
+            self.cols.push((c.base.raw(), c.len));
+            self.page0.push(p0);
+            self.tables.push(vec![u64::MAX; pages as usize]);
+        }
+        self.valid = true;
+    }
+
+    /// Canonical physical address for `va` in column `col`, if its page
+    /// is compiled.
+    fn lookup(&self, col: usize, va: u64) -> Option<u64> {
+        let pi = ((va - self.page0[col]) / PAGE_SIZE) as usize;
+        let frame = self.tables[col][pi];
+        (frame != u64::MAX).then_some(frame | (va & (PAGE_SIZE - 1)))
+    }
+
+    /// Records a session-translated canonical frame for `va`'s page.
+    fn record(&mut self, col: usize, va: u64, pa: u64) {
+        if !self.valid {
+            return;
+        }
+        let pi = ((va - self.page0[col]) / PAGE_SIZE) as usize;
+        self.tables[col][pi] = pa & !(PAGE_SIZE - 1);
     }
 }
 
@@ -1096,6 +1540,79 @@ mod tests {
         }
         c.flush_work().unwrap();
         acc
+    }
+
+    /// Data-dependent plan segments: a histogram (value-indexed
+    /// read-modify-write), a rank scatter through an index slice, and a
+    /// replay of the same segment with moved targets over the compiled
+    /// pages.
+    fn indexed_pattern(sys: &mut VanillaSystem, pid: Pid) -> u64 {
+        let mut c = MemoryClient::new(sys, pid);
+        let keys = c.alloc_u64(512).unwrap();
+        let hist = c.alloc_u64(64).unwrap();
+        let out = c.alloc_u64(512).unwrap();
+        let mut acc = 0u64;
+        {
+            let mut s = c.batch().unwrap();
+            let kv: Vec<u64> = (0..512).map(|i| (i * 37) % 64).collect();
+            s.st_u64_slice(keys, 0, &kv, 2).unwrap();
+            s.fill_u64(hist, 0, 64, 0, 1).unwrap();
+            let dense = ColSpec::Dense { stride: 1, offset: 0 };
+            let bucket = ColSpec::Value { col: 0, offset: 0 };
+            let mut plan = IndexedPlan::new();
+            // hist[keys[i]] += 1 — the IS histogram shape.
+            s.plan_map_indexed(
+                &mut plan,
+                &[PlanCol::u64(keys, dense), PlanCol::u64(hist, bucket)],
+                &[PlanCol::u64(hist, bucket)],
+                &[],
+                512,
+                6,
+                |_, rv, wv| wv[0] = rv[1] + 1,
+            )
+            .unwrap();
+            // out[idx[i]] = 3*keys[i] + 1 — an index-slice scatter; two
+            // passes with different slices replay over compiled pages.
+            let mut plan2 = IndexedPlan::new();
+            for mul in [131u64, 257] {
+                let idxs: Vec<u64> = (0..512).map(|i| (i * mul) % 512).collect();
+                s.plan_map_indexed(
+                    &mut plan2,
+                    &[PlanCol::u64(keys, dense)],
+                    &[PlanCol::u64(out, ColSpec::Index { slice: 0, offset: 0 })],
+                    &[&idxs],
+                    512,
+                    4,
+                    |_, rv, wv| wv[0] = rv[0] * 3 + 1,
+                )
+                .unwrap();
+            }
+            for i in 0..64 {
+                acc = acc.wrapping_mul(1_000_003).wrapping_add(s.ld_u64(hist, i).unwrap());
+            }
+            for i in 0..512 {
+                acc = acc.wrapping_mul(1_000_003).wrapping_add(s.ld_u64(out, i).unwrap());
+            }
+        }
+        c.flush_work().unwrap();
+        acc
+    }
+
+    #[test]
+    fn indexed_plan_is_cycle_identical_to_scalar() {
+        let run = |batching: bool| {
+            let (mut sys, pid) = client_env();
+            sys.base_mut().set_batching(batching);
+            let acc = indexed_pattern(&mut sys, pid);
+            let clock = *sys.base().timebase.clock(DomainId::X86);
+            let stats = *sys.base().mem.stats(DomainId::X86);
+            (acc, clock, stats)
+        };
+        let (fast_acc, fast_clock, fast_stats) = run(true);
+        let (ref_acc, ref_clock, ref_stats) = run(false);
+        assert_eq!(fast_acc, ref_acc, "values must match bit-for-bit");
+        assert_eq!(fast_clock, ref_clock, "icount and memory cycles must match");
+        assert_eq!(fast_stats, ref_stats, "every stats counter must match");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod recovery;
 pub mod target;
 
 pub use chaos::{chaos_sweep, ChaosReport, Reproducer, StageReport};
-pub use client::{ArrayF64, ArrayU64, MemoryClient, ScopePlan};
+pub use client::{ArrayF64, ArrayU64, ColSpec, IndexedPlan, MemoryClient, PlanCol, ScopePlan};
 pub use driver::{run_benchmark, run_benchmark_with, Configuration, RunReport};
 pub use kvstore::{run_kv, KvOp, KvRunResult, KvServer};
 pub use micro::{

@@ -11,7 +11,7 @@
 //! must reproduce the initial data within floating-point tolerance.
 
 use super::{offload, Class, DataRng, NpbOutcome};
-use crate::client::{ArrayF64, MemoryClient};
+use crate::client::{ArrayF64, ColSpec, IndexedPlan, MemoryClient, PlanCol};
 use stramash_kernel::process::Pid;
 use stramash_kernel::system::{OsError, OsSystem};
 
@@ -46,6 +46,27 @@ impl ComplexGrid {
     }
 }
 
+/// The data-dependent plan segments behind every FT inner loop. All
+/// columns range over the one grid array, so the two plans' page tables
+/// compile lazily on the first lines of the first pass and replay for
+/// the rest of the transform.
+#[derive(Default)]
+struct FtPlans {
+    /// 4 reads + 4 writes: butterfly and bit-reversal pair swaps.
+    pairs: IndexedPlan,
+    /// 2 reads + 2 writes: phase rotation and inverse scaling.
+    elems: IndexedPlan,
+}
+
+/// The (re, im) column pair of `data` driven by index slice `sl` (each
+/// slice value is a complex element's re slot; im follows at +1).
+fn complex_cols(data: ArrayF64, sl: usize) -> [PlanCol; 2] {
+    [
+        PlanCol::f64(data, ColSpec::Index { slice: sl, offset: 0 }),
+        PlanCol::f64(data, ColSpec::Index { slice: sl, offset: 1 }),
+    ]
+}
+
 /// Runs FT. See [`super::run_npb`].
 pub fn run<S: OsSystem>(
     sys: &mut S,
@@ -75,17 +96,18 @@ pub fn run<S: OsSystem>(
 
     let mut procedures = 0;
     let evolve_phase = 0.37f64;
+    let mut plans = FtPlans::default();
     for _ in 0..p.iterations {
         offload(&mut c, migrate, |c| {
             // Forward 3-D FFT.
-            fft3d(c, grid, false)?;
+            fft3d(c, grid, false, &mut plans)?;
             // Evolve: rotate every mode by a fixed phase (unit modulus,
             // trivially invertible — NPB uses exp(-4π²t|k|²)).
-            apply_phase(c, grid, evolve_phase)?;
+            apply_phase(c, grid, evolve_phase, &mut plans)?;
             // Undo the evolution and invert the transform so the result
             // is checkable against the initial field.
-            apply_phase(c, grid, -evolve_phase)?;
-            fft3d(c, grid, true)?;
+            apply_phase(c, grid, -evolve_phase, &mut plans)?;
+            fft3d(c, grid, true, &mut plans)?;
             Ok(())
         })?;
         procedures += 1;
@@ -119,16 +141,21 @@ fn apply_phase<S: OsSystem>(
     c: &mut MemoryClient<'_, S>,
     g: ComplexGrid,
     phase: f64,
+    plans: &mut FtPlans,
 ) -> Result<(), OsError> {
     let (sin, cos) = phase.sin_cos();
     let cells = g.n * g.n * g.n;
+    let cols = [
+        PlanCol::f64(g.data, ColSpec::Dense { stride: 2, offset: 0 }),
+        PlanCol::f64(g.data, ColSpec::Dense { stride: 2, offset: 1 }),
+    ];
     let mut s = c.batch()?;
-    for i in 0..cells {
-        let (re, im) = s.ld_f64_pair(g.data, 2 * i)?;
-        s.st_f64_pair(g.data, 2 * i, re * cos - im * sin, re * sin + im * cos)?;
-        s.work(10)?;
-    }
-    Ok(())
+    s.plan_map_indexed(&mut plans.elems, &cols, &cols, &[], cells, 10, |_, rv, wv| {
+        let re = f64::from_bits(rv[0]);
+        let im = f64::from_bits(rv[1]);
+        wv[0] = (re * cos - im * sin).to_bits();
+        wv[1] = (re * sin + im * cos).to_bits();
+    })
 }
 
 /// In-place 3-D FFT: 1-D transforms along x, then y, then z.
@@ -136,46 +163,53 @@ fn fft3d<S: OsSystem>(
     c: &mut MemoryClient<'_, S>,
     g: ComplexGrid,
     inverse: bool,
+    plans: &mut FtPlans,
 ) -> Result<(), OsError> {
     let n = g.n;
     // Along x (unit stride).
     for z in 0..n {
         for y in 0..n {
             let slots: Vec<u64> = (0..n).map(|x| g.slot(x, y, z)).collect();
-            fft1d(c, g.data, &slots, inverse)?;
+            fft1d(c, g.data, &slots, inverse, plans)?;
         }
     }
     // Along y (stride n).
     for z in 0..n {
         for x in 0..n {
             let slots: Vec<u64> = (0..n).map(|y| g.slot(x, y, z)).collect();
-            fft1d(c, g.data, &slots, inverse)?;
+            fft1d(c, g.data, &slots, inverse, plans)?;
         }
     }
     // Along z (stride n²).
     for y in 0..n {
         for x in 0..n {
             let slots: Vec<u64> = (0..n).map(|z| g.slot(x, y, z)).collect();
-            fft1d(c, g.data, &slots, inverse)?;
+            fft1d(c, g.data, &slots, inverse, plans)?;
         }
     }
     Ok(())
 }
 
-/// Iterative radix-2 Cooley–Tukey over the elements at `slots`
-/// (each slot is the re index; im follows at slot + 1).
+/// Iterative radix-2 Cooley–Tukey over the elements at `slots` (each
+/// slot is the re index; im follows at slot + 1). Every loop runs as a
+/// data-dependent plan segment: the pair targets move line to line and
+/// stage to stage, but the translations replay from the shared plans.
 fn fft1d<S: OsSystem>(
     c: &mut MemoryClient<'_, S>,
     data: ArrayF64,
     slots: &[u64],
     inverse: bool,
+    plans: &mut FtPlans,
 ) -> Result<(), OsError> {
     let n = slots.len();
     debug_assert!(n.is_power_of_two());
-    // Every slot is a complex re index (even), so each (re, im) access
-    // runs through the batched pair ops — one translation per complex.
+    let ab: Vec<PlanCol> =
+        complex_cols(data, 0).into_iter().chain(complex_cols(data, 1)).collect();
     let mut s = c.batch()?;
-    // Bit-reversal permutation.
+    // Bit-reversal permutation: collect the swap pairs, then exchange
+    // them through the pair segment.
+    let mut swap_a = Vec::new();
+    let mut swap_b = Vec::new();
     let mut j = 0usize;
     for i in 1..n {
         let mut bit = n >> 1;
@@ -185,49 +219,83 @@ fn fft1d<S: OsSystem>(
         }
         j |= bit;
         if i < j {
-            let (a, b) = (slots[i], slots[j]);
-            let (ar, ai) = s.ld_f64_pair(data, a)?;
-            let (br, bi) = s.ld_f64_pair(data, b)?;
-            s.st_f64_pair(data, a, br, bi)?;
-            s.st_f64_pair(data, b, ar, ai)?;
-            s.work(12)?;
+            swap_a.push(slots[i]);
+            swap_b.push(slots[j]);
         }
     }
-    // Butterflies.
+    s.plan_map_indexed(
+        &mut plans.pairs,
+        &ab,
+        &ab,
+        &[&swap_a, &swap_b],
+        swap_a.len() as u64,
+        12,
+        |_, rv, wv| {
+            wv[0] = rv[2];
+            wv[1] = rv[3];
+            wv[2] = rv[0];
+            wv[3] = rv[1];
+        },
+    )?;
+    // Butterflies: one flattened segment per stage, the twiddle
+    // recurrence carried element-major in the closure (reset at each
+    // block boundary, exactly like the nested scalar loops).
     let sign = if inverse { 1.0 } else { -1.0 };
+    let mut av: Vec<u64> = Vec::with_capacity(n / 2);
+    let mut bv: Vec<u64> = Vec::with_capacity(n / 2);
     let mut len = 2usize;
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let (wsin, wcos) = ang.sin_cos();
+        av.clear();
+        bv.clear();
         let mut start = 0usize;
         while start < n {
-            let mut wr = 1.0f64;
-            let mut wi = 0.0f64;
             for k in 0..len / 2 {
-                let a = slots[start + k];
-                let b = slots[start + k + len / 2];
-                let (ar, ai) = s.ld_f64_pair(data, a)?;
-                let (br, bi) = s.ld_f64_pair(data, b)?;
-                let tr = br * wr - bi * wi;
-                let ti = br * wi + bi * wr;
-                s.st_f64_pair(data, a, ar + tr, ai + ti)?;
-                s.st_f64_pair(data, b, ar - tr, ai - ti)?;
-                let nwr = wr * wcos - wi * wsin;
-                wi = wr * wsin + wi * wcos;
-                wr = nwr;
-                s.work(20)?;
+                av.push(slots[start + k]);
+                bv.push(slots[start + k + len / 2]);
             }
             start += len;
         }
+        let half = (len / 2) as u64;
+        let mut wr = 1.0f64;
+        let mut wi = 0.0f64;
+        s.plan_map_indexed(
+            &mut plans.pairs,
+            &ab,
+            &ab,
+            &[&av, &bv],
+            av.len() as u64,
+            20,
+            |i, rv, wv| {
+                if i % half == 0 {
+                    wr = 1.0;
+                    wi = 0.0;
+                }
+                let ar = f64::from_bits(rv[0]);
+                let ai = f64::from_bits(rv[1]);
+                let br = f64::from_bits(rv[2]);
+                let bi = f64::from_bits(rv[3]);
+                let tr = br * wr - bi * wi;
+                let ti = br * wi + bi * wr;
+                wv[0] = (ar + tr).to_bits();
+                wv[1] = (ai + ti).to_bits();
+                wv[2] = (ar - tr).to_bits();
+                wv[3] = (ai - ti).to_bits();
+                let nwr = wr * wcos - wi * wsin;
+                wi = wr * wsin + wi * wcos;
+                wr = nwr;
+            },
+        )?;
         len <<= 1;
     }
     if inverse {
         let inv = 1.0 / n as f64;
-        for &slot in slots {
-            let (re, im) = s.ld_f64_pair(data, slot)?;
-            s.st_f64_pair(data, slot, re * inv, im * inv)?;
-            s.work(8)?;
-        }
+        let cols = complex_cols(data, 0);
+        s.plan_map_indexed(&mut plans.elems, &cols, &cols, &[slots], n as u64, 8, |_, rv, wv| {
+            wv[0] = (f64::from_bits(rv[0]) * inv).to_bits();
+            wv[1] = (f64::from_bits(rv[1]) * inv).to_bits();
+        })?;
     }
     Ok(())
 }
@@ -270,7 +338,7 @@ mod tests {
             c.st_f64(data, 2 * i as u64 + 1, im).unwrap();
         }
         let slots: Vec<u64> = (0..8).map(|i| 2 * i).collect();
-        fft1d(&mut c, data, &slots, false).unwrap();
+        fft1d(&mut c, data, &slots, false, &mut FtPlans::default()).unwrap();
         // Direct DFT of bin 3.
         let k = 3;
         let mut re = 0.0;

@@ -9,7 +9,7 @@
 //! pages.
 
 use super::{offload, Class, DataRng, NpbOutcome};
-use crate::client::MemoryClient;
+use crate::client::{ColSpec, IndexedPlan, MemoryClient, PlanCol};
 use stramash_kernel::process::Pid;
 use stramash_kernel::system::{OsError, OsSystem};
 
@@ -62,6 +62,16 @@ pub fn run<S: OsSystem>(
         }
     }
 
+    // Data-dependent plan segments for the ranking loops: the bucket
+    // and rank targets are recomputed from the loaded key every call,
+    // but the page translations compile once and persist across
+    // iterations (a migration re-keys them automatically).
+    let dense = ColSpec::Dense { stride: 1, offset: 0 };
+    let bucket = ColSpec::Value { col: 0, offset: 0 };
+    let mut hist_plan = IndexedPlan::new();
+    let mut prefix_plan = IndexedPlan::new();
+    let mut scatter_plan = IndexedPlan::new();
+
     let mut procedures = 0;
     for iter in 0..p.iterations {
         // One ranking procedure, offloaded per §9.2.
@@ -70,29 +80,47 @@ pub fn run<S: OsSystem>(
             // Clear the histogram.
             s.fill_u64(hist, 0, p.max_key, 0, 2)?;
             // Histogram the keys (read key, read-modify-write bucket —
-            // interleaved arrays, so element ops through the session).
-            for i in 0..p.keys {
-                let k = s.ld_u64(keys, i)?;
-                let n = s.ld_u64(hist, k)?;
-                s.st_u64(hist, k, n + 1)?;
-                s.work(6)?;
-            }
+            // the bucket index is the key value itself).
+            s.plan_map_indexed(
+                &mut hist_plan,
+                &[PlanCol::u64(keys, dense), PlanCol::u64(hist, bucket)],
+                &[PlanCol::u64(hist, bucket)],
+                &[],
+                p.keys,
+                6,
+                |_, rv, wv| wv[0] = rv[1] + 1,
+            )?;
             // Exclusive prefix sum over the buckets.
             let mut acc = 0u64;
-            for b in 0..p.max_key {
-                let n = s.ld_u64(hist, b)?;
-                s.st_u64(hist, b, acc)?;
-                acc += n;
-                s.work(4)?;
-            }
-            // Scatter: rank every key (write-heavy, random indices).
-            for i in 0..p.keys {
-                let k = s.ld_u64(keys, i)?;
-                let pos = s.ld_u64(hist, k)?;
-                s.st_u64(sorted, pos, k)?;
-                s.st_u64(hist, k, pos + 1)?;
-                s.work(8)?;
-            }
+            s.plan_map_indexed(
+                &mut prefix_plan,
+                &[PlanCol::u64(hist, dense)],
+                &[PlanCol::u64(hist, dense)],
+                &[],
+                p.max_key,
+                4,
+                |_, rv, wv| {
+                    wv[0] = acc;
+                    acc += rv[0];
+                },
+            )?;
+            // Scatter: rank every key (write-heavy, random indices —
+            // the ranked position is the bucket's running count).
+            s.plan_map_indexed(
+                &mut scatter_plan,
+                &[PlanCol::u64(keys, dense), PlanCol::u64(hist, bucket)],
+                &[
+                    PlanCol::u64(sorted, ColSpec::Value { col: 1, offset: 0 }),
+                    PlanCol::u64(hist, bucket),
+                ],
+                &[],
+                p.keys,
+                8,
+                |_, rv, wv| {
+                    wv[0] = rv[0];
+                    wv[1] = rv[1] + 1;
+                },
+            )?;
             Ok(())
         })?;
         procedures += 1;

@@ -7,7 +7,7 @@
 //! Table 3 — every remotely-touched page is replicated).
 
 use super::{offload, Class, NpbOutcome};
-use crate::client::{ArrayF64, MemoryClient};
+use crate::client::{ArrayF64, ColSpec, IndexedPlan, MemoryClient, PlanCol};
 use stramash_kernel::process::Pid;
 use stramash_kernel::system::{OsError, OsSystem};
 
@@ -42,6 +42,81 @@ struct Level {
     u: ArrayF64,
     v: ArrayF64,
     r: ArrayF64,
+}
+
+/// Host-side loop structure for one level: the cell-index slices that
+/// drive the data-dependent plan segments, plus the compiled plans
+/// themselves (translations persist across sweeps and V-cycles).
+struct LevelAux {
+    /// Interior cell indices in z,y,x traversal order.
+    interior: Vec<u64>,
+    /// Boundary cell indices in z,y,x traversal order.
+    boundary: Vec<u64>,
+    /// Fine-grid source index per coarse cell (restriction injection).
+    restrict_src: Vec<u64>,
+    /// Coarse-grid source index per interior fine cell (prolongation).
+    prolong_src: Vec<u64>,
+    residual_b: IndexedPlan,
+    residual_i: IndexedPlan,
+    smooth: IndexedPlan,
+    restrict: IndexedPlan,
+    prolong: IndexedPlan,
+}
+
+impl LevelAux {
+    fn new(n: u64, coarse_n: Option<u64>) -> Self {
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let i = idx(n, x, y, z);
+                    if x == 0 || y == 0 || z == 0 || x == n - 1 || y == n - 1 || z == n - 1 {
+                        boundary.push(i);
+                    } else {
+                        interior.push(i);
+                    }
+                }
+            }
+        }
+        let mut restrict_src = Vec::new();
+        let mut prolong_src = Vec::new();
+        if let Some(cn) = coarse_n {
+            for z in 0..cn {
+                for y in 0..cn {
+                    for x in 0..cn {
+                        restrict_src.push(idx(n, x * 2, y * 2, z * 2));
+                    }
+                }
+            }
+            for z in 1..n - 1 {
+                for y in 1..n - 1 {
+                    for x in 1..n - 1 {
+                        prolong_src.push(idx(cn, x / 2, y / 2, z / 2));
+                    }
+                }
+            }
+        }
+        LevelAux {
+            interior,
+            boundary,
+            restrict_src,
+            prolong_src,
+            residual_b: IndexedPlan::new(),
+            residual_i: IndexedPlan::new(),
+            smooth: IndexedPlan::new(),
+            restrict: IndexedPlan::new(),
+            prolong: IndexedPlan::new(),
+        }
+    }
+}
+
+/// The 7-point stencil's read columns over `u`, all driven by the
+/// interior-cell index slice: center, ±x, ±y, ±z neighbours.
+fn stencil_cols(u: ArrayF64, n: u64) -> [PlanCol; 7] {
+    let at = |off: i64| PlanCol::f64(u, ColSpec::Index { slice: 0, offset: off });
+    let n = n as i64;
+    [at(0), at(-1), at(1), at(-n), at(n), at(-n * n), at(n * n)]
 }
 
 /// Runs MG. See [`super::run_npb`].
@@ -83,74 +158,104 @@ pub fn run<S: OsSystem>(
         s.st_f64(fine.v, idx(fine.n, 3 * q, 3 * q, 3 * q), -1.0)?;
     }
 
-    let initial = residual_norm(&mut c, fine)?;
+    // Host-side loop structure per level: index slices + plan segments.
+    let mut aux: Vec<LevelAux> = (0..levels.len())
+        .map(|d| LevelAux::new(levels[d].n, levels.get(d + 1).map(|l| l.n)))
+        .collect();
+
+    let initial = residual_norm(&mut c, fine, &mut aux[0])?;
     let mut procedures = 0;
 
     for _ in 0..p.cycles {
         let lv = levels.clone();
-        offload(&mut c, migrate, |c| v_cycle(c, &lv, 0))?;
+        offload(&mut c, migrate, |c| v_cycle(c, &lv, &mut aux, 0))?;
         procedures += 1;
     }
-    let final_norm = residual_norm(&mut c, fine)?;
+    let final_norm = residual_norm(&mut c, fine, &mut aux[0])?;
     c.flush_work()?;
 
     let verified = final_norm.is_finite() && final_norm < initial * 0.6;
     Ok(NpbOutcome { verified, checksum: final_norm, procedures })
 }
 
-/// residual r = v − A u with the 7-point Laplacian, interior cells only.
-fn compute_residual<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Result<(), OsError> {
-    let n = l.n;
+/// residual r = v − A u with the 7-point Laplacian: a boundary-clear
+/// pass, then the interior stencil as an indexed plan segment (the
+/// neighbour offsets ride the interior-cell index slice).
+fn compute_residual<S: OsSystem>(
+    c: &mut MemoryClient<'_, S>,
+    l: Level,
+    aux: &mut LevelAux,
+) -> Result<(), OsError> {
+    let cell = ColSpec::Index { slice: 0, offset: 0 };
     let mut s = c.batch()?;
-    for z in 0..n {
-        for y in 0..n {
-            for x in 0..n {
-                let i = idx(n, x, y, z);
-                if x == 0 || y == 0 || z == 0 || x == n - 1 || y == n - 1 || z == n - 1 {
-                    s.st_f64(l.r, i, 0.0)?;
-                    continue;
-                }
-                let center = s.ld_f64(l.u, i)?;
-                let sum = s.ld_f64(l.u, idx(n, x - 1, y, z))?
-                    + s.ld_f64(l.u, idx(n, x + 1, y, z))?
-                    + s.ld_f64(l.u, idx(n, x, y - 1, z))?
-                    + s.ld_f64(l.u, idx(n, x, y + 1, z))?
-                    + s.ld_f64(l.u, idx(n, x, y, z - 1))?
-                    + s.ld_f64(l.u, idx(n, x, y, z + 1))?;
-                let au = 6.0 * center - sum;
-                let v = s.ld_f64(l.v, i)?;
-                s.st_f64(l.r, i, v - au)?;
-                s.work(16)?;
-            }
-        }
-    }
+    s.plan_map_indexed(
+        &mut aux.residual_b,
+        &[],
+        &[PlanCol::f64(l.r, cell)],
+        &[&aux.boundary],
+        aux.boundary.len() as u64,
+        0,
+        |_, _, wv| wv[0] = 0.0f64.to_bits(),
+    )?;
+    let mut reads: Vec<PlanCol> = stencil_cols(l.u, l.n).to_vec();
+    reads.push(PlanCol::f64(l.v, cell));
+    s.plan_map_indexed(
+        &mut aux.residual_i,
+        &reads,
+        &[PlanCol::f64(l.r, cell)],
+        &[&aux.interior],
+        aux.interior.len() as u64,
+        16,
+        |_, rv, wv| {
+            let center = f64::from_bits(rv[0]);
+            let sum = f64::from_bits(rv[1])
+                + f64::from_bits(rv[2])
+                + f64::from_bits(rv[3])
+                + f64::from_bits(rv[4])
+                + f64::from_bits(rv[5])
+                + f64::from_bits(rv[6]);
+            let au = 6.0 * center - sum;
+            let v = f64::from_bits(rv[7]);
+            wv[0] = (v - au).to_bits();
+        },
+    )?;
     Ok(())
 }
 
-/// Weighted-Jacobi smoothing sweeps.
-fn smooth<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level, sweeps: u32) -> Result<(), OsError> {
-    let n = l.n;
+/// Weighted-Jacobi smoothing sweeps as an indexed plan segment: in-place
+/// over `u`, so each element's neighbour reads see earlier elements'
+/// writes exactly as the scalar sweep would.
+fn smooth<S: OsSystem>(
+    c: &mut MemoryClient<'_, S>,
+    l: Level,
+    aux: &mut LevelAux,
+    sweeps: u32,
+) -> Result<(), OsError> {
     let omega = 0.8;
+    let mut reads: Vec<PlanCol> = stencil_cols(l.u, l.n).to_vec();
+    reads.push(PlanCol::f64(l.v, ColSpec::Index { slice: 0, offset: 0 }));
     let mut s = c.batch()?;
     for _ in 0..sweeps {
-        for z in 1..n - 1 {
-            for y in 1..n - 1 {
-                for x in 1..n - 1 {
-                    let i = idx(n, x, y, z);
-                    let sum = s.ld_f64(l.u, idx(n, x - 1, y, z))?
-                        + s.ld_f64(l.u, idx(n, x + 1, y, z))?
-                        + s.ld_f64(l.u, idx(n, x, y - 1, z))?
-                        + s.ld_f64(l.u, idx(n, x, y + 1, z))?
-                        + s.ld_f64(l.u, idx(n, x, y, z - 1))?
-                        + s.ld_f64(l.u, idx(n, x, y, z + 1))?;
-                    let v = s.ld_f64(l.v, i)?;
-                    let old = s.ld_f64(l.u, i)?;
-                    let jac = (v + sum) / 6.0;
-                    s.st_f64(l.u, i, old + omega * (jac - old))?;
-                    s.work(18)?;
-                }
-            }
-        }
+        s.plan_map_indexed(
+            &mut aux.smooth,
+            &reads,
+            &[PlanCol::f64(l.u, ColSpec::Index { slice: 0, offset: 0 })],
+            &[&aux.interior],
+            aux.interior.len() as u64,
+            18,
+            |_, rv, wv| {
+                let old = f64::from_bits(rv[0]);
+                let sum = f64::from_bits(rv[1])
+                    + f64::from_bits(rv[2])
+                    + f64::from_bits(rv[3])
+                    + f64::from_bits(rv[4])
+                    + f64::from_bits(rv[5])
+                    + f64::from_bits(rv[6]);
+                let v = f64::from_bits(rv[7]);
+                let jac = (v + sum) / 6.0;
+                wv[0] = (old + omega * (jac - old)).to_bits();
+            },
+        )?;
     }
     Ok(())
 }
@@ -159,55 +264,72 @@ fn smooth<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level, sweeps: u32) -> Re
 fn v_cycle<S: OsSystem>(
     c: &mut MemoryClient<'_, S>,
     levels: &[Level],
+    aux: &mut [LevelAux],
     depth: usize,
 ) -> Result<(), OsError> {
     let l = levels[depth];
     if depth + 1 == levels.len() {
         // Coarsest level: solve by heavy smoothing.
-        smooth(c, l, 8)?;
+        smooth(c, l, &mut aux[depth], 8)?;
         return Ok(());
     }
-    smooth(c, l, 2)?;
-    compute_residual(c, l)?;
-    // Restrict r to the coarser grid's v (injection of even cells).
+    smooth(c, l, &mut aux[depth], 2)?;
+    compute_residual(c, l, &mut aux[depth])?;
+    // Restrict r to the coarser grid's v (injection of even cells): the
+    // fine-grid gather indices ride the restriction index slice.
     let coarse = levels[depth + 1];
-    let cn = coarse.n;
     {
+        let a = &mut aux[depth];
         let mut s = c.batch()?;
-        for z in 0..cn {
-            for y in 0..cn {
-                for x in 0..cn {
-                    let r = s.ld_f64(l.r, idx(l.n, x * 2, y * 2, z * 2))?;
-                    s.st_f64(coarse.v, idx(cn, x, y, z), r)?;
-                    s.st_f64(coarse.u, idx(cn, x, y, z), 0.0)?;
-                    s.work(8)?;
-                }
-            }
-        }
+        let dense = ColSpec::Dense { stride: 1, offset: 0 };
+        s.plan_map_indexed(
+            &mut a.restrict,
+            &[PlanCol::f64(l.r, ColSpec::Index { slice: 0, offset: 0 })],
+            &[PlanCol::f64(coarse.v, dense), PlanCol::f64(coarse.u, dense)],
+            &[&a.restrict_src],
+            a.restrict_src.len() as u64,
+            8,
+            |_, rv, wv| {
+                wv[0] = rv[0];
+                wv[1] = 0.0f64.to_bits();
+            },
+        )?;
     }
-    v_cycle(c, levels, depth + 1)?;
-    // Prolongate the coarse correction and add it in.
+    v_cycle(c, levels, aux, depth + 1)?;
+    // Prolongate the coarse correction and add it in: the coarse-cell
+    // gather indices ride their own slice alongside the interior one.
     {
+        let a = &mut aux[depth];
         let mut s = c.batch()?;
-        for z in 1..l.n - 1 {
-            for y in 1..l.n - 1 {
-                for x in 1..l.n - 1 {
-                    let e = s.ld_f64(coarse.u, idx(cn, x / 2, y / 2, z / 2))?;
-                    let i = idx(l.n, x, y, z);
-                    let u = s.ld_f64(l.u, i)?;
-                    s.st_f64(l.u, i, u + e)?;
-                    s.work(8)?;
-                }
-            }
-        }
+        let cell = ColSpec::Index { slice: 0, offset: 0 };
+        s.plan_map_indexed(
+            &mut a.prolong,
+            &[
+                PlanCol::f64(coarse.u, ColSpec::Index { slice: 1, offset: 0 }),
+                PlanCol::f64(l.u, cell),
+            ],
+            &[PlanCol::f64(l.u, cell)],
+            &[&a.interior, &a.prolong_src],
+            a.interior.len() as u64,
+            8,
+            |_, rv, wv| {
+                let e = f64::from_bits(rv[0]);
+                let u = f64::from_bits(rv[1]);
+                wv[0] = (u + e).to_bits();
+            },
+        )?;
     }
-    smooth(c, l, 2)?;
+    smooth(c, l, &mut aux[depth], 2)?;
     Ok(())
 }
 
 /// ‖v − A u‖₂ on the fine grid.
-fn residual_norm<S: OsSystem>(c: &mut MemoryClient<'_, S>, l: Level) -> Result<f64, OsError> {
-    compute_residual(c, l)?;
+fn residual_norm<S: OsSystem>(
+    c: &mut MemoryClient<'_, S>,
+    l: Level,
+    aux: &mut LevelAux,
+) -> Result<f64, OsError> {
+    compute_residual(c, l, aux)?;
     // The norm reduction reads r sequentially — a streaming batch.
     let mut acc = 0.0;
     let mut s = c.batch()?;

@@ -23,13 +23,16 @@ trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 MICRO_JSON="$TMPDIR_BENCH/micro.json"
 SWEEP_JSON="$TMPDIR_BENCH/sweep.json"
 
-echo "==> cargo bench -p stramash-bench --features criterion --bench crit_simulator"
+# Both harnesses run with the explicit-SIMD plan replay enabled — the
+# fastest host configuration, and the one whose numbers the committed
+# baseline records. Simulated results are identical without it.
+echo "==> cargo bench -p stramash-bench --features criterion,simd --bench crit_simulator"
 STRAMASH_BENCH_JSON="$MICRO_JSON" \
-    cargo bench -p stramash-bench --features criterion --bench crit_simulator
+    cargo bench -p stramash-bench --features criterion,simd --bench crit_simulator
 
-echo "==> cargo bench -p stramash-bench --bench sweep_parallel"
+echo "==> cargo bench -p stramash-bench --features simd --bench sweep_parallel"
 STRAMASH_BENCH_JSON="$SWEEP_JSON" \
-    cargo bench -p stramash-bench --bench sweep_parallel
+    cargo bench -p stramash-bench --features simd --bench sweep_parallel
 
 # Merge the two fragments textually (no jq dependency).
 {

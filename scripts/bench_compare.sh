@@ -13,6 +13,11 @@
 #      tolerance (still advisory, but distinguishable so CI can badge
 #      "the optimisation itself eroded" separately from generic noise)
 #
+# Fields present in only one of baseline/fresh (harness growth vs an
+# old baseline) are noted and skipped, never an error. Parallel-speedup
+# checks are skipped when either side ran on a single core (the
+# `host_cores` JSON field; absent means 1).
+#
 # Usage: scripts/bench_compare.sh [fresh.json] [baseline.json]
 # Env:   STRAMASH_BENCH_TOLERANCE — relative slack, default 0.25 (25 %).
 set -u
@@ -40,6 +45,9 @@ try:
 except json.JSONDecodeError as e:
     print(f"::warning::bench_compare: malformed JSON input: {e} — comparison skipped")
     sys.exit(4)
+if not isinstance(fresh, dict) or not isinstance(base, dict):
+    print("::warning::bench_compare: input is not a JSON object — comparison skipped")
+    sys.exit(4)
 tol = float(sys.argv[3])
 
 
@@ -57,19 +65,39 @@ def flatten(d, prefix=""):
 f, b = flatten(fresh), flatten(base)
 # Most metrics are times (lower is better); these are the exceptions.
 HIGHER_IS_BETTER = ("speedup", "accesses_per_sec")
-SKIP = ("workers", "configs")  # machine shape, not performance
+# Machine shape, not performance.
+SKIP = ("workers", "configs", "host_cores", "wide_replay")
 # Speedup metrics that track the headline optimisations: a drop here
 # means the optimisation itself eroded, not just runner noise, so it
 # gets its own advisory exit code (5).
 HEADLINE = ("endtoend", "parallel")
+
+# Parallel speedups only mean anything on a multi-core host. Either
+# side reporting (or, for old baselines predating the field, implying)
+# a single core makes a ~1.0x reading correct behaviour, not a
+# regression — skip those comparisons rather than flag them.
+def cores(d):
+    return int(d.get("host_cores", 1))
+
+multicore = cores(fresh) >= 2 and cores(base) >= 2
+
 warned = 0
 headline_regressed = 0
-for key in sorted(b):
+one_sided = sorted(set(b) ^ set(f))
+for key in one_sided:
+    # Fields present on only one side (new metrics vs an old baseline,
+    # or vice versa) are expected across harness growth: note them,
+    # but they are neither a malformed input nor a regression.
+    side = "fresh results" if key in b else "baseline"
+    print(f"bench_compare: note: {key} missing from {side} — skipped")
+for key in sorted(set(b) & set(f)):
     if any(s in key for s in SKIP):
         continue
-    if key not in f:
-        print(f"::warning::bench_compare: {key} missing from fresh results")
-        warned += 1
+    if "parallel" in key and "speedup" in key and not multicore:
+        print(
+            f"bench_compare: note: {key} skipped — "
+            f"single-core host ({cores(fresh)} fresh / {cores(base)} baseline core(s))"
+        )
         continue
     old, new = b[key], f[key]
     if old == 0:

@@ -31,7 +31,7 @@ fn usage() -> ExitCode {
   stramash-cli npb <is|cg|mg|ft|ep> [--system <vanilla|popcorn-tcp|popcorn-shm|stramash>]
                                     [--model <separated|shared|fully-shared>]
                                     [--class <tiny|small|large>] [--report]
-  stramash-cli sweep <is|cg|mg|ft|ep> [--class <tiny|small|large>]
+  stramash-cli sweep <is|cg|mg|ft|ep> [--class <tiny|small|large>] [--parallel]
   stramash-cli kv <get|set|lpush|rpush|lpop|rpop|sadd|mset> [--requests N]
   stramash-cli ipi
   stramash-cli trace <is|cg|mg|ft|ep> [--system <...>] [--model <...>] [--class <...>]
@@ -147,6 +147,10 @@ fn cmd_npb(args: &[String]) -> ExitCode {
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {
+    use stramash_repro::bench::{host_cores, parallel_map_nested};
+    use stramash_repro::sim::WideReplay;
+    use stramash_repro::workloads::driver::run_benchmark_with_policy;
+
     let Some(kind) = args.first().and_then(|a| parse_kind(a)) else {
         return usage();
     };
@@ -155,13 +159,32 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         Some("large") => Class::Large,
         _ => Class::Tiny,
     };
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let configs = Configuration::figure9_set();
+    let reports: Vec<_> = if parallel {
+        // Nested parallelism: configs fan out across the sweep pool
+        // (STRAMASH_SWEEP_WORKERS) while each config runs with the inner
+        // epoch policy from the deterministic core-budget split — wide
+        // boundary replay only on cores the fan-out left spare. Reports
+        // are identical to the serial sweep's, in the same order.
+        let (reports, workers, wide) = parallel_map_nested(configs.clone(), |c, policy| {
+            run_benchmark_with_policy(c, kind, class, Some(policy)).expect("run")
+        });
+        println!(
+            "nested sweep: {workers} worker(s) × {} inner replay on {} host core(s)",
+            if wide == WideReplay::Force { "wide" } else { "serial" },
+            host_cores()
+        );
+        reports
+    } else {
+        configs.iter().map(|&c| run_benchmark(c, kind, class).expect("run")).collect()
+    };
     let mut baseline = None;
-    for config in Configuration::figure9_set() {
-        let report = run_benchmark(config, kind, class).expect("run");
+    for report in &reports {
         let base = *baseline.get_or_insert(report.runtime);
         println!(
             "{:<22} {:>14} cycles  {:>6.3}x vanilla  msgs {:>6}  repl {:>5}",
-            config.label(),
+            report.config.label(),
             report.runtime.raw(),
             report.normalized_to(base),
             report.messages,

@@ -7,6 +7,7 @@
 
 pub use popcorn_os as popcorn;
 pub use stramash as fused;
+pub use stramash_bench as bench;
 pub use stramash_isa as isa;
 pub use stramash_kernel as kernel;
 pub use stramash_mem as mem;

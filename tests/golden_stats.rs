@@ -19,6 +19,7 @@
 
 use stramash_repro::kernel::system::OsSystem;
 use stramash_repro::prelude::*;
+use stramash_repro::sim::{EpochPolicy, WideReplay};
 use stramash_repro::workloads::kvstore::{run_kv, KvOp};
 use stramash_repro::workloads::npb::{run_npb, Class, NpbKind};
 use stramash_repro::workloads::target::{SystemKind, TargetSystem};
@@ -42,7 +43,24 @@ struct Fingerprint {
 
 /// Runs the fixed workload on a fresh system and captures the stats.
 fn fingerprint(kind: SystemKind, fast_paths: bool, batching: bool) -> Fingerprint {
+    fingerprint_epochs(kind, fast_paths, batching, false)
+}
+
+/// As [`fingerprint`], optionally forcing wide epoch-parallel replay
+/// (otherwise the policy is pinned off, regardless of the process
+/// environment).
+fn fingerprint_epochs(
+    kind: SystemKind,
+    fast_paths: bool,
+    batching: bool,
+    forced_wide_epochs: bool,
+) -> Fingerprint {
     let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
+    sys.base_mut().set_epoch_policy(if forced_wide_epochs {
+        EpochPolicy { enabled: true, min_lane_entries: 64, wide: WideReplay::Force }
+    } else {
+        EpochPolicy::default()
+    });
     sys.base_mut().mem.set_fast_paths(fast_paths);
     sys.base_mut().set_batching(batching);
     let pid = sys.spawn(DomainId::X86).unwrap();
@@ -152,6 +170,24 @@ fn batched_path_is_cycle_identical_to_scalar() {
         assert_eq!(batched, scalar, "{kind}: batching must be cycle-identical to scalar ops");
         let scalar_ref = fingerprint(kind, false, false);
         assert_eq!(batched, scalar_ref, "{kind}: batching must match the scalar reference path");
+    }
+}
+
+#[test]
+fn plan_segments_under_forced_wide_epochs_match_goldens() {
+    // The IS ranking loops now run as data-dependent plan segments
+    // (`plan_map_indexed`); stacking forced-wide epoch replay on top of
+    // them — and on top of the reference memory paths — must still
+    // reproduce the exact golden record, cycle for cycle.
+    for kind in SystemKind::ALL {
+        let wide = fingerprint_epochs(kind, true, true, true);
+        assert_eq!(wide, golden(kind), "{kind}: forced-wide epochs drifted from the goldens");
+        let wide_slow = fingerprint_epochs(kind, false, true, true);
+        assert_eq!(
+            wide_slow,
+            golden(kind),
+            "{kind}: forced-wide epochs over reference paths drifted from the goldens"
+        );
     }
 }
 

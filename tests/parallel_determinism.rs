@@ -25,12 +25,14 @@
 
 use stramash_repro::kernel::system::OsSystem;
 use stramash_repro::prelude::*;
-use stramash_repro::sim::trace::{shared_tracer, TraceEvent};
+use stramash_repro::sim::rng::SimRng;
+use stramash_repro::sim::trace::{shared_tracer, EventClass, TraceEvent};
 use stramash_repro::sim::{EpochPolicy, FaultPlan, WideReplay};
 use stramash_repro::workloads::kvstore::{run_kv, KvOp};
 use stramash_repro::workloads::npb::{run_npb, Class, NpbKind};
 use stramash_repro::workloads::pair::{PairConfig, PairOutcome, PairRun};
 use stramash_repro::workloads::target::{SystemKind, TargetSystem};
+use stramash_repro::workloads::{ColSpec, IndexedPlan, MemoryClient, PlanCol};
 
 /// Lossless ring for the fixed workload.
 const RING_CAPACITY: usize = 1 << 20;
@@ -171,6 +173,211 @@ fn pair_workload_epoch_parallel_is_bit_identical_and_goes_wide() {
                 par.parallel_epochs > 0,
                 "{kind}: lanes were long and disjoint; replay must go wide ({} entries)",
                 par.epoch_entries,
+            );
+        }
+    }
+}
+
+/// How a run drives the client pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Batching off: the scalar per-access loop plan segments must
+    /// reproduce exactly.
+    Scalar,
+    /// Data-dependent plan segments (the default pipeline).
+    Batched,
+    /// Plan segments over the reference (fast-paths-off) memory model.
+    BatchedSlowMem,
+    /// Plan segments under forced-wide epoch replay
+    /// (`STRAMASH_EPOCH_PARALLEL=1`'s strongest setting).
+    BatchedWideEpochs,
+}
+
+/// One randomized indexed gather/scatter workload: per domain, a
+/// value-dependent histogram (the bucket target is the loaded key) and
+/// two gathers through the *same* compiled plan with different index
+/// slices — the recompute-per-call property that distinguishes
+/// data-dependent segments from dense plans. Both domains run inside
+/// one epoch per pass so the wide mode has two lanes to replay.
+fn indexed_case(
+    kind: SystemKind,
+    mode: Mode,
+    seed: u64,
+) -> (Fingerprint, Vec<TraceEvent>) {
+    let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
+    // Pin the policy regardless of the process environment.
+    sys.base_mut().set_epoch_policy(match mode {
+        Mode::BatchedWideEpochs => forced(),
+        _ => EpochPolicy::default(),
+    });
+    if mode == Mode::Scalar {
+        sys.base_mut().set_batching(false);
+    }
+    if mode == Mode::BatchedSlowMem {
+        sys.base_mut().mem.set_fast_paths(false);
+    }
+    let tracer = shared_tracer(RING_CAPACITY);
+    sys.install_tracer(tracer.clone());
+
+    let mut rng = SimRng::new(seed);
+    let elems = 300 + rng.gen_range(300);
+    let buckets = 24 + rng.gen_range(40);
+    let keys_data: Vec<u64> = (0..elems).map(|_| rng.gen_range(buckets)).collect();
+    let idx_a: Vec<u64> = (0..elems).map(|_| rng.gen_range(buckets)).collect();
+    let idx_b: Vec<u64> = (0..elems).map(|_| rng.gen_range(buckets)).collect();
+
+    let dense = ColSpec::Dense { stride: 1, offset: 0 };
+    let bucket = ColSpec::Value { col: 0, offset: 0 };
+    let gather = ColSpec::Index { slice: 0, offset: 0 };
+    let mut checksum = 0u64;
+
+    struct Lane {
+        pid: stramash_repro::kernel::process::Pid,
+        keys: stramash_repro::workloads::ArrayU64,
+        hist: stramash_repro::workloads::ArrayU64,
+        out: stramash_repro::workloads::ArrayU64,
+        hist_plan: IndexedPlan,
+        gather_plan: IndexedPlan,
+    }
+    let mut lanes = Vec::new();
+    for d in DomainId::ALL {
+        let pid = sys.spawn(d).unwrap();
+        let mut c = MemoryClient::new(&mut sys, pid);
+        let keys = c.alloc_u64(elems).unwrap();
+        let hist = c.alloc_u64(buckets).unwrap();
+        let out = c.alloc_u64(elems).unwrap();
+        {
+            let mut s = c.batch().unwrap();
+            for (i, &k) in keys_data.iter().enumerate() {
+                s.st_u64(keys, i as u64, k).unwrap();
+            }
+            s.fill_u64(hist, 0, buckets, 0, 2).unwrap();
+        }
+        lanes.push(Lane {
+            pid,
+            keys,
+            hist,
+            out,
+            hist_plan: IndexedPlan::new(),
+            gather_plan: IndexedPlan::new(),
+        });
+    }
+    for pass in 0..2 {
+        // One epoch spans both domains' segments, so the forced-wide
+        // mode replays two real lanes at the boundary.
+        let opened = sys.epoch_open();
+        for lane in &mut lanes {
+            let mut c = MemoryClient::new(&mut sys, lane.pid);
+            {
+                let mut s = c.batch().unwrap();
+                s.plan_map_indexed(
+                    &mut lane.hist_plan,
+                    &[PlanCol::u64(lane.keys, dense), PlanCol::u64(lane.hist, bucket)],
+                    &[PlanCol::u64(lane.hist, bucket)],
+                    &[],
+                    elems,
+                    6,
+                    |_, rv, wv| wv[0] = rv[1] + 1,
+                )
+                .unwrap();
+                // Same compiled plan, different index slice per pass.
+                let idx: &[u64] = if pass == 0 { &idx_a } else { &idx_b };
+                s.plan_map_indexed(
+                    &mut lane.gather_plan,
+                    &[PlanCol::u64(lane.hist, gather)],
+                    &[PlanCol::u64(lane.out, dense)],
+                    &[idx],
+                    elems,
+                    4,
+                    |i, rv, wv| {
+                        wv[0] = rv[0];
+                        checksum = checksum.wrapping_mul(1_000_003).wrapping_add(rv[0] ^ i);
+                    },
+                )
+                .unwrap();
+            }
+            c.flush_work().unwrap();
+        }
+        if opened {
+            sys.epoch_close();
+        }
+    }
+    let fp = capture(&sys, checksum);
+    let t = tracer.borrow();
+    assert_eq!(t.dropped(), 0, "{kind}: the ring must be lossless for this workload");
+    (fp, t.events())
+}
+
+/// Per-domain `(retired instructions, charged cycles)` totals — what
+/// the `Accounting` event class must conserve when batching coalesces
+/// `Charge`/`Retire` funnels.
+fn accounting_totals(events: &[TraceEvent]) -> ([u64; 2], [u64; 2]) {
+    let mut insns = [0u64; 2];
+    let mut charged = [0u64; 2];
+    for ev in events {
+        match *ev {
+            TraceEvent::Retire { domain, insns: n } => insns[domain.index()] += n,
+            TraceEvent::Charge { domain, cost } => charged[domain.index()] += cost.raw(),
+            _ => {}
+        }
+    }
+    (insns, charged)
+}
+
+/// Property: for randomized key/index distributions, data-dependent
+/// plan segments are cycle- and trace-identical to the scalar
+/// per-access loop — with the tracer on, over the reference memory
+/// paths, and under forced-wide epoch replay. Seeds are fixed so any
+/// failure replays exactly.
+#[test]
+fn indexed_plan_segments_match_scalar_for_random_cases() {
+    for kind in SystemKind::ALL {
+        for seed in [0x1d0_5eed, 0x2d0_5eed, 0x3d0_5eed] {
+            let (scalar_fp, scalar_ev) = indexed_case(kind, Mode::Scalar, seed);
+            let (batched_fp, batched_ev) = indexed_case(kind, Mode::Batched, seed);
+            assert_eq!(
+                scalar_fp, batched_fp,
+                "{kind}/{seed:#x}: plan segments drifted from the scalar loop"
+            );
+            // Batching may coalesce Charge/Retire funnels; every other
+            // event class must match the scalar stream exactly, and the
+            // accounting totals must be conserved.
+            for class in EventClass::ALL {
+                if class == EventClass::Accounting {
+                    continue;
+                }
+                let lhs: Vec<_> =
+                    batched_ev.iter().copied().filter(|e| e.class() == class).collect();
+                let rhs: Vec<_> =
+                    scalar_ev.iter().copied().filter(|e| e.class() == class).collect();
+                assert_streams_identical(
+                    &lhs,
+                    &rhs,
+                    &format!("{kind}/{seed:#x}: segments vs scalar, {class:?}"),
+                );
+            }
+            assert_eq!(
+                accounting_totals(&batched_ev),
+                accounting_totals(&scalar_ev),
+                "{kind}/{seed:#x}: accounting totals drifted"
+            );
+
+            // The remaining host modes keep the batched pipeline, so
+            // their full streams — accounting included — must be
+            // bit-identical to the batched run.
+            let (slow_fp, slow_ev) = indexed_case(kind, Mode::BatchedSlowMem, seed);
+            assert_eq!(batched_fp, slow_fp, "{kind}/{seed:#x}: reference paths drifted");
+            assert_streams_identical(
+                &batched_ev,
+                &slow_ev,
+                &format!("{kind}/{seed:#x}: fast vs reference paths"),
+            );
+            let (wide_fp, wide_ev) = indexed_case(kind, Mode::BatchedWideEpochs, seed);
+            assert_eq!(batched_fp, wide_fp, "{kind}/{seed:#x}: forced-wide epochs drifted");
+            assert_streams_identical(
+                &batched_ev,
+                &wide_ev,
+                &format!("{kind}/{seed:#x}: epochs off vs forced-wide"),
             );
         }
     }
