@@ -1,0 +1,150 @@
+//! KV serving — throughput and tail latency vs offered load (§9.2.8
+//! extended to an open-loop, event-driven serving scenario).
+//!
+//! A sharded KV store served by workers on both ISA domains handles a
+//! deterministic open-loop schedule (seeded Poisson arrivals, Zipfian
+//! key popularity) multiplexed over `kernel::msg` streams. Each offered
+//! load is run once per OS design; the table shows achieved throughput
+//! and p50/p99 request latency. Popcorn-TCP saturates at the top load
+//! while SHM messaging and the fused kernel keep up — the p99 headline
+//! is the fused kernel's tail-latency advantage over Popcorn-TCP at
+//! that load.
+//!
+//! Set `STRAMASH_BENCH_JSON=<path>` to also emit the results as a flat
+//! JSON object (`scripts/bench.sh` merges it into
+//! `BENCH_simulator.json`).
+
+use stramash_bench::{banner, render_table};
+use stramash_sim::HardwareModel;
+use stramash_workloads::serve::{run_serve_curve, ServeConfig, ServeResult};
+use stramash_workloads::target::SystemKind;
+
+const LOADS: [f64; 3] = [2.0, 10.0, 40.0];
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        requests: 1_500,
+        keyspace: 400,
+        workers: 4,
+        connections: 32,
+        window: 8,
+        ..ServeConfig::default()
+    }
+}
+
+fn kind_slug(kind: SystemKind) -> &'static str {
+    match kind {
+        SystemKind::Vanilla => "vanilla",
+        SystemKind::PopcornTcp => "popcorn_tcp",
+        SystemKind::PopcornShm => "popcorn_shm",
+        SystemKind::Stramash => "stramash",
+    }
+}
+
+fn main() {
+    banner("KV serving — throughput / tail latency vs offered load");
+    let base = cfg();
+    let kinds = [
+        SystemKind::Stramash,
+        SystemKind::PopcornShm,
+        SystemKind::PopcornTcp,
+        SystemKind::Vanilla,
+    ];
+
+    let mut rows = Vec::new();
+    let mut curves: Vec<(SystemKind, Vec<ServeResult>)> = Vec::new();
+    for kind in kinds {
+        let curve =
+            run_serve_curve(kind, HardwareModel::Shared, &base, &LOADS).expect("serve curve");
+        for r in &curve {
+            rows.push(vec![
+                kind.to_string(),
+                format!("{:.1}", r.offered_load),
+                format!("{:.2}", r.throughput),
+                format!("{}", r.p50()),
+                format!("{}", r.p99()),
+                format!("{}", r.window_stalls),
+            ]);
+        }
+        curves.push((kind, curve));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["system", "offered (req/Mcyc)", "achieved", "p50 (cyc)", "p99 (cyc)", "stalls"],
+            &rows,
+        )
+    );
+
+    // At each load point every design must have served the identical
+    // schedule, and a re-run of one point must be byte-identical (the
+    // determinism contract).
+    for (i, _) in LOADS.iter().enumerate() {
+        let sched = curves[0].1[i].schedule_fingerprint;
+        for (kind, curve) in &curves {
+            assert_eq!(
+                curve[i].schedule_fingerprint, sched,
+                "{kind}: schedule fingerprint diverged at load {}",
+                LOADS[i]
+            );
+        }
+    }
+    let sched = curves[0].1[LOADS.len() - 1].schedule_fingerprint;
+    let replay = run_serve_curve(SystemKind::Stramash, HardwareModel::Shared, &base, &[LOADS[2]])
+        .expect("replay");
+    assert_eq!(
+        replay[0].fingerprint, curves[0].1[2].fingerprint,
+        "Stramash top-load run must replay byte-identically"
+    );
+
+    let at = |kind: SystemKind, i: usize| -> &ServeResult {
+        &curves.iter().find(|(k, _)| *k == kind).expect("kind").1[i]
+    };
+    let top = LOADS.len() - 1;
+    let fused = at(SystemKind::Stramash, top);
+    let tcp = at(SystemKind::PopcornTcp, top);
+    let p99_speedup = tcp.p99() as f64 / fused.p99() as f64;
+    let tput_speedup = fused.throughput / tcp.throughput;
+    assert!(
+        p99_speedup > 2.0,
+        "fused p99 must clearly beat TCP at the top load: {p99_speedup:.2}x"
+    );
+    assert!(
+        tput_speedup > 1.1,
+        "fused must out-serve TCP at the top load: {tput_speedup:.2}x"
+    );
+    println!(
+        "\nheadline @ load {:.0}: fused p99 {:.2}x better, throughput {:.2}x vs Popcorn-TCP",
+        LOADS[top], p99_speedup, tput_speedup
+    );
+
+    if let Ok(path) = std::env::var("STRAMASH_BENCH_JSON") {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"requests\": {},\n", base.requests));
+        json.push_str(&format!("  \"workers\": {},\n", base.workers));
+        json.push_str(&format!(
+            "  \"schedule_fingerprint\": \"{sched:#018x}\",\n"
+        ));
+        for (kind, curve) in &curves {
+            let slug = kind_slug(*kind);
+            for r in curve {
+                let l = r.offered_load as u64;
+                json.push_str(&format!(
+                    "  \"kvserve_{slug}_l{l}_throughput\": {:.3},\n",
+                    r.throughput
+                ));
+                json.push_str(&format!("  \"kvserve_{slug}_l{l}_p50\": {},\n", r.p50()));
+                json.push_str(&format!("  \"kvserve_{slug}_l{l}_p99\": {},\n", r.p99()));
+            }
+        }
+        json.push_str(&format!(
+            "  \"kvserve_fused_over_tcp_p99_speedup\": {p99_speedup:.3},\n"
+        ));
+        json.push_str(&format!(
+            "  \"kvserve_fused_over_tcp_throughput_speedup\": {tput_speedup:.3}\n"
+        ));
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

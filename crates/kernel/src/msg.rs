@@ -48,6 +48,21 @@ pub enum MsgError {
         /// The largest message the ring can carry.
         max: u64,
     },
+    /// A stream operation named a stream that was never opened (or was
+    /// closed).
+    UnknownStream {
+        /// The offending stream id.
+        id: u32,
+    },
+    /// A request send on a stream whose credit window is exhausted: the
+    /// initiator already has `window` unanswered requests in flight and
+    /// must wait for a response before issuing another.
+    StreamWindowFull {
+        /// The stream id.
+        id: u32,
+        /// The configured credit window.
+        window: u32,
+    },
 }
 
 impl fmt::Display for MsgError {
@@ -59,6 +74,12 @@ impl fmt::Display for MsgError {
             }
             MsgError::Oversized { bytes, max } => {
                 write!(f, "{bytes} B message exceeds the {max} B ring capacity")
+            }
+            MsgError::UnknownStream { id } => {
+                write!(f, "stream {id} is not open")
+            }
+            MsgError::StreamWindowFull { id, window } => {
+                write!(f, "stream {id} has all {window} window credits in flight")
             }
         }
     }
@@ -288,6 +309,61 @@ impl MsgCounters {
     }
 }
 
+/// Identifier of one multiplexed logical connection over the shared
+/// kernel-pair rings (see [`MessagingLayer::open_stream`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u32);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// Per-stream bookkeeping. Streams are *logical* connections — every
+/// byte still travels through the two physical rings (or the TCP RTT
+/// model) and is charged there; the mux adds request/response credit
+/// flow control and per-connection accounting on top, without touching
+/// the wire model. Stream state is run-scoped (reset by checkpoint
+/// restore and quarantine) and never feeds back into simulated timing
+/// except through the explicit window check in
+/// [`MessagingLayer::stream_send`].
+#[derive(Debug, Clone)]
+struct StreamState {
+    /// The domain that opened the connection (requests flow
+    /// initiator → peer, responses peer → initiator).
+    initiator: DomainId,
+    /// Max unanswered requests the initiator may have outstanding.
+    window: u32,
+    /// Requests sent but not yet answered.
+    in_flight: u32,
+    /// Logical messages sent in each direction [initiator, peer].
+    sent: [u64; 2],
+    /// Wire bytes (header + payload) in each direction.
+    bytes: [u64; 2],
+    /// Request sends refused because the window was exhausted.
+    window_stalls: u64,
+}
+
+/// Read-only snapshot of one stream's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// The domain that opened the connection.
+    pub initiator: DomainId,
+    /// Configured credit window.
+    pub window: u32,
+    /// Requests currently unanswered.
+    pub in_flight: u32,
+    /// Requests the initiator has sent.
+    pub requests: u64,
+    /// Responses the peer has sent back.
+    pub responses: u64,
+    /// Total wire bytes both ways.
+    pub bytes: u64,
+    /// Request sends refused on a full window.
+    pub window_stalls: u64,
+}
+
 /// The messaging layer of a kernel pair.
 ///
 /// # Examples
@@ -335,6 +411,13 @@ pub struct MessagingLayer {
     counters: MsgCounters,
     injector: Option<SharedFaultInjector>,
     tracer: Option<SharedTracer>,
+    /// Open multiplexed connections, keyed by id. Run-scoped: not
+    /// checkpointed (restore clears it) — streams carry flow-control
+    /// and accounting for serving workloads, not simulated machine
+    /// state.
+    streams: BTreeMap<u32, StreamState>,
+    /// Next stream id to hand out.
+    next_stream: u32,
 }
 
 impl MessagingLayer {
@@ -374,6 +457,8 @@ impl MessagingLayer {
             counters: MsgCounters::default(),
             injector: None,
             tracer: None,
+            streams: BTreeMap::new(),
+            next_stream: 0,
         })
     }
 
@@ -446,6 +531,153 @@ impl MessagingLayer {
         self.outstanding[0] + self.outstanding[1]
     }
 
+    /// Opens a multiplexed logical connection initiated by `initiator`
+    /// with a credit window of `window` unanswered requests (minimum 1).
+    ///
+    /// Streams let a serving workload carry thousands of client
+    /// connections over the one physical ring pair: each stream gets
+    /// request/response flow control and its own accounting, while the
+    /// wire costs stay exactly those of [`MessagingLayer::send`] /
+    /// [`MessagingLayer::receive`] — opening a stream consumes no
+    /// simulated cycles and no RNG.
+    pub fn open_stream(&mut self, initiator: DomainId, window: u32) -> StreamId {
+        let id = self.next_stream;
+        self.next_stream += 1;
+        self.streams.insert(
+            id,
+            StreamState {
+                initiator,
+                window: window.max(1),
+                in_flight: 0,
+                sent: [0, 0],
+                bytes: [0, 0],
+                window_stalls: 0,
+            },
+        );
+        StreamId(id)
+    }
+
+    /// Closes a stream, returning its final accounting (`None` if it
+    /// was never open).
+    pub fn close_stream(&mut self, id: StreamId) -> Option<StreamStats> {
+        let stats = self.stream_stats(id);
+        self.streams.remove(&id.0);
+        stats
+    }
+
+    /// Number of currently open streams.
+    #[must_use]
+    pub fn streams_open(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Accounting snapshot for one stream.
+    #[must_use]
+    pub fn stream_stats(&self, id: StreamId) -> Option<StreamStats> {
+        self.streams.get(&id.0).map(|s| StreamStats {
+            initiator: s.initiator,
+            window: s.window,
+            in_flight: s.in_flight,
+            requests: s.sent[0],
+            responses: s.sent[1],
+            bytes: s.bytes[0] + s.bytes[1],
+            window_stalls: s.window_stalls,
+        })
+    }
+
+    /// Sends a *request* on a stream from its initiator, consuming one
+    /// window credit. The wire behavior (ring write + IPI or TCP RTT,
+    /// backpressure, fault retransmission) is exactly
+    /// [`MessagingLayer::send`]. Roles are explicit — request vs
+    /// response is a property of the call, never inferred from domains,
+    /// because non-migrating designs legitimately serve from the same
+    /// domain the client lives on.
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::UnknownStream`] for a closed/unopened stream;
+    /// [`MsgError::StreamWindowFull`] when the credit window is
+    /// exhausted — the stall is counted in [`StreamStats`] and the
+    /// caller decides how to back off (open-loop generators keep
+    /// queueing, closed-loop clients block).
+    pub fn stream_request(
+        &mut self,
+        mem: &mut MemorySystem,
+        ipi: &mut IpiFabric,
+        id: StreamId,
+        msg: Message,
+    ) -> Result<Cycles, MsgError> {
+        let s = self.streams.get_mut(&id.0).ok_or(MsgError::UnknownStream { id: id.0 })?;
+        if s.in_flight >= s.window {
+            s.window_stalls += 1;
+            return Err(MsgError::StreamWindowFull { id: id.0, window: s.window });
+        }
+        s.in_flight += 1;
+        s.sent[0] += 1;
+        s.bytes[0] += u64::from(MSG_HEADER_BYTES) + u64::from(msg.payload);
+        let from = s.initiator;
+        Ok(self.send(mem, ipi, from, msg))
+    }
+
+    /// Responder-side receive of a request addressed to `to` (the
+    /// domain currently serving this stream). Wire behavior is exactly
+    /// [`MessagingLayer::receive`]; no credit changes hands.
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::UnknownStream`] for a closed/unopened stream.
+    pub fn stream_serve_receive(
+        &mut self,
+        mem: &mut MemorySystem,
+        id: StreamId,
+        to: DomainId,
+        msg: Message,
+    ) -> Result<Cycles, MsgError> {
+        if !self.streams.contains_key(&id.0) {
+            return Err(MsgError::UnknownStream { id: id.0 });
+        }
+        Ok(self.receive(mem, to, msg))
+    }
+
+    /// Sends a *response* on a stream from the responder's domain
+    /// (`from` — explicit because shard workers live on either kernel).
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::UnknownStream`] for a closed/unopened stream.
+    pub fn stream_respond(
+        &mut self,
+        mem: &mut MemorySystem,
+        ipi: &mut IpiFabric,
+        id: StreamId,
+        from: DomainId,
+        msg: Message,
+    ) -> Result<Cycles, MsgError> {
+        let s = self.streams.get_mut(&id.0).ok_or(MsgError::UnknownStream { id: id.0 })?;
+        s.sent[1] += 1;
+        s.bytes[1] += u64::from(MSG_HEADER_BYTES) + u64::from(msg.payload);
+        Ok(self.send(mem, ipi, from, msg))
+    }
+
+    /// Initiator-side receive of a response, returning its window
+    /// credit. Wire behavior is exactly [`MessagingLayer::receive`]
+    /// addressed to the initiator's domain.
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::UnknownStream`] for a closed/unopened stream.
+    pub fn stream_consume(
+        &mut self,
+        mem: &mut MemorySystem,
+        id: StreamId,
+        msg: Message,
+    ) -> Result<Cycles, MsgError> {
+        let s = self.streams.get_mut(&id.0).ok_or(MsgError::UnknownStream { id: id.0 })?;
+        s.in_flight = s.in_flight.saturating_sub(1);
+        let to = s.initiator;
+        Ok(self.receive(mem, to, msg))
+    }
+
     /// Checks the layer's internal invariants, returning one line per
     /// violation (empty = clean). Run by the system auditors after every
     /// fault-injection round.
@@ -464,6 +696,20 @@ impl MessagingLayer {
                 violations.push(format!(
                     "outstanding bytes for {d:?} at {} exceed ring length {} (overflow)",
                     self.outstanding[i], self.ring_len
+                ));
+            }
+        }
+        for (&id, s) in &self.streams {
+            if s.in_flight > s.window {
+                violations.push(format!(
+                    "stream {id} has {} requests in flight over its window of {}",
+                    s.in_flight, s.window
+                ));
+            }
+            if s.sent[1] > s.sent[0] {
+                violations.push(format!(
+                    "stream {id} recorded {} responses for only {} requests",
+                    s.sent[1], s.sent[0]
                 ));
             }
         }
@@ -788,6 +1034,12 @@ impl MessagingLayer {
         let dropped = self.outstanding[di];
         self.outstanding[di] = 0;
         self.cursor[di] = 0;
+        // In-flight requests on every stream died with the rings; the
+        // accounting survives for post-mortem, but credits come back so
+        // a recovered peer can serve again.
+        for s in self.streams.values_mut() {
+            s.in_flight = 0;
+        }
         dropped
     }
 
@@ -851,6 +1103,11 @@ impl MessagingLayer {
         self.counters.timeouts = pair(d.u64s()?)?;
         self.counters.dup_delivered = pair(d.u64s()?)?;
         self.counters.backpressure_stalls = pair(d.u64s()?)?;
+        // Streams are run-scoped serving state, deliberately outside the
+        // checkpoint format: a restored machine starts with no logical
+        // connections, exactly like a rebooted kernel pair.
+        self.streams.clear();
+        self.next_stream = 0;
         Ok(())
     }
 }
@@ -1183,5 +1440,84 @@ mod tests {
         // half-RTT (lost) + one-RTT timeout + half-RTT retransmit.
         assert_eq!(c.raw(), 157_500 / 2 + 157_500 + 157_500 / 2);
         assert_eq!(ml.counters().retransmits(), 1);
+    }
+
+    #[test]
+    fn streams_multiplex_and_cost_like_raw_sends() {
+        let (mut mem, mut ipi, mut ml) = setup(
+            HardwareModel::Shared,
+            Transport::Shm { notify: NotifyMode::Interrupt },
+        );
+        let s = ml.open_stream(DomainId::X86, 4);
+        // A request on a stream charges exactly what the raw send does.
+        let req = Message { ty: MsgType::KvRequest, payload: 64 };
+        let on_stream = ml.stream_request(&mut mem, &mut ipi, s, req).unwrap();
+        let raw = ml.send(&mut mem, &mut ipi, DomainId::X86, req);
+        assert_eq!(on_stream, raw, "mux must not perturb wire costs");
+        let st = ml.stream_stats(s).unwrap();
+        assert_eq!(st.in_flight, 1);
+        assert_eq!(st.requests, 1);
+        // The server picks it up, responds, and the initiator's consume
+        // returns the credit.
+        ml.stream_serve_receive(&mut mem, s, DomainId::ARM, req).unwrap();
+        let resp = Message { ty: MsgType::KvResponse, payload: 128 };
+        ml.stream_respond(&mut mem, &mut ipi, s, DomainId::ARM, resp).unwrap();
+        ml.stream_consume(&mut mem, s, resp).unwrap();
+        let st = ml.stream_stats(s).unwrap();
+        assert_eq!(st.in_flight, 0);
+        assert_eq!(st.responses, 1);
+        assert!(st.bytes > 0);
+        assert!(ml.audit().is_empty());
+        assert_eq!(ml.close_stream(s).unwrap().requests, 1);
+        assert_eq!(ml.streams_open(), 0);
+        assert!(matches!(
+            ml.stream_request(&mut mem, &mut ipi, s, req),
+            Err(MsgError::UnknownStream { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_roles_are_explicit_not_domain_inferred() {
+        // A non-migrating design serves from the client's own domain;
+        // a response sent from that domain must still count as a
+        // response, not consume a fresh request credit.
+        let (mut mem, mut ipi, mut ml) = setup(
+            HardwareModel::Shared,
+            Transport::Shm { notify: NotifyMode::Interrupt },
+        );
+        let s = ml.open_stream(DomainId::X86, 1);
+        let req = Message::control(MsgType::KvRequest);
+        ml.stream_request(&mut mem, &mut ipi, s, req).unwrap();
+        // Same-domain responder.
+        ml.stream_serve_receive(&mut mem, s, DomainId::X86, req).unwrap();
+        let resp = Message::control(MsgType::KvResponse);
+        ml.stream_respond(&mut mem, &mut ipi, s, DomainId::X86, resp).unwrap();
+        ml.stream_consume(&mut mem, s, resp).unwrap();
+        let st = ml.stream_stats(s).unwrap();
+        assert_eq!((st.requests, st.responses, st.in_flight), (1, 1, 0));
+        assert_eq!(st.window_stalls, 0);
+        assert!(ml.audit().is_empty());
+    }
+
+    #[test]
+    fn stream_window_exhaustion_counts_stalls() {
+        let (mut mem, mut ipi, mut ml) = setup(
+            HardwareModel::Shared,
+            Transport::Shm { notify: NotifyMode::Interrupt },
+        );
+        let s = ml.open_stream(DomainId::ARM, 2);
+        let req = Message::control(MsgType::KvRequest);
+        ml.stream_request(&mut mem, &mut ipi, s, req).unwrap();
+        ml.stream_request(&mut mem, &mut ipi, s, req).unwrap();
+        assert!(matches!(
+            ml.stream_request(&mut mem, &mut ipi, s, req),
+            Err(MsgError::StreamWindowFull { window: 2, .. })
+        ));
+        let st = ml.stream_stats(s).unwrap();
+        assert_eq!(st.window_stalls, 1);
+        assert_eq!(st.in_flight, 2);
+        // Window credits come back after a crash quarantine.
+        ml.quarantine(DomainId::X86);
+        assert_eq!(ml.stream_stats(s).unwrap().in_flight, 0);
     }
 }

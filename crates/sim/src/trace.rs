@@ -437,11 +437,12 @@ pub struct LatencyHistogram {
     sum: u64,
     min: u64,
     max: u64,
+    saturated: bool,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0, saturated: false }
     }
 }
 
@@ -458,7 +459,17 @@ impl LatencyHistogram {
         let bucket = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
         self.buckets[bucket] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(v);
+        // The running sum can overflow u64 on very long runs; an
+        // overflowed sum makes `mean()` silently bogus, so the overflow
+        // is latched in `saturated` and surfaced by `render()` instead
+        // of being swallowed.
+        match self.sum.checked_add(v) {
+            Some(s) => self.sum = s,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -501,23 +512,80 @@ impl LatencyHistogram {
         }
     }
 
+    /// Whether the running `sum` overflowed u64. When set, `mean()` is a
+    /// lower bound (computed from the pinned `u64::MAX` sum), not the
+    /// true mean; percentiles and bucket counts remain exact.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
     /// Raw bucket counts; bucket `i` covers `[2^i, 2^(i+1))` cycles.
     #[must_use]
     pub fn buckets(&self) -> &[u64; 64] {
         &self.buckets
     }
 
-    /// One-line rendering: `count / min / mean / max` plus the occupied
-    /// log₂ buckets.
+    /// Estimates the `p`-th percentile (`0 < p < 100`) from the log₂
+    /// buckets.
+    ///
+    /// The rank is `ceil(p/100 · count)` (nearest-rank definition), and
+    /// the estimate returned for a rank landing in bucket `i` is the
+    /// bucket's *inclusive upper bound* `2^(i+1) − 1`, clamped into
+    /// `[min, max]` so single-bucket histograms and the extreme ranks
+    /// report exact observed values. Because bucket `i` covers the span
+    /// `[2^i, 2^(i+1))`, the estimate can overstate the true percentile
+    /// by at most one bucket — a factor of <2× — and never understates
+    /// it below the bucket holding the true value. `p <= 0` returns
+    /// `min`, `p >= 100` returns `max`, and an empty histogram returns 0.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if p <= 0.0 {
+            return self.min();
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        // Nearest-rank: the smallest rank r (1-based) with
+        // r/count ≥ p/100. ceil() on the product is exact enough here —
+        // count is a u64 but practical histograms stay far below 2^53
+        // observations, and a ±1 rank slip only matters at bucket
+        // boundaries already covered by the documented one-bucket error.
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One-line rendering: `count / min / p50 / p99 / max` plus the
+    /// occupied log₂ buckets. The tail percentiles replace the old
+    /// mean-only line, which was misleading for the heavily skewed
+    /// distributions this stack produces (a handful of 157 500-cycle TCP
+    /// round trips buried under millions of 4-cycle L1 hits). The mean
+    /// is still shown, flagged `mean>=` when the sum saturated.
     #[must_use]
     pub fn render(&self) -> String {
         use fmt::Write as _;
         let mut s = format!(
-            "n={} min={} mean={:.0} max={}",
+            "n={} min={} p50={} p99={} max={} {}{:.0}{}",
             self.count,
             self.min(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max,
+            if self.saturated { "mean>=" } else { "mean=" },
             self.mean(),
-            self.max
+            if self.saturated { " (sum saturated)" } else { "" },
         );
         for (i, &c) in self.buckets.iter().enumerate() {
             if c > 0 {
@@ -546,6 +614,11 @@ pub const HIST_FAULT_SERVICE: &str = "fault_service_cycles";
 pub const HIST_DSM_TRANSFER: &str = "dsm_transfer_cycles";
 /// Histogram name: contended-futex wait-path latency.
 pub const HIST_FUTEX_WAIT: &str = "futex_wait_cycles";
+/// Histogram name: KV-serving end-to-end request latency (arrival to
+/// response, including queueing behind the worker).
+pub const HIST_KVSERVE_REQUEST: &str = "kvserve_request_cycles";
+/// Histogram name: KV-serving queueing delay (arrival to dispatch).
+pub const HIST_KVSERVE_QUEUE: &str = "kvserve_queue_cycles";
 /// Counter name: domains declared dead by the watchdog.
 pub const CTR_WATCHDOG_DEATHS: &str = "watchdog_deaths";
 /// Counter name: restart-from-checkpoint recoveries performed.
@@ -1046,6 +1119,98 @@ mod tests {
         assert_eq!(h.buckets()[17], 1); // 2^17 = 131072 ≤ 157500 < 2^18
         assert!(h.render().contains("n=5"));
         assert!((h.mean() - (157_512.0 / 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_exact_at_bucket_boundaries() {
+        // 100 observations of exactly 2^10 = 1024: every percentile must
+        // report a value inside bucket 10's span [1024, 2047], and the
+        // min/max clamp makes it exactly 1024 (single-valued histogram).
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.observe(Cycles::new(1024));
+        }
+        for p in [0.1, 1.0, 50.0, 99.0, 99.9] {
+            assert_eq!(h.percentile(p), 1024, "p{p}");
+        }
+
+        // Exact two-point distribution: 99 at 10 cycles, 1 at 1000
+        // cycles. Nearest-rank p99 is the 99th of 100 → still the low
+        // value's bucket (bucket 3, upper bound 15); p99.5 crosses into
+        // the outlier's bucket (bucket 9, upper bound 1023, clamped to
+        // the observed max 1000).
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.observe(Cycles::new(10));
+        }
+        h.observe(Cycles::new(1000));
+        assert_eq!(h.percentile(50.0), 15); // bucket 3 = [8,16) upper bound
+        assert_eq!(h.percentile(99.0), 15);
+        assert_eq!(h.percentile(99.5), 1000); // bucket 9 upper 1023, clamped to max
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.percentile(0.0), 10);
+        // The ±1-bucket contract: the p50 estimate (15) is within a
+        // factor of 2 above the true median (10) and not below it.
+        assert!(h.percentile(50.0) >= 10 && h.percentile(50.0) < 20);
+
+        // Uniform one-per-bucket spread pinned at lower bounds: ranks
+        // map 1:1 onto buckets, so the estimator must return each
+        // bucket's upper bound as ranks advance monotonically.
+        let mut h = LatencyHistogram::new();
+        for i in 0..8u32 {
+            h.observe(Cycles::new(1u64 << i)); // 1,2,4,...,128 → buckets 0..=7
+        }
+        assert_eq!(h.percentile(12.5), 1); // rank 1 → bucket 0 upper=1
+        assert_eq!(h.percentile(25.0), 3); // rank 2 → bucket 1 upper=3
+        assert_eq!(h.percentile(50.0), 15); // rank 4 → bucket 3 upper=15
+        assert_eq!(h.percentile(99.0), 128); // rank 8 → bucket 7 upper 255 clamped to max
+
+        // Empty histogram.
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn percentile_estimate_monotone_in_p() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 1u64;
+        for i in 0..200u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+            h.observe(Cycles::new(x >> 40));
+        }
+        let mut last = 0u64;
+        for p in 1..=99 {
+            let v = h.percentile(f64::from(p));
+            assert!(v >= last, "percentile not monotone at p{p}: {v} < {last}");
+            last = v;
+        }
+        assert!(h.percentile(99.0) <= h.max());
+        assert!(h.percentile(1.0) >= h.min());
+    }
+
+    #[test]
+    fn sum_saturation_is_latched_and_rendered() {
+        let mut h = LatencyHistogram::new();
+        h.observe(Cycles::new(u64::MAX / 2));
+        assert!(!h.is_saturated());
+        assert!(!h.render().contains("saturated"));
+        h.observe(Cycles::new(u64::MAX / 2));
+        h.observe(Cycles::new(u64::MAX / 2));
+        assert!(h.is_saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        // Count/min/max/percentiles stay exact; only the mean degrades
+        // to a lower bound, and render says so.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX / 2);
+        assert_eq!(h.percentile(50.0), u64::MAX / 2);
+        let r = h.render();
+        assert!(r.contains("mean>="), "render must flag the saturated mean: {r}");
+        assert!(r.contains("(sum saturated)"), "render must flag saturation: {r}");
+        // Non-saturated histograms render p50/p99 and a plain mean.
+        let mut h = LatencyHistogram::new();
+        h.observe(Cycles::new(100));
+        let r = h.render();
+        assert!(r.contains("p50=") && r.contains("p99=") && r.contains("mean="), "{r}");
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl fmt::Display for KvOp {
 }
 
 const BUCKETS: u64 = 256;
-const ENTRY_HEADER: u64 = 24; // next, keyhash, len
+pub(crate) const ENTRY_HEADER: u64 = 24; // next, keyhash, len
 
 /// The server's in-simulator data structures.
 #[derive(Debug)]
@@ -350,6 +350,73 @@ impl KvServer {
     }
 }
 
+/// A hash-partitioned store: one [`KvServer`] shard per worker process,
+/// each living in its owner's address space (and therefore in whichever
+/// kernel's memory that worker faulted it into). Requests route by
+/// `key_hash % shards`, so a key's shard — and the ISA domain serving
+/// it — is a pure function of the key.
+#[derive(Debug)]
+pub struct ShardedKv {
+    shards: Vec<KvServer>,
+}
+
+impl ShardedKv {
+    /// Builds one shard per worker pid, each with `heap_per_shard`
+    /// bytes of value heap in that worker's address space.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn setup(
+        sys: &mut TargetSystem,
+        workers: &[Pid],
+        heap_per_shard: u64,
+    ) -> Result<Self, OsError> {
+        let mut shards = Vec::with_capacity(workers.len());
+        for &pid in workers {
+            shards.push(KvServer::setup(sys, pid, heap_per_shard)?);
+        }
+        Ok(ShardedKv { shards })
+    }
+
+    /// Number of shards (== workers).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `key_hash`.
+    #[must_use]
+    pub fn shard_of(&self, key_hash: u64) -> usize {
+        (key_hash % self.shards.len() as u64) as usize
+    }
+
+    /// Executes one operation on the owning shard, *as* its worker
+    /// process, returning `(shard, response payload length)`.
+    ///
+    /// # Errors
+    ///
+    /// OS errors from the shard's memory traffic.
+    pub fn process(
+        &mut self,
+        sys: &mut TargetSystem,
+        workers: &[Pid],
+        op: KvOp,
+        key_hash: u64,
+        payload: &[u8],
+    ) -> Result<(usize, u32), OsError> {
+        let shard = self.shard_of(key_hash);
+        let len = self.shards[shard].process(sys, workers[shard], op, key_hash, payload)?;
+        Ok((shard, len))
+    }
+
+    /// Read access to one shard (inspection and tests).
+    #[must_use]
+    pub fn shard(&self, idx: usize) -> &KvServer {
+        &self.shards[idx]
+    }
+}
+
 /// Result of one Figure 14 run.
 #[derive(Debug, Clone, Copy)]
 pub struct KvRunResult {
@@ -471,7 +538,7 @@ pub fn run_kv(
     })
 }
 
-fn key_of(r: u64) -> u64 {
+pub(crate) fn key_of(r: u64) -> u64 {
     r.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16
 }
 
@@ -565,6 +632,32 @@ mod tests {
             f.per_request,
             s.per_request
         );
+    }
+
+    #[test]
+    fn sharded_store_routes_by_key_and_isolates_shards() {
+        let mut sys = TargetSystem::build(SystemKind::Stramash, HardwareModel::Shared).unwrap();
+        let pids: Vec<Pid> =
+            (0..4).map(|_| sys.spawn(DomainId::X86).unwrap()).collect();
+        sys.migrate(pids[1], DomainId::ARM).unwrap();
+        sys.migrate(pids[3], DomainId::ARM).unwrap();
+        let mut store = ShardedKv::setup(&mut sys, &pids, 1 << 18).unwrap();
+        assert_eq!(store.shards(), 4);
+        // Writes land on the shard the key hashes to; reads through the
+        // sharded front door find them, direct probes of other shards
+        // don't.
+        for key in [3u64, 10, 17, 1000] {
+            let (shard, _) = store.process(&mut sys, &pids, KvOp::Set, key, b"v").unwrap();
+            assert_eq!(shard, store.shard_of(key));
+            let (shard2, len) = store.process(&mut sys, &pids, KvOp::Get, key, &[]).unwrap();
+            assert_eq!((shard2, len), (shard, 1));
+            for (other, &pid) in pids.iter().enumerate() {
+                if other != shard {
+                    let miss = store.shard(other).lookup_string(&mut sys, pid, key).unwrap();
+                    assert_eq!(miss, None, "key {key} leaked into shard {other}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`micro`] — the §9.2.4–§9.2.6 microbenchmarks (memory-access
 //!   analysis, consistency granularity, futex ping-pong),
 //! * [`kvstore`] — the §9.2.8 network-serving KV store (Figure 14),
+//! * [`serve`] — the production-scale serving scenario: sharded store,
+//!   workers on both ISA domains, open-loop Poisson/Zipfian load,
+//!   p50/p99-vs-load curves,
 //! * [`target`] — [`TargetSystem`], one handle over Vanilla /
 //!   Popcorn-TCP / Popcorn-SHM / Stramash,
 //! * [`driver`] — configuration sweeps and metric collection,
@@ -40,12 +43,17 @@ pub mod micro;
 pub mod npb;
 pub mod pair;
 pub mod recovery;
+pub mod serve;
 pub mod target;
 
 pub use chaos::{chaos_sweep, ChaosReport, Reproducer, StageReport};
 pub use client::{ArrayF64, ArrayU64, ColSpec, IndexedPlan, MemoryClient, PlanCol, ScopePlan};
 pub use driver::{run_benchmark, run_benchmark_with, Configuration, RunReport};
-pub use kvstore::{run_kv, KvOp, KvRunResult, KvServer};
+pub use kvstore::{run_kv, KvOp, KvRunResult, KvServer, ShardedKv};
+pub use serve::{
+    generate_schedule, run_serve, run_serve_curve, schedule_fingerprint, Request, ServeConfig,
+    ServeResult,
+};
 pub use micro::{
     futex_pingpong, granularity, memory_access, AccessResult, AccessScenario, FutexResult,
     GranularityResult,

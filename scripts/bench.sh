@@ -22,6 +22,7 @@ trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 
 MICRO_JSON="$TMPDIR_BENCH/micro.json"
 SWEEP_JSON="$TMPDIR_BENCH/sweep.json"
+KVSERVE_JSON="$TMPDIR_BENCH/kvserve.json"
 
 # Both harnesses run with the explicit-SIMD plan replay enabled — the
 # fastest host configuration, and the one whose numbers the committed
@@ -34,12 +35,18 @@ echo "==> cargo bench -p stramash-bench --features simd --bench sweep_parallel"
 STRAMASH_BENCH_JSON="$SWEEP_JSON" \
     cargo bench -p stramash-bench --features simd --bench sweep_parallel
 
-# Merge the two fragments textually (no jq dependency).
+echo "==> cargo bench -p stramash-bench --features simd --bench kv_serving"
+STRAMASH_BENCH_JSON="$KVSERVE_JSON" \
+    cargo bench -p stramash-bench --features simd --bench kv_serving
+
+# Merge the three fragments textually (no jq dependency).
 {
     printf '{\n"micro":\n'
     cat "$MICRO_JSON"
     printf ',\n"npb_sweep":\n'
     cat "$SWEEP_JSON"
+    printf ',\n"kvserve":\n'
+    cat "$KVSERVE_JSON"
     printf '}\n'
 } >"$OUT"
 

@@ -64,13 +64,13 @@ def flatten(d, prefix=""):
 
 f, b = flatten(fresh), flatten(base)
 # Most metrics are times (lower is better); these are the exceptions.
-HIGHER_IS_BETTER = ("speedup", "accesses_per_sec")
-# Machine shape, not performance.
-SKIP = ("workers", "configs", "host_cores", "wide_replay")
+HIGHER_IS_BETTER = ("speedup", "accesses_per_sec", "throughput")
+# Machine shape / run identity, not performance.
+SKIP = ("workers", "configs", "host_cores", "wide_replay", "requests", "fingerprint")
 # Speedup metrics that track the headline optimisations: a drop here
 # means the optimisation itself eroded, not just runner noise, so it
 # gets its own advisory exit code (5).
-HEADLINE = ("endtoend", "parallel")
+HEADLINE = ("endtoend", "parallel", "kvserve")
 
 # Parallel speedups only mean anything on a multi-core host. Either
 # side reporting (or, for old baselines predating the field, implying)
@@ -87,8 +87,20 @@ one_sided = sorted(set(b) ^ set(f))
 for key in one_sided:
     # Fields present on only one side (new metrics vs an old baseline,
     # or vice versa) are expected across harness growth: note them,
-    # but they are neither a malformed input nor a regression.
+    # but they are neither a malformed input nor a regression — EXCEPT
+    # when a *headline* metric that the committed baseline carries has
+    # vanished from the candidate run. A harness refactor silently
+    # dropping e.g. a kvserve_* speedup would otherwise let the very
+    # metric this script guards disappear without a trace, so that case
+    # warns loudly and shares the headline exit code (5).
     side = "fresh results" if key in b else "baseline"
+    if key in b and "speedup" in key and any(h in key for h in HEADLINE):
+        print(
+            f"::warning::bench_compare: headline metric {key} disappeared from "
+            f"the candidate results — the harness no longer measures it"
+        )
+        headline_regressed += 1
+        continue
     print(f"bench_compare: note: {key} missing from {side} — skipped")
 for key in sorted(set(b) & set(f)):
     if any(s in key for s in SKIP):
@@ -120,7 +132,7 @@ else:
 if headline_regressed:
     print(
         f"::warning::bench_compare: {headline_regressed} headline speedup metric(s) "
-        f"regressed — the optimisation itself may have eroded"
+        f"regressed or disappeared — the optimisation itself may have eroded"
     )
     sys.exit(5)
 EOF

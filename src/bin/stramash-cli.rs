@@ -41,6 +41,9 @@ fn usage() -> ExitCode {
                            [--checkpoint <path>]
   stramash-cli pair [--system <...>] [--model <...>] [--elems N] [--phases N]
                     [--parallel] [--no-heartbeat]
+  stramash-cli serve [--model <...>] [--workers N] [--connections N] [--window N]
+                     [--requests N] [--loads a,b,c] [--read-pct P] [--keyspace K]
+                     [--payload B] [--seed N]
   stramash-cli chaos [--seed N] [--stages K] [--inject-regression]"
     );
     ExitCode::FAILURE
@@ -459,6 +462,92 @@ fn cmd_pair(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `stramash-cli serve`: the production-scale serving scenario —
+/// throughput-vs-offered-load and p50/p99-vs-load curves for every
+/// system kind, from one deterministic seeded schedule per load point.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use stramash_repro::workloads::serve::{run_serve_curve, ServeConfig};
+    let model = match flag(args, "--model").as_deref() {
+        Some(s) => match parse_model(s) {
+            Some(m) => m,
+            None => return usage(),
+        },
+        None => HardwareModel::Shared,
+    };
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag(args, "--workers").and_then(|v| v.parse().ok()) {
+        cfg.workers = v;
+    }
+    if let Some(v) = flag(args, "--connections").and_then(|v| v.parse().ok()) {
+        cfg.connections = v;
+    }
+    if let Some(v) = flag(args, "--window").and_then(|v| v.parse().ok()) {
+        cfg.window = v;
+    }
+    if let Some(v) = flag(args, "--requests").and_then(|v| v.parse().ok()) {
+        cfg.requests = v;
+    }
+    if let Some(v) = flag(args, "--read-pct").and_then(|v| v.parse().ok()) {
+        cfg.read_pct = v;
+    }
+    if let Some(v) = flag(args, "--keyspace").and_then(|v| v.parse().ok()) {
+        cfg.keyspace = v;
+    }
+    if let Some(v) = flag(args, "--payload").and_then(|v| v.parse().ok()) {
+        cfg.payload_len = v;
+    }
+    if let Some(v) = flag(args, "--seed").and_then(|v| {
+        v.parse().ok().or_else(|| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+    }) {
+        cfg.seed = v;
+    }
+    let loads: Vec<f64> = flag(args, "--loads")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![2.0, 10.0, 40.0]);
+    if loads.is_empty() {
+        return usage();
+    }
+
+    println!(
+        "serving: {} workers × {} connections (window {}), {} requests/point, \
+         {}% reads over {} Zipf keys, seed {:#x} ({model})\n",
+        cfg.workers, cfg.connections, cfg.window, cfg.requests, cfg.read_pct, cfg.keyspace,
+        cfg.seed
+    );
+    println!(
+        "{:<12} {:>9} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "system", "offered", "achieved", "p50", "p99", "queue-p99", "stalls"
+    );
+    for kind in
+        [SystemKind::Stramash, SystemKind::PopcornShm, SystemKind::PopcornTcp, SystemKind::Vanilla]
+    {
+        let curve = match run_serve_curve(kind, model, &cfg, &loads) {
+            Ok(c) => c,
+            Err(e) => return fail("serve", e),
+        };
+        for r in &curve {
+            println!(
+                "{:<12} {:>9.1} {:>10.2} {:>12} {:>12} {:>12} {:>8}",
+                kind.to_string(),
+                r.offered_load,
+                r.throughput,
+                r.p50(),
+                r.p99(),
+                r.queue.percentile(99.0),
+                r.window_stalls
+            );
+        }
+        if let Some(last) = curve.last() {
+            println!(
+                "  └ schedule {:#018x}  run {:#018x}  (seed-replayable)\n",
+                last.schedule_fingerprint, last.fingerprint
+            );
+        }
+    }
+    println!("loads are requests per million cycles; latencies are simulated cycles (log₂-bucket p50/p99)");
+    ExitCode::SUCCESS
+}
+
 /// `stramash-cli chaos`: the escalating seeded sweep with shrinking
 /// reproducers.
 fn cmd_chaos(args: &[String]) -> ExitCode {
@@ -521,6 +610,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("pair") => cmd_pair(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         _ => usage(),
     }

@@ -191,6 +191,48 @@ fn plan_segments_under_forced_wide_epochs_match_goldens() {
     }
 }
 
+/// Captures what the serving scenario is allowed to influence: total
+/// simulated runtime, cross-kernel message totals, and the folded run
+/// fingerprint of every per-request latency.
+fn serve_fingerprint(kind: SystemKind) -> (u64, u64, u64) {
+    use stramash_repro::workloads::serve::{run_serve, ServeConfig};
+    let cfg = ServeConfig {
+        workers: 4,
+        connections: 16,
+        window: 4,
+        requests: 300,
+        offered_load: 8.0,
+        keyspace: 128,
+        ..ServeConfig::default()
+    };
+    let mut sys = TargetSystem::build(kind, HardwareModel::Shared).unwrap();
+    let r = run_serve(&mut sys, &cfg).unwrap();
+    assert_eq!(r.completed, cfg.requests, "{kind}: every request must complete");
+    (sys.runtime().raw(), sys.base().msg.counters().total(), r.fingerprint)
+}
+
+/// The recorded serving goldens — `(runtime, messages, fingerprint)`
+/// for the fixed [`serve_fingerprint`] configuration.
+fn serve_golden(kind: SystemKind) -> (u64, u64, u64) {
+    match kind {
+        SystemKind::Vanilla => (3_900_732, 600, 0x0dc7_532d_a039_17e9),
+        SystemKind::PopcornTcp => (50_942_188, 640, 0xa3c5_042b_6715_0e7f),
+        SystemKind::PopcornShm => (6_002_505, 640, 0x977b_21b8_90d2_da73),
+        SystemKind::Stramash => (4_870_418, 608, 0x380f_3e1d_d270_ef03),
+    }
+}
+
+#[test]
+fn serving_scenario_matches_recorded_goldens() {
+    for kind in SystemKind::ALL {
+        assert_eq!(
+            serve_fingerprint(kind),
+            serve_golden(kind),
+            "{kind}: serving timing or messaging drifted from the golden record"
+        );
+    }
+}
+
 /// Regeneration helper — prints the current fingerprints in the exact
 /// shape of [`golden`].
 #[test]
@@ -205,5 +247,9 @@ fn print_goldens() {
         println!("    levels: [{:?}, {:?}],", f.levels[0], f.levels[1]);
         println!("    tlb: [{:?}, {:?}],", f.tlb[0], f.tlb[1]);
         println!("}},");
+    }
+    for kind in SystemKind::ALL {
+        let (runtime, messages, fp) = serve_fingerprint(kind);
+        println!("SystemKind::{kind:?} => ({runtime}, {messages}, {fp:#018x}),");
     }
 }
